@@ -1,0 +1,35 @@
+"""Benchmark fixtures: one full-scale paper scenario per session.
+
+Every bench measures one stage of the reproduction against the
+full-scale dataset (the same configuration as the paper: 74 weeks, 150
+monitored addresses) and writes its rendered paper-vs-measured report to
+``results/<name>.txt`` so the regenerated tables/figures survive the
+benchmark run as reviewable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenario import PaperScenario, ScenarioRun
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_run() -> ScenarioRun:
+    """The full-scale scenario all benches share (built once, ~15 s)."""
+    return PaperScenario(seed=2010).run()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: Path, name: str, text: str) -> None:
+    """Persist one experiment's rendered report."""
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

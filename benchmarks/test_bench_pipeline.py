@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the substrate stages feeding every experiment.
+
+Not a paper table — these quantify the reproduction's own moving parts:
+PE emission/parsing (per collected binary), sandbox execution (per
+analysed sample), and the end-to-end event pipeline rate.
+"""
+
+from repro.peformat.builder import build_pe
+from repro.peformat.parser import parse_pe
+from repro.peformat.structures import PESpec
+from repro.sandbox.environment import Environment
+from repro.sandbox.execution import Sandbox
+
+from repro.experiments.catalog import allaple_behavior
+
+
+def test_bench_pe_build(benchmark):
+    spec = PESpec()
+    seeds = iter(range(10**9))
+    image = benchmark(lambda: build_pe(spec, next(seeds)))
+    assert len(image) == spec.file_size
+
+
+def test_bench_pe_parse(benchmark):
+    image = build_pe(PESpec(), 1)
+    info = benchmark(lambda: parse_pe(image))
+    assert info.n_sections == 3
+
+
+def test_bench_sandbox_execution(benchmark):
+    sandbox = Sandbox(Environment())
+    # Noise-free: the benchmarked path is the deterministic interpreter,
+    # not the derailment branch (whose output can be a 4-feature crash).
+    behavior = allaple_behavior(0).with_noise_rate(0.0)
+    seeds = iter(range(10**9))
+    profile = benchmark(
+        lambda: sandbox.execute(behavior, time=0, run_seed=next(seeds))
+    )
+    assert len(profile) > 5
+
+
+def test_bench_event_pipeline_rate(benchmark, paper_run):
+    """Events/second through EPM classification of one dimension."""
+    from repro.core.features import mu_features
+
+    feature_set = mu_features()
+    events = [e for e in paper_run.dataset if feature_set.applies_to(e)]
+    clustering = paper_run.epm.mu
+
+    def classify_all():
+        return sum(
+            1
+            for e in events
+            if clustering.pattern_set.classify(
+                feature_set.extract(e), clustering.invariants
+            )
+        )
+
+    count = benchmark(classify_all)
+    assert count == len(events)

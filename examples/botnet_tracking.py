@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Botnet tracking: propagation context + C&C correlation (§4.3).
+
+Shows how the honeypot-side context separates worms from bots (Figure 5)
+and how the behavioural profiles then tie the bot M-clusters back to
+their IRC command-and-control infrastructure (Table 2), exposing the
+herder's asset reuse.
+
+Usage::
+
+    python examples/botnet_tracking.py [--scale 0.5]
+"""
+
+import argparse
+
+from repro.analysis.context import PropagationContext
+from repro.analysis.crossview import CrossView
+from repro.analysis.irc import CnCCorrelation
+from repro.experiments import PaperScenario, ScenarioConfig
+from repro.util.tables import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    print(f"Running scenario (scale={args.scale}) ...")
+    run = PaperScenario(seed=args.seed, config=ScenarioConfig(scale=args.scale)).run()
+    context = PropagationContext(run.dataset, run.grid)
+    crossview = CrossView(run.dataset, run.epm, run.bclusters)
+
+    print("\nClassifying every well-populated M-cluster by its context:")
+    table = TextTable(
+        ["M", "events", "sources", "/8s", "weeks", "bursty", "signature"]
+    )
+    worms, bots = [], []
+    for cid, info in run.epm.mu.clusters.items():
+        if info.size < 25:
+            continue
+        ctx = context.summarize_m_cluster(run.epm, cid)
+        signature = ctx.signature()
+        (worms if signature == "worm-like" else bots).append(cid)
+        table.add_row(
+            [
+                f"M{cid}",
+                ctx.n_events,
+                ctx.n_sources,
+                len(ctx.slash8_histogram),
+                ctx.weeks_active,
+                f"{ctx.burstiness:.2f}",
+                signature,
+            ]
+        )
+        if len(table.rows) >= 18:
+            break
+    print(table.render())
+    print(f"\n{len(worms)} worm-like and {len(bots)} bot/other M-clusters shown.")
+
+    print("\nCoordinated movement of one bot cluster across the deployment:")
+    for cid in bots[:1]:
+        info = run.epm.mu.clusters[cid]
+        events = sorted(
+            (run.dataset.events[i] for i in info.event_ids),
+            key=lambda e: e.timestamp,
+        )
+        last_location = None
+        for event in events:
+            week = run.grid.week_of(run.grid.clamp(event.timestamp))
+            location = event.sensor.slash24
+            if location != last_location:
+                print(f"  week {week:2d}: hitting network location "
+                      f"{location >> 8 & 0xFF}.{location & 0xFF}.x/24")
+                last_location = location
+
+    print("\nIRC C&C correlation (Table 2):")
+    correlation = CnCCorrelation(run.dataset, run.epm, run.anubis)
+    rows = correlation.table2()
+    table2 = TextTable(["Server", "Room", "M-clusters"])
+    for server, room, ms in rows[:15]:
+        table2.add_row([server, room, ", ".join(map(str, ms))])
+    print(table2.render())
+    if len(rows) > 15:
+        print(f"... ({len(rows) - 15} more rendezvous)")
+
+    print("\nInfrastructure reuse (the bot-herder fingerprint):")
+    for key, value in correlation.infrastructure_summary().items():
+        print(f"  {key}: {value}")
+    shared = correlation.shared_rooms()
+    if shared:
+        rv, ms = shared[0]
+        print(f"\nExample: room {rv.room} on {rv.server} commands "
+              f"M-clusters {ms} - code patches applied to one botnet.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Build your own threat landscape and observe it through SGNET.
+
+The library is a toolkit, not just a replay of the paper: this example
+defines a two-family landscape from scratch — a fast-spreading
+per-instance polymorphic worm and a small bursty IRC bot — runs it
+through the honeypot deployment, and checks what each clustering
+perspective recovers.
+
+Usage::
+
+    python examples/custom_landscape.py
+"""
+
+from repro.core.epm import EPMClustering
+from repro.egpm.events import InteractionType
+from repro.enrich import EnrichmentPipeline, VirusTotalService
+from repro.honeypot import DeploymentConfig, SGNetDeployment
+from repro.malware import (
+    BehaviorTemplate,
+    CnCSpec,
+    ContinuousActivity,
+    ExploitSpec,
+    FamilySpec,
+    LandscapeGenerator,
+    PayloadSpec,
+    PolymorphyMode,
+    PopulationSpec,
+    PropagationSpec,
+    VariantSpec,
+)
+from repro.malware.population import ActivityBurst, BurstActivity
+from repro.malware.propagation import choice, fixed, rand
+from repro.net.address import Subnet
+from repro.net.sampling import SubnetConcentratedSampler, UniformSampler
+from repro.peformat.structures import PESpec
+from repro.sandbox import AnubisService, Environment, Sandbox
+from repro.util.rng import RandomSource
+from repro.util.timegrid import DAY_SECONDS, WEEK_SECONDS, TimeGrid
+
+
+def build_worm() -> FamilySpec:
+    exploit = ExploitSpec(
+        name="lsass-ms04-011",
+        dst_port=445,
+        dialogue=(
+            (fixed("SMB_NEG"), rand(6)),
+            (fixed("DCERPC_BIND"), fixed("lsarpc"), rand(8)),
+            (fixed("DS_ROLE_OVERFLOW"),),
+        ),
+    )
+    payload = PayloadSpec(
+        name="ftp-pull",
+        protocol="ftp",
+        interaction=InteractionType.PULL,
+        filename="wormsvc.exe",
+        port=21,
+    )
+    behavior = BehaviorTemplate(
+        mutexes=("wormy-mtx",),
+        files_dropped=(r"C:\WINDOWS\wormsvc.exe",),
+        scan_ports=(445,),
+        noise_rate=0.1,
+    )
+    variants = tuple(
+        VariantSpec(
+            family="wormy",
+            variant=f"v{i:03d}",
+            pe_spec=PESpec(file_size=40_960 + 2048 * i),
+            polymorphism=PolymorphyMode.PER_INSTANCE,
+            behavior=behavior,
+            propagation=PropagationSpec(exploit, payload),
+            population=PopulationSpec(size=60 - 15 * i, sampler=UniformSampler()),
+            activity=ContinuousActivity(5.0 - i),
+        )
+        for i in range(3)
+    )
+    return FamilySpec(name="wormy", variants=variants)
+
+
+def build_bot(sensor_networks: list[int]) -> FamilySpec:
+    exploit = ExploitSpec(
+        name="dcom-ms03-026",
+        dst_port=135,
+        dialogue=(
+            (fixed("DCOM_BIND"), choice("toolkitA", "toolkitB")),
+            (fixed("REMOTE_ACTIVATION"),),
+        ),
+    )
+    payload = PayloadSpec(
+        name="tftp-pull",
+        protocol="tftp",
+        interaction=InteractionType.PULL,
+        filename="msblast.exe",
+        port=69,
+    )
+    behavior = BehaviorTemplate(
+        mutexes=("botty-main", "botty-inst"),
+        files_dropped=(r"C:\WINDOWS\system32\bottysvc.exe",),
+        registry_keys=(r"HKLM\...\Run\botty",),
+        cnc=CnCSpec(server="67.43.232.99", port=6667, room="#cmd"),
+        noise_rate=0.05,
+    )
+    bursts = BurstActivity(
+        [
+            ActivityBurst(
+                start=week * WEEK_SECONDS,
+                duration=2 * DAY_SECONDS,
+                rate_per_day=12.0,
+                sensor_networks=(sensor_networks[week % len(sensor_networks)],),
+            )
+            for week in (2, 5, 9)
+        ]
+    )
+    variant = VariantSpec(
+        family="botty",
+        variant="v000",
+        pe_spec=PESpec(file_size=30_720, linker_version=60),
+        polymorphism=PolymorphyMode.NONE,
+        behavior=behavior,
+        propagation=PropagationSpec(exploit, payload),
+        population=PopulationSpec(
+            size=10,
+            sampler=SubnetConcentratedSampler([Subnet.parse("58.32.0.0/16")]),
+        ),
+        activity=bursts,
+    )
+    return FamilySpec(name="botty", variants=(variant,))
+
+
+def main() -> None:
+    source = RandomSource(42)
+    grid = TimeGrid(0, 12 * WEEK_SECONDS)
+    deployment = SGNetDeployment(
+        source.child("deployment"),
+        DeploymentConfig(n_networks=10, sensors_per_network=3),
+    )
+
+    families = [build_worm(), build_bot(deployment.sensor_networks)]
+    generator = LandscapeGenerator(
+        families, deployment.sensor_addresses, grid, source.child("landscape")
+    )
+
+    print("Observing the custom landscape ...")
+    dataset = deployment.observe(generator)
+    print(f"  {dataset.summary()}")
+
+    sandbox = Sandbox(Environment())
+    anubis = AnubisService(sandbox)
+    EnrichmentPipeline(anubis, VirusTotalService()).enrich(dataset)
+
+    epm = EPMClustering().fit(dataset)
+    bclusters = anubis.cluster()
+    print(f"\nEPM recovered: {epm.counts()}")
+    print(f"Behavioural clustering: {bclusters.n_clusters} B-clusters")
+
+    print("\nM-cluster patterns vs the ground truth you just wrote:")
+    for cid, info in list(epm.mu.clusters.items())[:6]:
+        truths = {
+            dataset.events[i].ground_truth.variant for i in info.event_ids
+        }
+        print(f"  M{cid} ({info.size} events, true variants {sorted(truths)}):")
+        print(f"    {info.describe(epm.mu.feature_names)[:110]} ...")
+
+    print("\nThe worm's three size-variants produce three M-clusters; the")
+    print("bot's single non-polymorphic binary keys its cluster on the MD5.")
+
+
+if __name__ == "__main__":
+    main()

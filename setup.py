@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+Install with ``pip install -e . --no-use-pep517 --no-build-isolation``
+when PEP 517 editable builds are unavailable (offline environments).
+"""
+
+from setuptools import setup
+
+setup()

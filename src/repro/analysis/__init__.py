@@ -1,0 +1,93 @@
+"""Combined-perspective analyses (§4 of the paper).
+
+Each module implements one analytical lens the paper combines:
+
+* :mod:`repro.analysis.crossview` — M-cluster vs B-cluster
+  cross-referencing: the size-1 B-cluster anomaly detector, the
+  environment-split detector, and the re-execution "healing" workflow
+  (§4.2),
+* :mod:`repro.analysis.relations` — the four-layer E/P/M/B relationship
+  graph of Figure 3,
+* :mod:`repro.analysis.context` — propagation context per cluster:
+  population size, distribution over the IP space, weeks of activity,
+  timelines, and the worm-vs-bot signature heuristic (Figure 5),
+* :mod:`repro.analysis.irc` — C&C rendezvous correlation per M-cluster
+  and infrastructure-reuse detection (Table 2),
+* :mod:`repro.analysis.avnames` — AV-label distributions for sample sets
+  (Figure 4 top) and E/P propagation coordinates (Figure 4 bottom).
+"""
+
+from repro.analysis.crossview import (
+    CrossView,
+    EnvironmentSplit,
+    SingletonAnomaly,
+    heal_singletons,
+)
+from repro.analysis.relations import RelationGraph
+from repro.analysis.context import ClusterContext, PropagationContext
+from repro.analysis.irc import CnCCorrelation, IRCRendezvous
+from repro.analysis.avnames import av_name_distribution, ep_coordinate_distribution
+from repro.analysis.coverage import (
+    DeploymentPoint,
+    NetworkView,
+    SensorCoverage,
+    deployment_size_ablation,
+    restrict_to_networks,
+)
+from repro.analysis.codeshare import (
+    CodeSharingAnalysis,
+    PatchLineage,
+    PatchStep,
+)
+from repro.analysis.evolution import (
+    ClusterLifecycle,
+    EvolutionAnalysis,
+    WeeklyActivity,
+    dataset_between,
+)
+from repro.analysis.quality import (
+    QualityScore,
+    av_label_consistency,
+    av_reference_labels,
+    ground_truth_labels,
+    pairwise_f1,
+    precision_recall,
+)
+from repro.analysis.report import full_report
+from repro.analysis.stability import DriftReport, drift_analysis, render_drift
+
+__all__ = [
+    "ClusterLifecycle",
+    "CodeSharingAnalysis",
+    "EvolutionAnalysis",
+    "PatchLineage",
+    "PatchStep",
+    "DeploymentPoint",
+    "DriftReport",
+    "NetworkView",
+    "QualityScore",
+    "SensorCoverage",
+    "deployment_size_ablation",
+    "restrict_to_networks",
+    "WeeklyActivity",
+    "dataset_between",
+    "drift_analysis",
+    "full_report",
+    "render_drift",
+    "av_label_consistency",
+    "av_reference_labels",
+    "ground_truth_labels",
+    "pairwise_f1",
+    "precision_recall",
+    "ClusterContext",
+    "CnCCorrelation",
+    "CrossView",
+    "EnvironmentSplit",
+    "IRCRendezvous",
+    "PropagationContext",
+    "RelationGraph",
+    "SingletonAnomaly",
+    "av_name_distribution",
+    "ep_coordinate_distribution",
+    "heal_singletons",
+]

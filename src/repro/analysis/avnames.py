@@ -1,0 +1,78 @@
+"""AV-name and propagation-coordinate distributions — Figure 4.
+
+Figure 4 characterises the misclassified size-1 B-cluster samples two
+ways: the names a popular AV vendor assigns them (top — overwhelmingly
+Rahack/Allaple variants) and the (E-cluster, P-cluster) propagation
+coordinates of the attacks that delivered them (bottom — almost all on
+one specific P-pattern, the TCP/9988 PUSH download).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.core.epm import EPMResult
+from repro.egpm.dataset import SGNetDataset
+
+
+def av_name_distribution(
+    dataset: SGNetDataset,
+    md5s: Iterable[str],
+    *,
+    engine: str = "PopularAV",
+) -> Counter:
+    """Label -> sample count for one engine over the given samples.
+
+    Samples the engine missed count under ``'<not detected>'``; samples
+    never scanned count under ``'<not scanned>'``.
+    """
+    counts: Counter = Counter()
+    for md5 in md5s:
+        record = dataset.samples.get(md5)
+        if record is None:
+            continue
+        labels = record.enrichment.get("av_labels")
+        if labels is None or engine not in labels:
+            counts["<not scanned>"] += 1
+            continue
+        label = labels[engine]
+        counts[label if label is not None else "<not detected>"] += 1
+    return counts
+
+
+def ep_coordinate_distribution(
+    dataset: SGNetDataset,
+    epm: EPMResult,
+    md5s: Iterable[str],
+) -> Counter:
+    """(E-cluster, P-cluster) -> event count for the given samples.
+
+    This is Figure 4's bottom panel: the propagation strategies, in EP
+    coordinates, through which the samples arrived.
+    """
+    counts: Counter = Counter()
+    for md5 in md5s:
+        for event in dataset.events_for_sample(md5):
+            e = epm.epsilon.cluster_of(event.event_id)
+            p = epm.pi.cluster_of(event.event_id)
+            counts[(e, p)] += 1
+    return counts
+
+
+def dominant_p_cluster(
+    dataset: SGNetDataset,
+    epm: EPMResult,
+    md5s: Iterable[str],
+) -> tuple[int | None, float]:
+    """The most common P-cluster among the samples' events and its share."""
+    counts: Counter = Counter()
+    for md5 in md5s:
+        for event in dataset.events_for_sample(md5):
+            p = epm.pi.cluster_of(event.event_id)
+            if p is not None:
+                counts[p] += 1
+    if not counts:
+        return None, 0.0
+    p_cluster, top = counts.most_common(1)[0]
+    return p_cluster, top / sum(counts.values())

@@ -1,0 +1,204 @@
+"""Code-sharing and patching analysis — the abstract's promise.
+
+Two practices the paper extracts by *combining* feature types:
+
+* **code sharing on the propagation side** — distinct codebases
+  (different B-clusters) delivered through the same exploit or payload
+  patterns: someone reused the propagation routine
+  (:meth:`CodeSharingAnalysis.shared_propagation`);
+* **patching within a lineage** — one B-cluster spread over many
+  M-clusters whose patterns differ in a few structural features: the
+  codebase was patched/recompiled over time.
+  :meth:`CodeSharingAnalysis.patch_lineages` orders each lineage's
+  M-clusters by first appearance and diffs consecutive patterns,
+  producing the "patch timeline" view (new size = code change, new
+  linker version = recompilation, new imports = functional change).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.analysis.crossview import CrossView
+from repro.core.epm import EPMResult
+from repro.core.patterns import WILDCARD
+from repro.egpm.dataset import SGNetDataset
+from repro.util.timegrid import TimeGrid
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class PatchStep:
+    """One transition in a lineage's patch timeline."""
+
+    from_m_cluster: int
+    to_m_cluster: int
+    week: int
+    changed_features: tuple[str, ...]
+    changes: tuple[tuple[str, Hashable, Hashable], ...]
+
+    def describe(self) -> str:
+        """One-line rendering of the step."""
+        parts = [
+            f"{name}: {old!r} -> {new!r}" for name, old, new in self.changes
+        ]
+        return (
+            f"week {self.week:2d}: M{self.from_m_cluster} -> M{self.to_m_cluster}"
+            f" ({'; '.join(parts) if parts else 'no invariant change'})"
+        )
+
+
+@dataclass(frozen=True)
+class PatchLineage:
+    """One behavioural lineage (B-cluster) and its patch history."""
+
+    b_cluster: int
+    m_clusters: tuple[int, ...]
+    first_weeks: tuple[int, ...]
+    steps: tuple[PatchStep, ...]
+
+    @property
+    def n_patches(self) -> int:
+        """Number of distinct code versions observed."""
+        return len(self.m_clusters)
+
+    def recompilations(self) -> list[PatchStep]:
+        """Steps where the linker version changed (recompiled codebase)."""
+        return [s for s in self.steps if "linker_version" in s.changed_features]
+
+
+class CodeSharingAnalysis:
+    """Cross-perspective analysis of sharing and patching practices."""
+
+    def __init__(
+        self,
+        dataset: SGNetDataset,
+        epm: EPMResult,
+        crossview: CrossView,
+        grid: TimeGrid,
+    ) -> None:
+        self.dataset = dataset
+        self.epm = epm
+        self.crossview = crossview
+        self.grid = grid
+
+    # -- propagation-side sharing -------------------------------------------
+
+    def shared_propagation(self, *, min_events: int = 10) -> list[tuple[int, list[int]]]:
+        """P-clusters delivering samples of more than one B-cluster.
+
+        Distinct behaviours arriving through one payload pattern means
+        the download/propagation routine is shared across codebases.
+        """
+        b_of_sample = self.crossview.b_of_sample
+        payload_behaviours: dict[int, set[int]] = defaultdict(set)
+        payload_events: dict[int, int] = defaultdict(int)
+        for event in self.dataset.events:
+            p = self.epm.pi.cluster_of(event.event_id)
+            if p is None or event.malware is None:
+                continue
+            payload_events[p] += 1
+            b = b_of_sample.get(event.malware.md5)
+            if b is not None and self.crossview.bclusters.size_of(b) > 1:
+                payload_behaviours[p].add(b)
+        return sorted(
+            (
+                (p, sorted(bs))
+                for p, bs in payload_behaviours.items()
+                if len(bs) > 1 and payload_events[p] >= min_events
+            ),
+            key=lambda item: -len(item[1]),
+        )
+
+    def shared_exploits(self, *, min_events: int = 10) -> list[tuple[int, list[int]]]:
+        """E-clusters exploited by more than one behavioural lineage."""
+        b_of_sample = self.crossview.b_of_sample
+        exploit_behaviours: dict[int, set[int]] = defaultdict(set)
+        exploit_events: dict[int, int] = defaultdict(int)
+        for event in self.dataset.events:
+            e = self.epm.epsilon.cluster_of(event.event_id)
+            if e is None or event.malware is None:
+                continue
+            exploit_events[e] += 1
+            b = b_of_sample.get(event.malware.md5)
+            if b is not None and self.crossview.bclusters.size_of(b) > 1:
+                exploit_behaviours[e].add(b)
+        return sorted(
+            (
+                (e, sorted(bs))
+                for e, bs in exploit_behaviours.items()
+                if len(bs) > 1 and exploit_events[e] >= min_events
+            ),
+            key=lambda item: -len(item[1]),
+        )
+
+    # -- lineage patching ----------------------------------------------------
+
+    def _first_week_of_m(self, m_cluster: int) -> int:
+        info = self.epm.mu.clusters[m_cluster]
+        first = min(self.dataset.events[i].timestamp for i in info.event_ids)
+        return self.grid.week_of(self.grid.clamp(first))
+
+    def _diff_patterns(self, a: int, b: int) -> tuple[tuple[str, Hashable, Hashable], ...]:
+        names = self.epm.mu.feature_names
+        pattern_a = self.epm.mu.clusters[a].pattern
+        pattern_b = self.epm.mu.clusters[b].pattern
+        changes = []
+        for name, old, new in zip(names, pattern_a, pattern_b):
+            if old is WILDCARD and new is WILDCARD:
+                continue
+            if old != new:
+                changes.append((name, old, new))
+        return tuple(changes)
+
+    def patch_lineages(
+        self, *, min_m_clusters: int = 3, min_samples_per_m: int = 2
+    ) -> list[PatchLineage]:
+        """Patch timelines of every multi-version behavioural lineage."""
+        require(min_m_clusters >= 2, "a lineage needs at least two versions")
+        lineages: list[PatchLineage] = []
+        for b_cluster in sorted(self.crossview.bclusters.clusters):
+            counts = self.crossview.m_clusters_of_b(b_cluster)
+            members = [
+                m for m, n in counts.items() if n >= min_samples_per_m
+            ]
+            if len(members) < min_m_clusters:
+                continue
+            ordered = sorted(members, key=self._first_week_of_m)
+            weeks = tuple(self._first_week_of_m(m) for m in ordered)
+            steps = []
+            for previous, current, week in zip(ordered, ordered[1:], weeks[1:]):
+                changes = self._diff_patterns(previous, current)
+                steps.append(
+                    PatchStep(
+                        from_m_cluster=previous,
+                        to_m_cluster=current,
+                        week=week,
+                        changed_features=tuple(name for name, _o, _n in changes),
+                        changes=changes,
+                    )
+                )
+            lineages.append(
+                PatchLineage(
+                    b_cluster=b_cluster,
+                    m_clusters=tuple(ordered),
+                    first_weeks=weeks,
+                    steps=tuple(steps),
+                )
+            )
+        lineages.sort(key=lambda lineage: -lineage.n_patches)
+        return lineages
+
+    def render_lineage(self, lineage: PatchLineage, *, max_steps: int = 10) -> str:
+        """Text rendering of one patch timeline."""
+        lines = [
+            f"B-cluster {lineage.b_cluster}: {lineage.n_patches} code versions, "
+            f"{len(lineage.recompilations())} recompilations"
+        ]
+        for step in lineage.steps[:max_steps]:
+            lines.append("  " + step.describe())
+        if len(lineage.steps) > max_steps:
+            lines.append(f"  ... ({len(lineage.steps) - max_steps} more steps)")
+        return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Propagation context — Figure 5 and the worm-vs-bot signatures.
+
+For any cluster (a set of attack events) the context summariser
+computes what the paper plots: the size of the attacking population,
+its distribution over the IPv4 space, the number of weeks of activity,
+and the activity timeline.  A simple signature heuristic then separates
+the two regimes §4.3 contrasts:
+
+* **worm-like** — population spread over many /8 blocks, long-lived,
+  steady arrivals;
+* **bot-like** — population concentrated in few networks, few active
+  weeks relative to its life span, bursty arrivals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.epm import EPMResult
+from repro.egpm.dataset import SGNetDataset
+from repro.egpm.events import AttackEvent
+from repro.net.address import IPv4Address, ip_to_string
+from repro.sandbox.clustering import BehaviorClustering
+from repro.util.stats import burstiness, normalized_entropy
+from repro.util.timegrid import TimeGrid
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class ClusterContext:
+    """Propagation-context summary of one cluster."""
+
+    cluster_label: str
+    n_events: int
+    n_sources: int
+    slash8_histogram: dict[int, int]
+    top_networks: list[tuple[str, int]]
+    weeks_active: int
+    first_week: int
+    last_week: int
+    timeline: dict[int, int]
+    source_spread: float
+    burstiness: float
+    sensor_networks_hit: list[int]
+
+    @property
+    def life_span_weeks(self) -> int:
+        """Weeks between first and last activity, inclusive."""
+        return self.last_week - self.first_week + 1
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of the life span that was actually active."""
+        return self.weeks_active / self.life_span_weeks
+
+    def signature(self) -> str:
+        """'worm-like', 'bot-like' or 'ambiguous' (§4.3's two regimes).
+
+        Worms: sources spread across the IP space (high /8 entropy) with
+        sustained activity.  Bots: concentrated sources with bursty,
+        low-duty-cycle activity.
+        """
+        spread = self.source_spread
+        concentrated = spread < 0.55 or len(self.slash8_histogram) <= 3
+        widespread = spread > 0.75 and len(self.slash8_histogram) >= 8
+        bursty = self.burstiness > 0.45 or self.duty_cycle < 0.45
+        steady = self.duty_cycle > 0.6
+        if widespread and steady:
+            return "worm-like"
+        if concentrated and bursty:
+            return "bot-like"
+        return "ambiguous"
+
+
+class PropagationContext:
+    """Context summariser over one dataset and observation window."""
+
+    def __init__(self, dataset: SGNetDataset, grid: TimeGrid) -> None:
+        self.dataset = dataset
+        self.grid = grid
+
+    def summarize_events(
+        self, events: list[AttackEvent], *, label: str
+    ) -> ClusterContext:
+        """Compute the context summary of an explicit event set."""
+        require(len(events) > 0, f"cluster {label} has no events")
+        sources = {int(e.source) for e in events}
+        slash8: Counter = Counter(IPv4Address(s).slash8 for s in sources)
+        slash16: Counter = Counter(IPv4Address(s).slash16 for s in sources)
+        weeks = sorted({self.grid.week_of(self.grid.clamp(e.timestamp)) for e in events})
+        timeline: dict[int, int] = Counter(
+            self.grid.week_of(self.grid.clamp(e.timestamp)) for e in events
+        )
+        times = sorted(e.timestamp for e in events)
+        gaps = [float(b - a) for a, b in zip(times, times[1:])]
+        top_networks = [
+            (f"{ip_to_string(net << 16)}/16", count)
+            for net, count in slash16.most_common(5)
+        ]
+        return ClusterContext(
+            cluster_label=label,
+            n_events=len(events),
+            n_sources=len(sources),
+            slash8_histogram=dict(sorted(slash8.items())),
+            top_networks=top_networks,
+            weeks_active=len(weeks),
+            first_week=weeks[0],
+            last_week=weeks[-1],
+            timeline=dict(sorted(timeline.items())),
+            source_spread=normalized_entropy(slash8) if len(slash8) > 1 else 0.0,
+            burstiness=burstiness(gaps) if gaps else 0.0,
+            sensor_networks_hit=sorted({e.sensor.slash24 for e in events}),
+        )
+
+    def summarize_m_cluster(self, epm: EPMResult, m_cluster: int) -> ClusterContext:
+        """Context of one M-cluster."""
+        info = epm.mu.clusters[m_cluster]
+        events = [self.dataset.events[i] for i in info.event_ids]
+        return self.summarize_events(events, label=f"M{m_cluster}")
+
+    def summarize_b_cluster(
+        self, bclusters: BehaviorClustering, b_cluster: int
+    ) -> ClusterContext:
+        """Context of one B-cluster (events of all member samples)."""
+        events: list[AttackEvent] = []
+        for md5 in bclusters.clusters[b_cluster]:
+            events.extend(self.dataset.events_for_sample(md5))
+        return self.summarize_events(events, label=f"B{b_cluster}")
+
+    def figure5(
+        self,
+        epm: EPMResult,
+        bclusters: BehaviorClustering,
+        b_cluster: int,
+        *,
+        min_events: int = 1,
+    ) -> list[ClusterContext]:
+        """The per-M-cluster breakdown of one B-cluster (Figure 5).
+
+        Splits the B-cluster's events by M-cluster and summarises each
+        slice, which is exactly what each column of the paper's figure
+        shows (host distribution, weeks of activity, timeline per
+        M-cluster of the chosen B-cluster).
+        """
+        by_m: dict[int, list[AttackEvent]] = {}
+        for md5 in bclusters.clusters[b_cluster]:
+            for event in self.dataset.events_for_sample(md5):
+                m = epm.mu.cluster_of(event.event_id)
+                if m is not None:
+                    by_m.setdefault(m, []).append(event)
+        contexts = [
+            self.summarize_events(events, label=f"B{b_cluster}/M{m}")
+            for m, events in sorted(by_m.items())
+            if len(events) >= min_events
+        ]
+        contexts.sort(key=lambda c: -c.n_events)
+        return contexts

@@ -1,0 +1,162 @@
+"""Threat-evolution view: how the landscape changes over the window.
+
+The paper closes §3.2 by justifying "the interest in continuously
+carrying on the collection of data on the threat landscape and on the
+study of its future evolution".  This module quantifies the evolution
+visible inside one observation window:
+
+* per-week counts of events, active sources, and *newly appearing*
+  M-clusters / samples (cluster-birth curves),
+* per-cluster activity life cycles (birth week, death week, dormancy),
+* the window-slicing utility :func:`dataset_between` used to re-run any
+  analysis on a sub-period.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.epm import EPMResult
+from repro.egpm.dataset import SGNetDataset
+from repro.util.timegrid import TimeGrid
+from repro.util.validation import require
+
+
+def dataset_between(
+    dataset: SGNetDataset, grid: TimeGrid, start_week: int, end_week: int
+) -> SGNetDataset:
+    """A new dataset holding only events in week buckets [start, end).
+
+    Event ids are renumbered; ground truth and observables are shared
+    (they are immutable records).
+    """
+    require(end_week > start_week, "window must span at least one week")
+    from dataclasses import replace
+
+    window = grid.subwindow(start_week, end_week)
+    subset = SGNetDataset()
+    for event in dataset.events:
+        if not window.contains(event.timestamp):
+            continue
+        handle = None
+        if event.malware is not None:
+            record = dataset.samples.get(event.malware.md5)
+            if record is not None:
+                handle = record.behavior_handle
+        subset.add_event(
+            replace(event, event_id=subset.next_event_id()),
+            behavior_handle=handle,
+        )
+    return subset
+
+
+@dataclass(frozen=True)
+class WeeklyActivity:
+    """One week of landscape activity."""
+
+    week: int
+    n_events: int
+    n_sources: int
+    new_samples: int
+    new_m_clusters: int
+
+
+@dataclass(frozen=True)
+class ClusterLifecycle:
+    """Activity life cycle of one M-cluster."""
+
+    m_cluster: int
+    birth_week: int
+    death_week: int
+    active_weeks: int
+
+    @property
+    def life_span(self) -> int:
+        """Weeks from birth to death, inclusive."""
+        return self.death_week - self.birth_week + 1
+
+    @property
+    def dormancy(self) -> float:
+        """Share of the life span without observed activity."""
+        return 1.0 - self.active_weeks / self.life_span
+
+
+class EvolutionAnalysis:
+    """Weekly landscape dynamics over one dataset."""
+
+    def __init__(self, dataset: SGNetDataset, epm: EPMResult, grid: TimeGrid) -> None:
+        self.dataset = dataset
+        self.epm = epm
+        self.grid = grid
+
+    def weekly_activity(self) -> list[WeeklyActivity]:
+        """The per-week event/source/birth curves."""
+        events_per_week: Counter = Counter()
+        sources_per_week: dict[int, set[int]] = {}
+        first_week_of_sample: dict[str, int] = {}
+        first_week_of_cluster: dict[int, int] = {}
+        for event in self.dataset.events:
+            week = self.grid.week_of(self.grid.clamp(event.timestamp))
+            events_per_week[week] += 1
+            sources_per_week.setdefault(week, set()).add(int(event.source))
+            if event.malware is not None:
+                md5 = event.malware.md5
+                if md5 not in first_week_of_sample:
+                    first_week_of_sample[md5] = week
+                cluster = self.epm.mu.cluster_of(event.event_id)
+                if cluster is not None and cluster not in first_week_of_cluster:
+                    first_week_of_cluster[cluster] = week
+        new_samples: Counter = Counter(first_week_of_sample.values())
+        new_clusters: Counter = Counter(first_week_of_cluster.values())
+        return [
+            WeeklyActivity(
+                week=week,
+                n_events=events_per_week.get(week, 0),
+                n_sources=len(sources_per_week.get(week, ())),
+                new_samples=new_samples.get(week, 0),
+                new_m_clusters=new_clusters.get(week, 0),
+            )
+            for week in range(self.grid.n_weeks)
+        ]
+
+    def m_cluster_lifecycles(self, *, min_events: int = 10) -> list[ClusterLifecycle]:
+        """Birth/death/dormancy of every well-populated M-cluster."""
+        lifecycles = []
+        for cid, info in self.epm.mu.clusters.items():
+            if info.size < min_events:
+                continue
+            weeks = sorted(
+                {
+                    self.grid.week_of(self.grid.clamp(self.dataset.events[i].timestamp))
+                    for i in info.event_ids
+                }
+            )
+            lifecycles.append(
+                ClusterLifecycle(
+                    m_cluster=cid,
+                    birth_week=weeks[0],
+                    death_week=weeks[-1],
+                    active_weeks=len(weeks),
+                )
+            )
+        lifecycles.sort(key=lambda lc: lc.birth_week)
+        return lifecycles
+
+    def sample_discovery_curve(self) -> list[int]:
+        """Cumulative distinct samples by week (the collection curve)."""
+        first_week: dict[str, int] = {}
+        for event in self.dataset.events:
+            if event.malware is None:
+                continue
+            md5 = event.malware.md5
+            week = self.grid.week_of(self.grid.clamp(event.timestamp))
+            if md5 not in first_week or week < first_week[md5]:
+                first_week[md5] = week
+        births = Counter(first_week.values())
+        curve = []
+        total = 0
+        for week in range(self.grid.n_weeks):
+            total += births.get(week, 0)
+            curve.append(total)
+        return curve

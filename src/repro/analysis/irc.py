@@ -1,0 +1,141 @@
+"""C&C rendezvous correlation — Table 2 and the infrastructure analysis.
+
+The paper associates M-clusters with the IRC servers their samples
+connect to during dynamic analysis, then observes the *infrastructure
+reuse* betraying a single operator: many servers in one /24, recurring
+room names across servers, and occasionally two M-clusters (code
+patches) commanded from the same room.
+
+:class:`CnCCorrelation` extracts ``irc ... join`` features from the
+behavioural profiles of each M-cluster's samples and rebuilds the
+table and the reuse indicators.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.epm import EPMResult
+from repro.egpm.dataset import SGNetDataset
+from repro.net.address import ip_from_string
+from repro.sandbox.anubis import AnubisService
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True, order=True)
+class IRCRendezvous:
+    """One (server address, room) rendezvous point."""
+
+    server: str
+    room: str
+
+    @property
+    def slash24(self) -> int:
+        """The /24 prefix hosting the server."""
+        return ip_from_string(self.server).slash24
+
+
+def _parse_rendezvous(feature_name: str) -> IRCRendezvous | None:
+    # Profile features look like ('irc', 'irc://67.43.232.36:6667/#kok6', 'join').
+    if not feature_name.startswith("irc://"):
+        return None
+    rest = feature_name[len("irc://") :]
+    hostport, _, room = rest.partition("/")
+    host, _, _port = hostport.partition(":")
+    if not host or not room:
+        return None
+    return IRCRendezvous(server=host, room=room)
+
+
+class CnCCorrelation:
+    """M-cluster <-> IRC rendezvous correlation."""
+
+    def __init__(
+        self,
+        dataset: SGNetDataset,
+        epm: EPMResult,
+        anubis: AnubisService,
+    ) -> None:
+        self.rendezvous_of_m: dict[int, set[IRCRendezvous]] = defaultdict(set)
+        self.m_of_rendezvous: dict[IRCRendezvous, set[int]] = defaultdict(set)
+        m_of_sample = epm.m_cluster_of_samples(dataset)
+        for md5, m_cluster in m_of_sample.items():
+            report = anubis.report_for(md5)
+            if report is None:
+                continue
+            for category, name, operation in report.profile:
+                if category != "irc" or operation != "join":
+                    continue
+                rendezvous = _parse_rendezvous(name)
+                if rendezvous is not None:
+                    self.rendezvous_of_m[m_cluster].add(rendezvous)
+                    self.m_of_rendezvous[rendezvous].add(m_cluster)
+
+    @property
+    def n_irc_m_clusters(self) -> int:
+        """M-clusters with at least one observed rendezvous."""
+        return len(self.rendezvous_of_m)
+
+    def table2(self) -> list[tuple[str, str, list[int]]]:
+        """(server, room, M-clusters) rows, sorted like the paper's table."""
+        rows = [
+            (rv.server, rv.room, sorted(ms))
+            for rv, ms in self.m_of_rendezvous.items()
+        ]
+        rows.sort(key=lambda row: (row[0], row[1]))
+        return rows
+
+    def render_table2(self) -> str:
+        """Text rendering of Table 2."""
+        table = TextTable(
+            ["Server address", "Room name", "M-clusters"],
+            title="Table 2: IRC servers associated to M-clusters",
+        )
+        for server, room, ms in self.table2():
+            table.add_row([server, room, ", ".join(str(m) for m in ms)])
+        return table.render()
+
+    def shared_rooms(self) -> list[tuple[IRCRendezvous, list[int]]]:
+        """Rendezvous commanding more than one M-cluster (patched botnets)."""
+        return sorted(
+            (
+                (rv, sorted(ms))
+                for rv, ms in self.m_of_rendezvous.items()
+                if len(ms) > 1
+            ),
+            key=lambda item: item[0],
+        )
+
+    def servers_by_subnet(self) -> dict[int, list[str]]:
+        """/24 prefix -> distinct server addresses inside it."""
+        by_subnet: dict[int, set[str]] = defaultdict(set)
+        for rendezvous in self.m_of_rendezvous:
+            by_subnet[rendezvous.slash24].add(rendezvous.server)
+        return {net: sorted(addrs) for net, addrs in sorted(by_subnet.items())}
+
+    def recurring_rooms(self) -> dict[str, list[str]]:
+        """Room name -> distinct servers it appears on (name reuse)."""
+        rooms: dict[str, set[str]] = defaultdict(set)
+        for rendezvous in self.m_of_rendezvous:
+            rooms[rendezvous.room].add(rendezvous.server)
+        return {
+            room: sorted(servers)
+            for room, servers in sorted(rooms.items())
+            if len(servers) > 1
+        }
+
+    def infrastructure_summary(self) -> dict[str, int]:
+        """Reuse indicators: how concentrated the C&C infrastructure is."""
+        servers = {rv.server for rv in self.m_of_rendezvous}
+        subnets = self.servers_by_subnet()
+        shared_subnets = {net: s for net, s in subnets.items() if len(s) > 1}
+        return {
+            "servers": len(servers),
+            "rendezvous": len(self.m_of_rendezvous),
+            "m_clusters": self.n_irc_m_clusters,
+            "subnets": len(subnets),
+            "subnets_with_multiple_servers": len(shared_subnets),
+            "rooms_recurring_across_servers": len(self.recurring_rooms()),
+            "rooms_commanding_multiple_m_clusters": len(self.shared_rooms()),
+        }

@@ -1,0 +1,193 @@
+"""Clustering-quality metrics against a reference partition.
+
+Bayer et al. (NDSS 2009) score behaviour clusterings with *precision*
+(clusters don't mix reference classes) and *recall* (reference classes
+aren't fragmented over clusters); the paper's discussion of AV labels
+([3], [7]) hinges on the fact that an AV-derived reference is itself
+noisy.  This module provides:
+
+* :func:`precision_recall` — the NDSS'09 metrics for any
+  ``item -> cluster`` assignment vs any ``item -> reference`` labelling;
+* :func:`pairwise_f1` — the pair-counting alternative (Rand-style);
+* :func:`av_reference_labels` — a reference partition built the way
+  papers of the era did it: one vendor's family labels with
+  generic/heuristic verdicts discarded — exactly the noisy baseline the
+  paper warns about ([3], [7]);
+* :func:`av_label_consistency` — how often the engines of the panel
+  even agree with each other (they use different family names for the
+  same code, so raw cross-engine agreement is poor);
+* :func:`ground_truth_labels` — the simulator's true variant/family
+  labels, available here because the landscape is synthetic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.egpm.dataset import SGNetDataset
+from repro.util.validation import require
+
+_GENERIC_MARKERS = ("Generic", ".Gen", "Heuristic")
+
+
+@dataclass(frozen=True)
+class QualityScore:
+    """Precision/recall of a clustering against a reference partition."""
+
+    precision: float
+    recall: float
+    n_items: int
+    n_clusters: int
+    n_reference_classes: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def precision_recall(
+    assignment: Mapping[str, Hashable],
+    reference: Mapping[str, Hashable],
+) -> QualityScore:
+    """NDSS'09-style precision and recall.
+
+    Precision: for each cluster, count its best-represented reference
+    class; sum over clusters, divide by the number of items.  Recall:
+    the same with the roles of clustering and reference swapped.  Items
+    missing from either mapping are ignored (samples the reference
+    cannot label).
+    """
+    keys = sorted(set(assignment) & set(reference))
+    require(len(keys) > 0, "no items shared between assignment and reference")
+
+    clusters: dict[Hashable, Counter] = defaultdict(Counter)
+    classes: dict[Hashable, Counter] = defaultdict(Counter)
+    for key in keys:
+        clusters[assignment[key]][reference[key]] += 1
+        classes[reference[key]][assignment[key]] += 1
+
+    precision_hits = sum(counter.most_common(1)[0][1] for counter in clusters.values())
+    recall_hits = sum(counter.most_common(1)[0][1] for counter in classes.values())
+    n = len(keys)
+    return QualityScore(
+        precision=precision_hits / n,
+        recall=recall_hits / n,
+        n_items=n,
+        n_clusters=len(clusters),
+        n_reference_classes=len(classes),
+    )
+
+
+def pairwise_f1(
+    assignment: Mapping[str, Hashable],
+    reference: Mapping[str, Hashable],
+) -> float:
+    """Pair-counting F1: same-cluster pairs vs same-reference pairs.
+
+    O(n) via class/cluster size counting rather than enumerating pairs.
+    """
+    keys = sorted(set(assignment) & set(reference))
+    require(len(keys) > 0, "no items shared between assignment and reference")
+
+    def pair_count(sizes: Counter) -> int:
+        return sum(s * (s - 1) // 2 for s in sizes.values())
+
+    cluster_sizes = Counter(assignment[k] for k in keys)
+    class_sizes = Counter(reference[k] for k in keys)
+    joint_sizes = Counter((assignment[k], reference[k]) for k in keys)
+
+    same_cluster = pair_count(cluster_sizes)
+    same_class = pair_count(class_sizes)
+    same_both = pair_count(joint_sizes)
+    if same_cluster == 0 or same_class == 0:
+        return 1.0 if same_cluster == same_class else 0.0
+    precision = same_both / same_cluster
+    recall = same_both / same_class
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def ground_truth_labels(
+    dataset: SGNetDataset, *, level: str = "variant"
+) -> dict[str, str]:
+    """MD5 -> true family or family/variant label (simulation ground truth).
+
+    ``level`` is ``'family'`` or ``'variant'``.  Only samples with
+    ground truth attached are returned.
+    """
+    require(level in ("family", "variant"), "level must be family or variant")
+    labels: dict[str, str] = {}
+    for md5, record in dataset.samples.items():
+        if record.ground_truth is None:
+            continue
+        if level == "family":
+            labels[md5] = record.ground_truth.family
+        else:
+            labels[md5] = f"{record.ground_truth.family}/{record.ground_truth.variant}"
+    return labels
+
+
+def _label_stem(label: str) -> str:
+    stem, _, _suffix = label.rpartition(".")
+    return stem or label
+
+
+def av_reference_labels(
+    dataset: SGNetDataset, *, engine: str = "PopularAV"
+) -> dict[str, str]:
+    """MD5 -> one vendor's family label (the noisy era-typical reference).
+
+    The label is the family stem (the text before the variant suffix);
+    misses and generic/heuristic verdicts are dropped, so the reference
+    covers only part of the collection — which is itself part of the
+    paper's point about AV-derived ground truth.
+    """
+    labels: dict[str, str] = {}
+    for md5, record in dataset.samples.items():
+        verdicts = record.enrichment.get("av_labels")
+        if not verdicts or engine not in verdicts:
+            continue
+        label = verdicts[engine]
+        if label is None or any(marker in label for marker in _GENERIC_MARKERS):
+            continue
+        labels[md5] = _label_stem(label)
+    return labels
+
+
+def av_label_consistency(dataset: SGNetDataset) -> float:
+    """Share of scanned samples where >= 2 engines agree on a family stem.
+
+    Engines name the same code differently (Rahack vs Allaple vs
+    Worm/Allaple), so raw cross-engine agreement is low — the
+    quantitative face of the paper's warning against AV labels as
+    classification ground truth.
+    """
+    scanned = 0
+    agreeing = 0
+    for record in dataset.samples.values():
+        verdicts = record.enrichment.get("av_labels")
+        if not verdicts:
+            continue
+        scanned += 1
+        stems = Counter(
+            _label_stem(label)
+            for label in verdicts.values()
+            if label is not None
+            and not any(marker in label for marker in _GENERIC_MARKERS)
+        )
+        if stems and stems.most_common(1)[0][1] >= 2:
+            agreeing += 1
+    return agreeing / scanned if scanned else 0.0
+
+
+def coverage(reference: Mapping[str, Hashable], dataset: SGNetDataset) -> float:
+    """Share of collected samples the reference manages to label."""
+    if dataset.n_samples == 0:
+        return 0.0
+    return len(reference) / dataset.n_samples

@@ -1,0 +1,189 @@
+"""The four-layer E/P/M/B relationship graph — Figure 3.
+
+Nodes are clusters (one layer per perspective), edges connect clusters
+that co-occur in attack events: an E-cluster links to the P-clusters its
+events carried, a P-cluster to the M-clusters it delivered, and an
+M-cluster to the B-clusters its samples landed in.  Edge weights count
+shared events (E-P, P-M) or shared samples (M-B).  Like the paper's
+figure, the view can be restricted to clusters grouping at least
+``min_events`` attack events.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.epm import EPMResult
+from repro.egpm.dataset import SGNetDataset
+from repro.sandbox.clustering import BehaviorClustering
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Node/edge counts of the rendered graph."""
+
+    e_nodes: int
+    p_nodes: int
+    m_nodes: int
+    b_nodes: int
+    ep_edges: int
+    pm_edges: int
+    mb_edges: int
+
+
+class RelationGraph:
+    """Builds and summarises the Figure 3 graph."""
+
+    def __init__(
+        self,
+        dataset: SGNetDataset,
+        epm: EPMResult,
+        bclusters: BehaviorClustering,
+        *,
+        min_events: int = 30,
+    ) -> None:
+        require(min_events >= 1, "min_events must be >= 1")
+        self.dataset = dataset
+        self.epm = epm
+        self.bclusters = bclusters
+        self.min_events = min_events
+        self.graph = self._build()
+
+    def _event_counts(self) -> tuple[Counter, Counter, Counter, Counter]:
+        e_counts: Counter = Counter()
+        p_counts: Counter = Counter()
+        m_counts: Counter = Counter()
+        b_counts: Counter = Counter()
+        b_of_sample = self.bclusters.assignment
+        for event in self.dataset.events:
+            e = self.epm.epsilon.cluster_of(event.event_id)
+            p = self.epm.pi.cluster_of(event.event_id)
+            m = self.epm.mu.cluster_of(event.event_id)
+            if e is not None:
+                e_counts[e] += 1
+            if p is not None:
+                p_counts[p] += 1
+            if m is not None:
+                m_counts[m] += 1
+            if event.malware is not None:
+                b = b_of_sample.get(event.malware.md5)
+                if b is not None:
+                    b_counts[b] += 1
+        return e_counts, p_counts, m_counts, b_counts
+
+    def _build(self) -> nx.DiGraph:
+        e_counts, p_counts, m_counts, b_counts = self._event_counts()
+        keep_e = {c for c, n in e_counts.items() if n >= self.min_events}
+        keep_p = {c for c, n in p_counts.items() if n >= self.min_events}
+        keep_m = {c for c, n in m_counts.items() if n >= self.min_events}
+        keep_b = {c for c, n in b_counts.items() if n >= self.min_events}
+
+        graph = nx.DiGraph()
+        for layer, keep, counts in (
+            ("E", keep_e, e_counts),
+            ("P", keep_p, p_counts),
+            ("M", keep_m, m_counts),
+            ("B", keep_b, b_counts),
+        ):
+            for cluster in keep:
+                graph.add_node((layer, cluster), layer=layer, events=counts[cluster])
+
+        b_of_sample = self.bclusters.assignment
+        ep: Counter = Counter()
+        pm: Counter = Counter()
+        mb: Counter = Counter()
+        seen_mb_samples: set[tuple[str, int, int]] = set()
+        for event in self.dataset.events:
+            e = self.epm.epsilon.cluster_of(event.event_id)
+            p = self.epm.pi.cluster_of(event.event_id)
+            m = self.epm.mu.cluster_of(event.event_id)
+            if e in keep_e and p in keep_p:
+                ep[(e, p)] += 1
+            if p in keep_p and m in keep_m:
+                pm[(p, m)] += 1
+            if m in keep_m and event.malware is not None:
+                md5 = event.malware.md5
+                b = b_of_sample.get(md5)
+                if b in keep_b and (md5, m, b) not in seen_mb_samples:
+                    seen_mb_samples.add((md5, m, b))
+                    mb[(m, b)] += 1
+        for (e, p), weight in ep.items():
+            graph.add_edge(("E", e), ("P", p), weight=weight)
+        for (p, m), weight in pm.items():
+            graph.add_edge(("P", p), ("M", m), weight=weight)
+        for (m, b), weight in mb.items():
+            graph.add_edge(("M", m), ("B", b), weight=weight)
+        return graph
+
+    def layer_nodes(self, layer: str) -> list[tuple[str, int]]:
+        """Nodes of one layer, by decreasing event count."""
+        nodes = [n for n, data in self.graph.nodes(data=True) if data["layer"] == layer]
+        return sorted(nodes, key=lambda n: -self.graph.nodes[n]["events"])
+
+    def stats(self) -> LayerStats:
+        """Node and edge counts per layer pair."""
+        def edges_between(a: str, b: str) -> int:
+            return sum(
+                1 for u, v in self.graph.edges if u[0] == a and v[0] == b
+            )
+
+        return LayerStats(
+            e_nodes=len(self.layer_nodes("E")),
+            p_nodes=len(self.layer_nodes("P")),
+            m_nodes=len(self.layer_nodes("M")),
+            b_nodes=len(self.layer_nodes("B")),
+            ep_edges=edges_between("E", "P"),
+            pm_edges=edges_between("P", "M"),
+            mb_edges=edges_between("M", "B"),
+        )
+
+    def shared_payloads(self) -> list[tuple[int, list[int]]]:
+        """P-clusters reachable from more than one E-cluster.
+
+        The paper highlights that the same payload can be associated with
+        multiple exploits — evidence of code sharing on the propagation
+        side.
+        """
+        shared: list[tuple[int, list[int]]] = []
+        for node in self.layer_nodes("P"):
+            exploits = sorted(
+                u[1] for u, _v in self.graph.in_edges(node) if u[0] == "E"
+            )
+            if len(exploits) > 1:
+                shared.append((node[1], exploits))
+        return shared
+
+    def b_cluster_splits(self) -> list[tuple[int, list[int]]]:
+        """B-clusters fed by multiple M-clusters (codebase lineages)."""
+        splits: list[tuple[int, list[int]]] = []
+        for node in self.layer_nodes("B"):
+            ms = sorted(u[1] for u, _v in self.graph.in_edges(node) if u[0] == "M")
+            if len(ms) > 1:
+                splits.append((node[1], ms))
+        return splits
+
+    def render_text(self, *, max_edges: int = 12) -> str:
+        """Compact text rendering of the layered graph."""
+        stats = self.stats()
+        lines = [
+            f"E-layer: {stats.e_nodes} clusters | P-layer: {stats.p_nodes} | "
+            f"M-layer: {stats.m_nodes} | B-layer: {stats.b_nodes}",
+            f"edges: E-P {stats.ep_edges}, P-M {stats.pm_edges}, M-B {stats.mb_edges}",
+        ]
+        for title, a, b in (("E->P", "E", "P"), ("P->M", "P", "M"), ("M->B", "M", "B")):
+            edges = [
+                (u, v, d["weight"])
+                for u, v, d in self.graph.edges(data=True)
+                if u[0] == a and v[0] == b
+            ]
+            edges.sort(key=lambda x: -x[2])
+            rendered = ", ".join(
+                f"{u[0]}{u[1]}->{v[0]}{v[1]}({w})" for u, v, w in edges[:max_edges]
+            )
+            suffix = " ..." if len(edges) > max_edges else ""
+            lines.append(f"{title}: {rendered}{suffix}")
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""The full intelligence report: every perspective, one document.
+
+:func:`full_report` stitches together what a SGNET analyst would read
+after a collection period: headline counts, clustering structure,
+anomaly triage, propagation-context classification, C&C infrastructure,
+patching/code-sharing intelligence, and pattern drift.  Used by the
+``python -m repro report`` command.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.codeshare import CodeSharingAnalysis
+from repro.analysis.context import PropagationContext
+from repro.analysis.crossview import CrossView
+from repro.analysis.evolution import EvolutionAnalysis
+from repro.analysis.irc import CnCCorrelation
+from repro.analysis.quality import av_label_consistency
+from repro.analysis.relations import RelationGraph
+from repro.analysis.stability import drift_analysis, render_drift
+from repro.sandbox.reporting import render_timeline
+from repro.util.tables import TextTable
+
+
+def full_report(run, *, min_graph_events: int = 30) -> str:
+    """Render the combined intelligence report for one scenario run."""
+    sections: list[str] = []
+
+    def add(title: str, body: str) -> None:
+        sections.append(f"\n{'=' * 68}\n{title}\n{'=' * 68}\n{body}")
+
+    # -- collection summary --------------------------------------------
+    headline = run.headline()
+    table = TextTable(["quantity", "value"], title=None)
+    for key, value in headline.items():
+        table.add_row([key, value])
+    add("Collection summary", table.render())
+
+    # -- cluster structure ----------------------------------------------
+    graph = RelationGraph(
+        run.dataset, run.epm, run.bclusters, min_events=min_graph_events
+    )
+    add("Cluster relations (E/P/M/B)", graph.render_text())
+
+    # -- anomaly triage ---------------------------------------------------
+    crossview = CrossView(run.dataset, run.epm, run.bclusters)
+    summary = crossview.summary()
+    triage = TextTable(["signal", "count"])
+    for key in (
+        "singleton_b_clusters",
+        "singleton_anomalies",
+        "rare_singletons",
+        "environment_splits",
+    ):
+        triage.add_row([key, summary[key]])
+    triage.add_row(
+        ["cross-engine AV name agreement", f"{av_label_consistency(run.dataset):.0%}"]
+    )
+    add("Anomaly triage (static vs behavioural)", triage.render())
+
+    # -- context classification ------------------------------------------
+    context = PropagationContext(run.dataset, run.grid)
+    signatures = TextTable(["M-cluster", "events", "signature", "timeline"])
+    shown = 0
+    for cid, info in run.epm.mu.clusters.items():
+        if info.size < 40 or shown >= 10:
+            continue
+        ctx = context.summarize_m_cluster(run.epm, cid)
+        signatures.add_row(
+            [
+                f"M{cid}",
+                ctx.n_events,
+                ctx.signature(),
+                render_timeline(ctx.timeline, n_weeks=run.grid.n_weeks, width=40),
+            ]
+        )
+        shown += 1
+    add("Propagation-context classification", signatures.render())
+
+    # -- C&C infrastructure -----------------------------------------------
+    correlation = CnCCorrelation(run.dataset, run.epm, run.anubis)
+    infra = correlation.infrastructure_summary()
+    infra_table = TextTable(["indicator", "value"])
+    for key, value in infra.items():
+        infra_table.add_row([key, value])
+    add("C&C infrastructure", infra_table.render())
+
+    # -- patching / sharing -------------------------------------------------
+    sharing = CodeSharingAnalysis(run.dataset, run.epm, crossview, run.grid)
+    lineages = sharing.patch_lineages()
+    body = (
+        sharing.render_lineage(lineages[0], max_steps=6)
+        if lineages
+        else "(no multi-version lineages)"
+    )
+    add("Patching practices (top lineage)", body)
+
+    # -- evolution ------------------------------------------------------------
+    evolution = EvolutionAnalysis(run.dataset, run.epm, run.grid)
+    weekly = evolution.weekly_activity()
+    events = {w.week: w.n_events for w in weekly}
+    births = {w.week: w.new_m_clusters for w in weekly}
+    body = (
+        "events/week:        "
+        + render_timeline(events, n_weeks=run.grid.n_weeks)
+        + "\nnew M-clusters/week: "
+        + render_timeline(births, n_weeks=run.grid.n_weeks)
+    )
+    add("Landscape evolution", body)
+
+    # -- drift ------------------------------------------------------------------
+    if run.grid.n_weeks >= 8:
+        add("Pattern drift", render_drift(drift_analysis(run.dataset, run.grid)))
+
+    # -- operations ---------------------------------------------------------------
+    from repro.honeypot.stats import collect_stats, render_stats
+
+    add("Deployment operations", render_stats(collect_stats(run.deployment)))
+
+    return "\n".join(sections)

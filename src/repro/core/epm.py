@@ -1,0 +1,142 @@
+"""The EPM clustering facade: dataset in, E/P/M clusters out.
+
+:class:`EPMClustering` runs the four phases over each dimension of an
+:class:`~repro.egpm.dataset.SGNetDataset` and returns an
+:class:`EPMResult` holding the three
+:class:`~repro.core.classifier.DimensionClustering` objects plus
+cross-dimension conveniences: per-sample M-cluster lookup, per-event
+(E, P, M) coordinates, and the Table 1 invariant-count report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classifier import DimensionClustering
+from repro.core.features import Dimension, FeatureSet, default_feature_sets
+from repro.core.invariants import InvariantPolicy, Observation, discover_invariants
+from repro.core.patterns import PatternSet
+from repro.egpm.dataset import SGNetDataset
+from repro.util.validation import require
+
+
+@dataclass
+class EPMResult:
+    """Outcome of one EPM clustering run."""
+
+    dimensions: dict[Dimension, DimensionClustering]
+    policy: InvariantPolicy
+
+    @property
+    def epsilon(self) -> DimensionClustering:
+        """The E-cluster assignment."""
+        return self.dimensions[Dimension.EPSILON]
+
+    @property
+    def pi(self) -> DimensionClustering:
+        """The P-cluster assignment."""
+        return self.dimensions[Dimension.PI]
+
+    @property
+    def mu(self) -> DimensionClustering:
+        """The M-cluster assignment."""
+        return self.dimensions[Dimension.MU]
+
+    def counts(self) -> dict[str, int]:
+        """Number of E-, P- and M-clusters (the §4.1 headline)."""
+        return {
+            "e_clusters": self.epsilon.n_clusters,
+            "p_clusters": self.pi.n_clusters,
+            "m_clusters": self.mu.n_clusters,
+        }
+
+    def table1(self) -> dict[Dimension, dict[str, int]]:
+        """Invariant counts per feature per dimension (Table 1)."""
+        return {
+            dim: clustering.invariants.count_per_feature()
+            for dim, clustering in self.dimensions.items()
+        }
+
+    def coordinates(self, event_id: int) -> tuple[int | None, int | None, int | None]:
+        """The (E, P, M) cluster coordinates of one event."""
+        return (
+            self.epsilon.cluster_of(event_id),
+            self.pi.cluster_of(event_id),
+            self.mu.cluster_of(event_id),
+        )
+
+    def m_cluster_of_samples(self, dataset: SGNetDataset) -> dict[str, int]:
+        """MD5 -> M-cluster id.
+
+        Mu features are sample-level (every event carrying a given MD5
+        extracts the same mu tuple), so the mapping is well defined; the
+        invariant is asserted while building it.
+        """
+        mapping: dict[str, int] = {}
+        for event in dataset.events:
+            if event.malware is None:
+                continue
+            cluster = self.mu.cluster_of(event.event_id)
+            if cluster is None:
+                continue
+            md5 = event.malware.md5
+            previous = mapping.get(md5)
+            require(
+                previous is None or previous == cluster,
+                f"sample {md5} classified into two M-clusters",
+            )
+            mapping[md5] = cluster
+        return mapping
+
+
+class EPMClustering:
+    """Configured EPM clustering, reusable across datasets."""
+
+    def __init__(
+        self,
+        policy: InvariantPolicy | None = None,
+        feature_sets: dict[Dimension, FeatureSet] | None = None,
+        *,
+        min_pattern_support: int = 1,
+    ) -> None:
+        self.policy = policy or InvariantPolicy()
+        self.feature_sets = feature_sets or default_feature_sets()
+        require(min_pattern_support >= 1, "min_pattern_support must be >= 1")
+        self.min_pattern_support = min_pattern_support
+
+    def fit_dimension(
+        self, dataset: SGNetDataset, feature_set: FeatureSet
+    ) -> DimensionClustering:
+        """Run phases 2-4 for one dimension."""
+        observations: list[Observation] = []
+        instances: dict[int, tuple] = {}
+        for event in dataset.events:
+            if not feature_set.applies_to(event):
+                continue
+            values = feature_set.extract(event)
+            observations.append((values, int(event.source), int(event.sensor)))
+            instances[event.event_id] = values
+        invariants = discover_invariants(
+            observations, feature_set.names, self.policy
+        )
+        pattern_set = PatternSet.discover(
+            (values for values, _s, _d in observations),
+            invariants,
+            min_support=self.min_pattern_support,
+        )
+        return DimensionClustering(
+            dimension=feature_set.dimension,
+            feature_names=feature_set.names,
+            invariants=invariants,
+            pattern_set=pattern_set,
+            instances=instances,
+        )
+
+    def fit(self, dataset: SGNetDataset) -> EPMResult:
+        """Run EPM clustering over all three dimensions."""
+        require(len(dataset) > 0, "cannot cluster an empty dataset")
+        dimensions = {
+            dimension: self.fit_dimension(dataset, feature_set)
+            for dimension, feature_set in self.feature_sets.items()
+        }
+        return EPMResult(dimensions=dimensions, policy=self.policy)

@@ -1,0 +1,77 @@
+"""Export clustering results to JSON-ready structures.
+
+Downstream consumers (dashboards, diffing across runs, sharing results
+without sharing the dataset) need the cluster structure as plain data.
+These exporters emit dictionaries of JSON-compatible primitives;
+wildcards encode as the string ``"*"`` and taxonomy concepts as their
+``"<name>"`` rendering, both unambiguous because feature values are
+never bare ``"*"`` strings in this codebase's feature sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.core.classifier import DimensionClustering
+from repro.core.epm import EPMResult
+from repro.core.patterns import WILDCARD
+from repro.sandbox.clustering import BehaviorClustering
+
+
+def _value_to_json(value: Hashable) -> Any:
+    if value is WILDCARD:
+        return "*"
+    if isinstance(value, tuple):
+        return [_value_to_json(v) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def dimension_to_dict(clustering: DimensionClustering) -> dict[str, Any]:
+    """One dimension's clusters and assignment as plain data."""
+    return {
+        "dimension": clustering.dimension.value,
+        "feature_names": list(clustering.feature_names),
+        "n_instances": clustering.n_instances,
+        "invariant_counts": clustering.invariants.count_per_feature(),
+        "clusters": [
+            {
+                "id": info.cluster_id,
+                "size": info.size,
+                "pattern": [_value_to_json(v) for v in info.pattern],
+            }
+            for info in clustering.clusters.values()
+        ],
+        "assignment": {
+            str(event_id): cluster_id
+            for event_id, cluster_id in sorted(clustering.assignment.items())
+        },
+    }
+
+
+def epm_to_dict(result: EPMResult) -> dict[str, Any]:
+    """A full EPM result as plain data (JSON-serializable)."""
+    return {
+        "policy": {
+            "min_instances": result.policy.min_instances,
+            "min_sources": result.policy.min_sources,
+            "min_sensors": result.policy.min_sensors,
+        },
+        "counts": result.counts(),
+        "dimensions": {
+            dimension.value: dimension_to_dict(clustering)
+            for dimension, clustering in result.dimensions.items()
+        },
+    }
+
+
+def bclusters_to_dict(result: BehaviorClustering) -> dict[str, Any]:
+    """A behaviour clustering as plain data (JSON-serializable)."""
+    return {
+        "n_clusters": result.n_clusters,
+        "n_singletons": len(result.singletons()),
+        "clusters": {
+            str(cluster_id): members for cluster_id, members in result.clusters.items()
+        },
+    }

@@ -1,0 +1,117 @@
+"""Phase 2 — invariant discovery.
+
+An *invariant value* of a feature is a "good", event-type-characterising
+value: per the paper's threshold-based definition, a value qualifies if
+it was seen in at least 10 attack instances, used by at least 3 distinct
+attackers, and witnessed by at least 3 distinct honeypot addresses.  The
+three thresholds are :class:`InvariantPolicy` knobs (the ablation bench
+sweeps them).
+
+The triple constraint is what defeats sloppier randomisation: an
+attacker-specific value (e.g. the per-source MD5s of the paper's
+M-cluster 13) can easily be *frequent* yet never becomes invariant,
+because one attacker alone cannot satisfy the source-diversity
+requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.util.validation import require
+
+#: One observed instance for a dimension:
+#: (feature value tuple, attacker address, honeypot address).
+Observation = tuple[tuple[Hashable, ...], int, int]
+
+
+@dataclass(frozen=True)
+class InvariantPolicy:
+    """Thresholds defining what counts as an invariant value."""
+
+    min_instances: int = 10
+    min_sources: int = 3
+    min_sensors: int = 3
+
+    def __post_init__(self) -> None:
+        require(self.min_instances >= 1, "min_instances must be >= 1")
+        require(self.min_sources >= 1, "min_sources must be >= 1")
+        require(self.min_sensors >= 1, "min_sensors must be >= 1")
+
+
+@dataclass
+class InvariantStats:
+    """Discovery output for one dimension.
+
+    ``invariants[i]`` is the set of invariant values of feature ``i``;
+    ``support[i][v]`` its raw instance count (kept for reporting).
+    """
+
+    feature_names: list[str]
+    invariants: list[set[Hashable]]
+    support: list[dict[Hashable, int]]
+
+    def count_per_feature(self) -> dict[str, int]:
+        """Feature name -> number of invariant values (Table 1's column)."""
+        return {
+            name: len(values)
+            for name, values in zip(self.feature_names, self.invariants)
+        }
+
+    def is_invariant(self, feature_index: int, value: Hashable) -> bool:
+        """Whether ``value`` is invariant for the ``feature_index``-th feature."""
+        return value in self.invariants[feature_index]
+
+    @property
+    def total_invariants(self) -> int:
+        """Total invariant values across all features."""
+        return sum(len(values) for values in self.invariants)
+
+
+def discover_invariants(
+    observations: Sequence[Observation],
+    feature_names: Sequence[str],
+    policy: InvariantPolicy | None = None,
+) -> InvariantStats:
+    """Run invariant discovery over one dimension's observations.
+
+    Every observation tuple must have exactly ``len(feature_names)``
+    values.  Complexity is O(instances x features).
+    """
+    policy = policy or InvariantPolicy()
+    n_features = len(feature_names)
+    require(n_features > 0, "need at least one feature")
+
+    counts: list[dict[Hashable, int]] = [{} for _ in range(n_features)]
+    sources: list[dict[Hashable, set[int]]] = [{} for _ in range(n_features)]
+    sensors: list[dict[Hashable, set[int]]] = [{} for _ in range(n_features)]
+
+    for values, source, sensor in observations:
+        require(
+            len(values) == n_features,
+            f"observation has {len(values)} values, expected {n_features}",
+        )
+        for i, value in enumerate(values):
+            counts[i][value] = counts[i].get(value, 0) + 1
+            sources[i].setdefault(value, set()).add(source)
+            sensors[i].setdefault(value, set()).add(sensor)
+
+    invariants: list[set[Hashable]] = []
+    support: list[dict[Hashable, int]] = []
+    for i in range(n_features):
+        good = {
+            value
+            for value, n in counts[i].items()
+            if n >= policy.min_instances
+            and len(sources[i][value]) >= policy.min_sources
+            and len(sensors[i][value]) >= policy.min_sensors
+        }
+        invariants.append(good)
+        support.append({value: counts[i][value] for value in good})
+
+    return InvariantStats(
+        feature_names=list(feature_names),
+        invariants=invariants,
+        support=support,
+    )

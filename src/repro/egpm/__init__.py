@@ -1,0 +1,42 @@
+"""The epsilon-gamma-pi-mu (EGPM) attack model and the SGNET dataset.
+
+SGNET structures every observed code-injection attack into four phases
+(Crandall et al.'s model, extended in the SGNET papers):
+
+* **epsilon** — the exploit: network interaction driving the vulnerable
+  service to its failure point (observed as an FSM path + destination
+  port),
+* **gamma** — bogus control data hijacking the control flow (not
+  observable host-side in SGNET, hence excluded from clustering, and
+  likewise not modelled here),
+* **pi** — the payload/shellcode (observed through Nepenthes-style
+  shellcode analysis: protocol, filename, port, interaction type),
+* **mu** — the malware binary uploaded to the victim (observed as MD5,
+  size, libmagic type and PE header features).
+
+:class:`AttackEvent` is one observed code-injection attack;
+:class:`SGNetDataset` is the enriched event store the whole analysis of
+the paper runs against.
+"""
+
+from repro.egpm.events import (
+    AttackEvent,
+    ExploitObservable,
+    GroundTruth,
+    InteractionType,
+    MalwareObservable,
+    PayloadObservable,
+    SampleRecord,
+)
+from repro.egpm.dataset import SGNetDataset
+
+__all__ = [
+    "AttackEvent",
+    "ExploitObservable",
+    "GroundTruth",
+    "InteractionType",
+    "MalwareObservable",
+    "PayloadObservable",
+    "SampleRecord",
+    "SGNetDataset",
+]

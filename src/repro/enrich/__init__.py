@@ -1,0 +1,21 @@
+"""Information enrichment: the SGNET metadata pipeline.
+
+Every sample collected by the deployment is automatically pushed to two
+external services — VirusTotal (multi-engine AV labels) and Anubis
+(behavioural analysis) — and the results are folded back into the
+dataset (Leita & Dacier, "SGNET: Implementation Insights").  This
+package reproduces that loop with a simulated multi-engine AV
+(:mod:`repro.enrich.virustotal`, including realistic vendor aliasing:
+the same worm is "Allaple" to one engine and "Rahack" to another) and
+the :class:`~repro.sandbox.anubis.AnubisService` facade.
+"""
+
+from repro.enrich.virustotal import AVEngine, VirusTotalService, default_engines
+from repro.enrich.pipeline import EnrichmentPipeline
+
+__all__ = [
+    "AVEngine",
+    "EnrichmentPipeline",
+    "VirusTotalService",
+    "default_engines",
+]

@@ -1,0 +1,55 @@
+"""The enrichment orchestrator: dataset + services -> enriched dataset.
+
+For every distinct collected binary the pipeline (a) obtains the AV
+verdict panel from the VirusTotal simulation and (b) submits executable
+samples to the Anubis service at their collection time.  Results land in
+each :class:`~repro.egpm.events.SampleRecord`'s ``enrichment`` mapping
+under the keys ``'av_labels'`` and ``'anubis'``.
+"""
+
+from __future__ import annotations
+
+from repro.egpm.dataset import SGNetDataset
+from repro.enrich.virustotal import VirusTotalService
+from repro.sandbox.anubis import AnubisService
+
+
+class EnrichmentPipeline:
+    """Couples a dataset with the external analysis services."""
+
+    def __init__(self, anubis: AnubisService, virustotal: VirusTotalService) -> None:
+        self.anubis = anubis
+        self.virustotal = virustotal
+        self.n_enriched = 0
+        self.n_executed = 0
+        self.n_not_executable = 0
+
+    def enrich(self, dataset: SGNetDataset) -> None:
+        """Enrich every sample record in ``dataset`` in place.
+
+        Corrupted binaries (truncated downloads) are scanned by the AV
+        panel but cannot be executed — reproducing the paper's
+        6353-collected vs 5165-behaviourally-analysed gap.
+        """
+        for record in dataset.samples.values():
+            if record.ground_truth is not None:
+                record.enrichment["av_labels"] = self.virustotal.scan(
+                    record.md5, record.ground_truth
+                )
+            if record.observable.corrupted or record.behavior_handle is None:
+                self.n_not_executable += 1
+            else:
+                report = self.anubis.submit(
+                    record.md5, record.behavior_handle, time=record.first_seen
+                )
+                record.enrichment["anubis"] = report
+                self.n_executed += 1
+            self.n_enriched += 1
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for reporting."""
+        return {
+            "enriched": self.n_enriched,
+            "executed": self.n_executed,
+            "not_executable": self.n_not_executable,
+        }

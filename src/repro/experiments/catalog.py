@@ -1,0 +1,625 @@
+"""The synthetic landscape catalog behind the paper-scale scenario.
+
+The catalog recreates the *population structure* the paper reports for
+January 2008 - May 2009 (see DESIGN.md §2 for the substitution
+argument):
+
+* **allaple** — a self-propagating worm lineage: ~95 static variants
+  (patches differing in file size, occasionally recompiled) across two
+  behavioural generations, per-instance polymorphic content, large
+  populations spread over the routable space, PUSH download on TCP/9988
+  (the paper's P-pattern 45);
+* **iliketay** — the M-cluster 13 analogue: one codebase sharing
+  allaple's propagation vector but mutating per attacking source, whose
+  behaviour depends on the ``iliketay.cn`` distribution site (two
+  components, then one, then a dead DNS entry);
+* **ten IRC bot families** — small, subnet-concentrated populations
+  with bursty, location-targeted activity, commanded from three C&C
+  infrastructures that reuse /24s and room names (Table 2's fingerprint);
+* **misc families** — a long tail of one-off codebases, some seen only
+  a handful of times (the genuine rare-singleton cases of §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.egpm.events import InteractionType
+from repro.malware.behaviorspec import BehaviorTemplate, CnCSpec, ComponentDownload
+from repro.malware.botnet import CnCInfrastructure, build_botnet_family
+from repro.malware.families import (
+    FamilySpec,
+    VariantSpec,
+    derive_worm_variants,
+    single_variant_family,
+)
+from repro.malware.polymorphism import PolymorphyMode
+from repro.malware.population import (
+    ActivityBurst,
+    BurstActivity,
+    ContinuousActivity,
+    PopulationSpec,
+)
+from repro.malware.propagation import (
+    ExploitSpec,
+    PayloadSpec,
+    PropagationSpec,
+    choice,
+    fixed,
+    rand,
+)
+from repro.net.address import Subnet
+from repro.net.sampling import SubnetConcentratedSampler, UniformSampler
+from repro.peformat.structures import PESpec, SectionSpec
+from repro.peformat.structures import (
+    SCN_CODE,
+    SCN_INITIALIZED_DATA,
+    SCN_MEM_EXECUTE,
+    SCN_MEM_READ,
+    SCN_MEM_WRITE,
+)
+from repro.sandbox.environment import Environment, Window
+from repro.util.rng import RandomSource
+from repro.util.timegrid import DAY_SECONDS, WEEK_SECONDS, TimeGrid
+from repro.util.validation import require
+
+
+@dataclass
+class Catalog:
+    """Families plus the execution environment they assume."""
+
+    families: list[FamilySpec]
+    environment: Environment
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_variants(self) -> int:
+        """Total variants across all families."""
+        return sum(f.n_variants for f in self.families)
+
+
+# --------------------------------------------------------------------------
+# Shared propagation building blocks
+# --------------------------------------------------------------------------
+
+def asn1_exploit() -> ExploitSpec:
+    """The MS04-007 ASN.1 exploit conversation (allaple's vector)."""
+    return ExploitSpec(
+        name="ms04-007-asn1",
+        dst_port=445,
+        dialogue=(
+            (fixed("SMB_NEGOTIATE"), fixed("NT LM 0.12"), rand(6)),
+            (fixed("SMB_SESSION_SETUP"), fixed("ASN1"), rand(8)),
+            (fixed("ASN1_BITSTR_OVERFLOW"), fixed("0x07"), rand(10)),
+        ),
+    )
+
+
+def allaple_payload() -> PayloadSpec:
+    """PUSH-based download to TCP/9988 — the paper's P-pattern 45."""
+    return PayloadSpec(
+        name="push-9988",
+        protocol="creceive",
+        interaction=InteractionType.PUSH,
+        filename=None,
+        port=9988,
+    )
+
+
+def _bot_exploit(index: int, port: int, toolkit_markers: tuple[str, ...]) -> ExploitSpec:
+    """A bot family's exploit: shared protocol skeleton, per-toolkit marker."""
+    return ExploitSpec(
+        name=f"bot-exploit-{index:02d}",
+        dst_port=port,
+        dialogue=(
+            (fixed(f"RPC_BIND_{index:02d}"), rand(6)),
+            (fixed("RPC_REQUEST"), choice(*toolkit_markers), rand(8)),
+            (fixed(f"STACK_SMASH_{index:02d}"),),
+        ),
+    )
+
+
+_DATA_SECTION = SCN_INITIALIZED_DATA | SCN_MEM_READ | SCN_MEM_WRITE
+_TEXT_SECTION = SCN_CODE | SCN_MEM_EXECUTE | SCN_MEM_READ
+_RDATA_SECTION = SCN_INITIALIZED_DATA | SCN_MEM_READ
+
+
+def allaple_pe_spec() -> PESpec:
+    """The allaple codebase shape (PE header fingerprint)."""
+    return PESpec(
+        sections=(
+            SectionSpec(".text", _TEXT_SECTION),
+            SectionSpec(".rdata", _RDATA_SECTION),
+            SectionSpec(".data", _DATA_SECTION),
+        ),
+        imports={
+            "KERNEL32.dll": (
+                "GetProcAddress",
+                "LoadLibraryA",
+                "CreateFileA",
+                "WriteFile",
+                "GetTickCount",
+            ),
+            "WS2_32.dll": ("socket", "connect", "send"),
+        },
+        os_version=40,
+        linker_version=71,
+        file_size=57_856,
+    )
+
+
+def iliketay_pe_spec() -> PESpec:
+    """The M-cluster 13 fingerprint, field for field as quoted in §4.2."""
+    return PESpec(
+        sections=(
+            SectionSpec(".text", _TEXT_SECTION),
+            SectionSpec("rdata", _RDATA_SECTION),
+            SectionSpec(".data", _DATA_SECTION),
+        ),
+        imports={"KERNEL32.dll": ("GetProcAddress", "LoadLibraryA")},
+        os_version=64,
+        linker_version=92,
+        file_size=59_904,
+    )
+
+
+# --------------------------------------------------------------------------
+# Behaviour templates
+# --------------------------------------------------------------------------
+
+def allaple_behavior(generation: int) -> BehaviorTemplate:
+    """Allaple's behaviour; generation 1 is the reworked codebase.
+
+    Both generations scan and infect, but the second generation changed
+    enough host-side behaviour to form its own B-cluster (the paper sees
+    two behavioural clusters for ~100 static Allaple clusters).
+    """
+    require(generation in (0, 1), "allaple has two behavioural generations")
+    base = BehaviorTemplate(
+        mutexes=("jhdheruhfrk", "allaple-mtx"),
+        files_dropped=(r"C:\WINDOWS\system32\urdvxc.exe",),
+        registry_keys=(r"HKLM\...\Run\urdvxc", r"HKCR\CLSID\{55DB983C}",),
+        services_installed=("MSWindows",),
+        scan_ports=(445, 139),
+        infects_html=True,
+        dos_targets=("www.starman.ee", "www.elion.ee"),
+        noise_rate=0.25,
+    )
+    if generation == 0:
+        return base
+    return BehaviorTemplate(
+        mutexes=("jhdheruhfrk", "kyxmlejjkhw"),
+        files_dropped=(r"C:\WINDOWS\system32\urdvxc.exe", r"C:\WINDOWS\nvrsvc.exe"),
+        registry_keys=(r"HKLM\...\Run\urdvxc",),
+        services_installed=("MSWindowsS",),
+        scan_ports=(445, 139, 135),
+        infects_html=True,
+        dos_targets=("www.starman.ee",),
+        processes_spawned=("urdvxc.exe /start",),
+        noise_rate=0.25,
+    )
+
+
+def iliketay_behavior() -> BehaviorTemplate:
+    """The iliketay.cn second-stage downloader behaviour."""
+    stage_irc = CnCSpec(server="61.152.144.10", port=6667, room="#tay")
+    component_one = BehaviorTemplate(
+        files_dropped=(r"C:\WINDOWS\system32\msupd32.exe",),
+        registry_keys=(r"HKLM\...\Run\msupd32",),
+        mutexes=("tay1-mtx",),
+        cnc=stage_irc,
+    )
+    component_two = BehaviorTemplate(
+        files_dropped=(
+            r"C:\WINDOWS\system32\winlgn32.exe",
+            r"C:\WINDOWS\Temp\~tmp77.dat",
+        ),
+        registry_keys=(r"HKLM\...\Services\winlgn",),
+        mutexes=("tay2-mtx", "tay2-aux"),
+        processes_spawned=("winlgn32.exe",),
+    )
+    return BehaviorTemplate(
+        mutexes=("iliketay-mtx",),
+        files_dropped=(r"C:\WINDOWS\system32\qymgf.exe",),
+        registry_keys=(r"HKLM\...\Run\qymgf", r"HKLM\...\Explorer\iexplore",),
+        scan_ports=(445,),
+        dns_queries=("iliketay.cn",),
+        components=(
+            ComponentDownload("iliketay.cn", "/load/one.exe", component_one),
+            ComponentDownload("iliketay.cn", "/load/two.exe", component_two),
+        ),
+        noise_rate=0.04,
+    )
+
+
+def bot_base_behavior(index: int) -> BehaviorTemplate:
+    """Base behaviour of one bot family: a rich, family-specific core.
+
+    The core is deliberately large (~20 features) so that sibling
+    variants — which add only a variant mutex and their C&C rendezvous —
+    stay above the 0.7 Jaccard threshold and merge into one family
+    B-cluster, matching the paper's B-coarser-than-M observation.
+    """
+    tag = f"bot{index:02d}"
+    return BehaviorTemplate(
+        mutexes=(f"{tag}-main", f"{tag}-inst"),
+        files_dropped=(
+            rf"C:\WINDOWS\system32\{tag}svc.exe",
+            rf"C:\WINDOWS\system32\{tag}cfg.dat",
+            rf"C:\WINDOWS\Temp\{tag}.tmp",
+        ),
+        registry_keys=(
+            rf"HKLM\...\Run\{tag}svc",
+            rf"HKLM\...\Services\{tag}",
+            rf"HKLM\...\FirewallPolicy\{tag}",
+        ),
+        services_installed=(f"{tag}Service",),
+        processes_spawned=(f"{tag}svc.exe", "cmd.exe /c net stop SharedAccess"),
+        scan_ports=(445, 139, 135, 2967, 5000)[: 3 + index % 3],
+        dns_queries=(f"time.{tag}.example", f"geo.{tag}.example"),
+        dos_targets=() if index % 2 else (f"rival{index:02d}.example",),
+        noise_rate=0.05,
+    )
+
+
+# --------------------------------------------------------------------------
+# Catalog assembly
+# --------------------------------------------------------------------------
+
+def build_catalog(
+    source: RandomSource,
+    grid: TimeGrid,
+    sensor_networks: list[int],
+    *,
+    scale: float = 1.0,
+) -> Catalog:
+    """Assemble the full paper-scale catalog.
+
+    ``scale`` shrinks variant counts and event rates together, so small
+    test runs keep the landscape's *shape* while running in well under a
+    second.
+    """
+    require(scale > 0, "scale must be positive")
+    families: list[FamilySpec] = []
+    environment = Environment()
+    notes: dict[str, str] = {}
+
+    families.extend(_allaple_families(source, grid, scale))
+    notes["allaple"] = "worm lineage; 2 behavioural generations, per-instance polymorphic"
+
+    families.append(_iliketay_family(source, grid, environment, scale))
+    notes["iliketay"] = "M-cluster 13 analogue; per-source polymorphic, env-dependent"
+
+    families.extend(_botnet_families(source, grid, sensor_networks, scale))
+    notes["botnets"] = "10 families on 3 C&C infrastructures, bursty + targeted"
+
+    families.extend(_misc_families(source, grid, scale))
+    notes["misc"] = "long-tail one-off codebases incl. genuine rarities"
+
+    return Catalog(families=families, environment=environment, notes=notes)
+
+
+def _scaled(count: int, scale: float, *, minimum: int = 1) -> int:
+    return max(minimum, int(round(count * scale)))
+
+
+def _allaple_families(
+    source: RandomSource, grid: TimeGrid, scale: float
+) -> list[FamilySpec]:
+    exploit = asn1_exploit()
+    payload = allaple_payload()
+    propagation = PropagationSpec(exploit, payload)
+    av_names = {"PopularAV": "W32.Rahack"}
+    families: list[FamilySpec] = []
+    counts = (_scaled(55, scale, minimum=3), _scaled(40, scale, minimum=2))
+    for generation, n_variants in enumerate(counts):
+        gen_source = source.child("allaple", generation)
+
+        def population_for(index: int, rng, _gen=generation) -> PopulationSpec:
+            # Zipf-flavoured population sizes: a few hundred-host variants,
+            # a long tail of small ones (Figure 5, left).
+            size = max(4, int(420 / (index + 2)) + rng.randint(0, 8))
+            return PopulationSpec(size=size, sampler=UniformSampler())
+
+        def activity_for(index: int, rng, _gen=generation):
+            start = grid.start + rng.randrange(0, 30 * WEEK_SECONDS)
+            duration = rng.randint(20, 60) * WEEK_SECONDS
+            rate = max(0.1, 2.9 / (index + 2)) * min(1.0, scale * 2.0)
+            return ContinuousActivity(rate, start=start, end=min(grid.end, start + duration))
+
+        variants = derive_worm_variants(
+            family="allaple",
+            base_pe=allaple_pe_spec(),
+            behavior=allaple_behavior(generation),
+            propagation=propagation,
+            n_variants=n_variants,
+            source=gen_source,
+            population_for=population_for,
+            activity_for=activity_for,
+            size_step_range=(1 + 120 * generation, 110 + 120 * generation),
+        )
+        # Each variant (a patch of the codebase) leaves one small trace of
+        # its own in the behaviour — enough for crashed runs to form
+        # per-variant partial profiles, not enough to stop the variants
+        # from merging into their generation's B-cluster (J ~ 0.87).
+        renamed = tuple(
+            VariantSpec(
+                family="allaple",
+                variant=f"g{generation}{v.variant}",
+                pe_spec=v.pe_spec,
+                polymorphism=v.polymorphism,
+                behavior=v.behavior.with_extra(
+                    ("mutex", f"allaple-g{generation}-{i:03d}", "create")
+                ),
+                propagation=v.propagation,
+                population=v.population,
+                activity=v.activity,
+            )
+            for i, v in enumerate(variants)
+        )
+        families.append(
+            FamilySpec(name="allaple", variants=renamed, av_names=av_names)
+        )
+    return families
+
+
+def _iliketay_family(
+    source: RandomSource,
+    grid: TimeGrid,
+    environment: Environment,
+    scale: float,
+) -> FamilySpec:
+    # The distribution site serves two components early on, drops the
+    # second one mid-campaign, and finally disappears from DNS entirely
+    # (the entry "was probably removed from the DNS database", §4.2).
+    dns_dies = grid.start + 36 * WEEK_SECONDS
+    comp2_dies = grid.start + 18 * WEEK_SECONDS
+    environment.add_dns("iliketay.cn", Window(grid.start, dns_dies))
+    environment.set_component_window(
+        "iliketay.cn", "/load/two.exe", Window(grid.start, comp2_dies)
+    )
+
+    behavior = iliketay_behavior()
+    population = PopulationSpec(
+        size=_scaled(48, scale, minimum=9), sampler=UniformSampler()
+    )
+    activity = ContinuousActivity(
+        max(0.35, 0.8 * scale),
+        start=grid.start + 2 * WEEK_SECONDS,
+        end=grid.start + 62 * WEEK_SECONDS,
+    )
+    variant = VariantSpec(
+        family="iliketay",
+        variant="v000",
+        pe_spec=iliketay_pe_spec(),
+        polymorphism=PolymorphyMode.PER_SOURCE,
+        behavior=behavior,
+        propagation=PropagationSpec(asn1_exploit(), allaple_payload()),
+        population=population,
+        activity=activity,
+    )
+    return FamilySpec(
+        name="iliketay",
+        variants=(variant,),
+        av_names={"PopularAV": "W32.Pilleuz"},
+    )
+
+
+def _botnet_families(
+    source: RandomSource,
+    grid: TimeGrid,
+    sensor_networks: list[int],
+    scale: float,
+) -> list[FamilySpec]:
+    herders = (
+        CnCInfrastructure(
+            name="herder-east",
+            server_subnets=(
+                Subnet.parse("67.43.232.0/24"),
+                Subnet.parse("67.43.226.0/24"),
+            ),
+            room_pool=("#kok2", "#kok6", "#kok8", "#las6", "#kham", "#ns", "#siwa"),
+        ),
+        CnCInfrastructure(
+            name="herder-west",
+            server_subnets=(Subnet.parse("72.10.172.0/24"),),
+            room_pool=("#las6", "#siwa", "#ns"),
+        ),
+        CnCInfrastructure(
+            name="herder-north",
+            server_subnets=(Subnet.parse("83.68.16.0/24"),),
+            room_pool=("#ns", "#dd", "#kok6"),
+        ),
+    )
+    home_subnet_pool = (
+        Subnet.parse("58.32.0.0/16"),
+        Subnet.parse("58.33.0.0/16"),
+        Subnet.parse("121.14.0.0/16"),
+        Subnet.parse("200.75.0.0/16"),
+        Subnet.parse("89.128.0.0/16"),
+        Subnet.parse("196.25.0.0/16"),
+    )
+    ports = (139, 445, 135, 2967, 5000)
+    toolkit_markers = (
+        ("admin", "OWNED", "sys"),
+        ("PIPE\\ntsvcs", "PIPE\\browser"),
+        ("user1", "xyz", "zz1", "r00t"),
+    )
+    families: list[FamilySpec] = []
+    per_family = (_scaled(15, scale, minimum=2), _scaled(13, scale, minimum=2))
+    for index in range(10 if scale >= 0.5 else max(3, int(10 * scale))):
+        herder = herders[index % len(herders)]
+        exploit = _bot_exploit(index, ports[index % len(ports)], toolkit_markers[index % 3])
+        payload = _bot_payload(index)
+        base_pe = _bot_pe_spec(index)
+        n_variants = per_family[index % 2]
+        rng = source.rng("botnet-homes", index)
+        homes = tuple(rng.sample(list(home_subnet_pool), k=2))
+        families.append(
+            build_botnet_family(
+                name=f"ircbot{index:02d}",
+                base_pe=base_pe,
+                base_behavior=bot_base_behavior(index),
+                propagation=PropagationSpec(exploit, payload),
+                infrastructure=herder,
+                n_variants=n_variants,
+                source=source.child("botnet", index),
+                grid=grid,
+                sensor_networks=sensor_networks,
+                home_subnets=homes,
+                server_offset=(index // len(herders)) * 12,
+                av_names={"PopularAV": f"W32.Spybot.{chr(ord('A') + index)}"},
+            )
+        )
+    return families
+
+
+def _bot_payload(index: int) -> PayloadSpec:
+    """Bot download strategies: a rotating mix of channels (pi diversity)."""
+    kind = index % 5
+    if kind == 0:
+        return PayloadSpec(
+            name=f"ftp-fixed-{index:02d}",
+            protocol="ftp",
+            interaction=InteractionType.PULL,
+            filename=f"msins{index:02d}.exe",
+            port=21,
+        )
+    if kind == 1:
+        return PayloadSpec(
+            name=f"ftp-random-{index:02d}",
+            protocol="ftp",
+            interaction=InteractionType.PULL,
+            filename=PayloadSpec.RANDOM_FILENAME,
+            port=21,
+        )
+    if kind == 2:
+        return PayloadSpec(
+            name=f"http-central-{index:02d}",
+            protocol="http",
+            interaction=InteractionType.CENTRAL,
+            filename=f"/loads/pack{index:02d}.exe",
+            port=80,
+            central_host=f"203.117.{20 + index}.7",
+        )
+    if kind == 3:
+        return PayloadSpec(
+            name=f"tftp-{index:02d}",
+            protocol="tftp",
+            interaction=InteractionType.PULL,
+            filename=f"wdfmgr{index:02d}.exe",
+            port=69,
+        )
+    return PayloadSpec(
+        name=f"blink-{index:02d}",
+        protocol="blink",
+        interaction=InteractionType.PULL,
+        filename=None,
+        port=None,
+    )
+
+
+def _bot_pe_spec(index: int) -> PESpec:
+    """Per-family codebase shape: UPX-style or MSVC-style section layouts."""
+    if index % 2:
+        sections = (
+            SectionSpec("UPX0", _TEXT_SECTION),
+            SectionSpec("UPX1", _TEXT_SECTION),
+            SectionSpec(".rsrc", _RDATA_SECTION),
+        )
+    else:
+        sections = (
+            SectionSpec(".text", _TEXT_SECTION),
+            SectionSpec(".rdata", _RDATA_SECTION),
+            SectionSpec(".data", _DATA_SECTION),
+            SectionSpec(".rsrc", _RDATA_SECTION),
+        )
+    imports = {
+        "KERNEL32.dll": (
+            "GetProcAddress",
+            "LoadLibraryA",
+            "CreateMutexA",
+            "WinExec",
+        )[: 2 + index % 3],
+        "WININET.dll": ("InternetOpenA", "InternetOpenUrlA"),
+        "ADVAPI32.dll": ("RegSetValueExA",),
+    }
+    if index % 3 == 0:
+        del imports["WININET.dll"]
+    return PESpec(
+        sections=sections,
+        imports=imports,
+        os_version=40,
+        linker_version=(60, 71, 80, 90, 92)[index % 5],
+        file_size=40_960 + 1024 * index,
+    )
+
+
+def _misc_families(
+    source: RandomSource, grid: TimeGrid, scale: float
+) -> list[FamilySpec]:
+    """One-off codebases: moderately seen singles plus genuine rarities."""
+    families: list[FamilySpec] = []
+    n_misc = _scaled(12, scale, minimum=2)
+    for index in range(n_misc):
+        rng = source.rng("misc", index)
+        rare = index % 3 == 2  # every third misc family is a true rarity
+        exploit = ExploitSpec(
+            name=f"misc-exploit-{index:02d}",
+            dst_port=(1025, 2967, 5000, 80)[index % 4],
+            dialogue=(
+                (fixed(f"MISC_HELLO_{index:02d}"), rand(5)),
+                (fixed("TRIGGER"), fixed(f"op{index:02d}")),
+            ),
+        )
+        payload = PayloadSpec(
+            name=f"misc-payload-{index:02d}",
+            protocol=("http", "ftp", "tftp")[index % 3],
+            interaction=(
+                InteractionType.PULL,
+                InteractionType.CENTRAL,
+                InteractionType.PULL,
+            )[index % 3],
+            filename=f"load{index:02d}.exe",
+            port=(80, 21, 69)[index % 3],
+            central_host=f"210.51.{index}.9" if index % 3 == 1 else None,
+        )
+        behavior = BehaviorTemplate(
+            mutexes=(f"misc{index:02d}-a", f"misc{index:02d}-b"),
+            files_dropped=(rf"C:\WINDOWS\misc{index:02d}.exe",),
+            registry_keys=(rf"HKLM\...\Run\misc{index:02d}",),
+            scan_ports=(445,),
+            noise_rate=0.0 if rare else 0.08,
+        )
+        if rare:
+            population = PopulationSpec(size=rng.randint(3, 5), sampler=UniformSampler())
+            start = grid.start + rng.randrange(0, 50 * WEEK_SECONDS)
+            activity = BurstActivity(
+                [ActivityBurst(start=start, duration=6 * DAY_SECONDS, rate_per_day=3.0)]
+            )
+        else:
+            population = PopulationSpec(
+                size=rng.randint(8, 30), sampler=UniformSampler()
+            )
+            start = grid.start + rng.randrange(0, 40 * WEEK_SECONDS)
+            activity = ContinuousActivity(
+                max(0.2, rng.uniform(0.3, 0.9) * scale),
+                start=start,
+                end=min(grid.end, start + rng.randint(6, 18) * WEEK_SECONDS),
+            )
+        families.append(
+            single_variant_family(
+                name=f"misc{index:02d}",
+                pe_spec=PESpec(
+                    file_size=24_576 + 512 * rng.randint(0, 60),
+                    linker_version=(60, 71, 80)[index % 3],
+                    os_version=40,
+                ),
+                behavior=behavior,
+                propagation=PropagationSpec(exploit, payload),
+                population=population,
+                activity=activity,
+                av_names={"PopularAV": f"Trojan.Misc{index:02d}"},
+            )
+        )
+    return families

@@ -1,0 +1,43 @@
+"""Golden-value regression pinning for the default scenario.
+
+A reproduction package lives or dies by its numbers staying put: a
+refactor that silently shifts the default run's results would
+invalidate EXPERIMENTS.md.  :data:`GOLDEN` pins the headline values of
+``PaperScenario(seed=2010)`` exactly as published in this repository;
+:func:`check_headline` compares a run against them and returns the
+deviations (empty = reproduction intact).
+
+Update policy: any intentional change to the simulation or the
+algorithms that moves these numbers must update both :data:`GOLDEN` and
+EXPERIMENTS.md in the same commit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Pinned headline of ``PaperScenario(seed=2010).run()``.
+GOLDEN: dict[str, int] = {
+    "events": 14_687,
+    "samples_collected": 6_586,
+    "samples_executed": 5_400,
+    "e_clusters": 37,
+    "p_clusters": 21,
+    "m_clusters": 254,
+    "b_clusters": 961,
+    "size1_b_clusters": 913,
+}
+
+
+def check_headline(measured: Mapping[str, int]) -> list[str]:
+    """Deviations of ``measured`` from the pinned golden values.
+
+    Returns human-readable mismatch descriptions; an empty list means
+    the default-seed reproduction is byte-for-byte intact.
+    """
+    deviations: list[str] = []
+    for key, expected in GOLDEN.items():
+        actual = measured.get(key)
+        if actual != expected:
+            deviations.append(f"{key}: expected {expected}, measured {actual}")
+    return deviations

@@ -1,0 +1,161 @@
+"""Parameter sweeps over the reproduction's design knobs.
+
+Three sweeps quantify the sensitivities behind the paper's qualitative
+claims:
+
+* :func:`noise_sweep` — re-analyses one dataset's samples under scaled
+  derailment rates: the size-1 B-cluster population (§4.2's anomaly
+  mass) is a direct function of analysis-environment flakiness;
+* :func:`lsh_shape_sweep` — LSH banding vs pair recall and comparison
+  cost: why the banding must put the collision sigmoid *below* the
+  clustering threshold;
+* :func:`threshold_sweep` — B-cluster structure vs the Jaccard
+  threshold: the knob whose interaction with profile variability the
+  paper identifies as a misclassification source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.egpm.dataset import SGNetDataset
+from repro.sandbox.anubis import AnubisService
+from repro.sandbox.behavior import BehaviorProfile
+from repro.sandbox.clustering import ClusteringConfig, cluster_exact, cluster_lsh
+from repro.sandbox.environment import Environment
+from repro.sandbox.execution import Sandbox, SandboxConfig
+from repro.sandbox.lsh import LSHIndex, MinHasher
+from repro.util.stats import jaccard
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class NoisePoint:
+    """One noise-multiplier setting and the resulting B-structure."""
+
+    multiplier: float
+    n_clusters: int
+    n_singletons: int
+    n_samples: int
+
+    @property
+    def singleton_share(self) -> float:
+        """Singletons as a share of analysed samples."""
+        return self.n_singletons / self.n_samples if self.n_samples else 0.0
+
+
+def noise_sweep(
+    dataset: SGNetDataset,
+    environment: Environment,
+    multipliers: Sequence[float],
+    *,
+    clustering: ClusteringConfig | None = None,
+) -> list[NoisePoint]:
+    """Re-analyse and re-cluster the dataset per noise multiplier."""
+    require(len(multipliers) > 0, "need at least one multiplier")
+    points: list[NoisePoint] = []
+    for multiplier in multipliers:
+        sandbox = Sandbox(environment, SandboxConfig(noise_multiplier=multiplier))
+        anubis = AnubisService(sandbox)
+        for record in dataset.valid_samples():
+            if record.behavior_handle is not None:
+                anubis.submit(record.md5, record.behavior_handle, time=record.first_seen)
+        result = anubis.cluster(clustering)
+        points.append(
+            NoisePoint(
+                multiplier=multiplier,
+                n_clusters=result.n_clusters,
+                n_singletons=len(result.singletons()),
+                n_samples=anubis.n_reports,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class LSHShapePoint:
+    """One (bands, rows) setting and its candidate-generation quality."""
+
+    bands: int
+    rows: int
+    recall: float
+    candidate_pairs: int
+    true_pairs: int
+
+
+def lsh_shape_sweep(
+    profiles: Mapping[str, BehaviorProfile],
+    shapes: Sequence[tuple[int, int]],
+    *,
+    threshold: float = 0.7,
+    seed: int = 2010,
+) -> list[LSHShapePoint]:
+    """Measure candidate recall of each banding on real profiles.
+
+    Recall is over the *true* >= threshold pairs of distinct profiles
+    (computed exactly), before the single-linkage chaining that further
+    masks missed pairs.
+    """
+    unique: dict[frozenset, str] = {}
+    for key, profile in profiles.items():
+        unique.setdefault(profile.features, key)
+    keys = list(unique.values())
+    sets = {key: set(profiles[key].features) for key in keys}
+
+    true_pairs = set()
+    for i, a in enumerate(keys):
+        for b in keys[i + 1 :]:
+            if jaccard(sets[a], sets[b]) >= threshold:
+                true_pairs.add((a, b) if a < b else (b, a))
+
+    points: list[LSHShapePoint] = []
+    for bands, rows in shapes:
+        hasher = MinHasher(bands * rows, seed=seed)
+        index = LSHIndex(bands=bands, rows=rows)
+        for key in keys:
+            index.add(key, hasher.signature(profiles[key].hashed_features()))
+        candidates = {
+            (a, b) if a < b else (b, a) for a, b in index.candidate_pairs()
+        }
+        found = len(true_pairs & candidates)
+        points.append(
+            LSHShapePoint(
+                bands=bands,
+                rows=rows,
+                recall=found / len(true_pairs) if true_pairs else 1.0,
+                candidate_pairs=len(candidates),
+                true_pairs=len(true_pairs),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """One Jaccard threshold and the resulting B-structure."""
+
+    threshold: float
+    n_clusters: int
+    n_singletons: int
+    largest: int
+
+
+def threshold_sweep(
+    profiles: Mapping[str, BehaviorProfile],
+    thresholds: Sequence[float],
+) -> list[ThresholdPoint]:
+    """Exact clustering structure per similarity threshold."""
+    points: list[ThresholdPoint] = []
+    for threshold in thresholds:
+        result = cluster_exact(profiles, ClusteringConfig(threshold=threshold))
+        sizes = result.sizes().values()
+        points.append(
+            ThresholdPoint(
+                threshold=threshold,
+                n_clusters=result.n_clusters,
+                n_singletons=len(result.singletons()),
+                largest=max(sizes) if sizes else 0,
+            )
+        )
+    return points

@@ -1,0 +1,45 @@
+"""SGNET distributed-honeypot simulation.
+
+The components mirror Figure 1 of the paper:
+
+* :mod:`repro.honeypot.fsm` — ScriptGen-style protocol learning: a
+  Finite State Machine over message-token streams, refined by region
+  analysis of buffered conversations.  Learned leaf states are the FSM
+  *path identifiers* that feed the epsilon dimension of EPM clustering.
+* :mod:`repro.honeypot.samplefactory` — the Argos-based oracle: handles
+  conversations the FSM cannot, confirms code injections (memory
+  tainting in the real system) and hands the shellcode to Nepenthes.
+* :mod:`repro.honeypot.shellcode` — Nepenthes-style shellcode analysis
+  and download emulation, including the real system's failure modes
+  (unknown shellcodes, truncated downloads).
+* :mod:`repro.honeypot.sensor` / :mod:`repro.honeypot.gateway` — the
+  low-cost sensors and the central gateway that keeps their FSM models
+  in sync and triggers refinement.
+* :mod:`repro.honeypot.deployment` — the orchestrator: builds the
+  deployment (30 networks x 5 addresses by default, as deployed at the
+  time of the paper), observes an attack stream and emits the enriched
+  :class:`~repro.egpm.dataset.SGNetDataset`.
+"""
+
+from repro.honeypot.fsm import FSMLearner, FSMModel, FSMNode, UNKNOWN_PATH_ID
+from repro.honeypot.shellcode import DownloadOutcome, ShellcodeAnalyzer, ShellcodeConfig
+from repro.honeypot.samplefactory import InjectionReport, SampleFactory
+from repro.honeypot.sensor import HoneypotSensor
+from repro.honeypot.gateway import Gateway
+from repro.honeypot.deployment import DeploymentConfig, SGNetDeployment
+
+__all__ = [
+    "DeploymentConfig",
+    "DownloadOutcome",
+    "FSMLearner",
+    "FSMModel",
+    "FSMNode",
+    "Gateway",
+    "HoneypotSensor",
+    "InjectionReport",
+    "SampleFactory",
+    "SGNetDeployment",
+    "ShellcodeAnalyzer",
+    "ShellcodeConfig",
+    "UNKNOWN_PATH_ID",
+]

@@ -1,0 +1,206 @@
+"""The deployment orchestrator: attack stream -> SGNET dataset.
+
+:class:`SGNetDeployment` builds the monitored address set (by default 30
+network locations with 5 addresses each — the deployment's footprint at
+the time of the paper), runs the attack stream through the sensors /
+gateway / shellcode pipeline, and emits the enriched
+:class:`~repro.egpm.dataset.SGNetDataset`.
+
+Observation is two-pass, mirroring how the paper analyses the dataset
+*a posteriori* with the accumulated FSM knowledge: the first pass
+processes events online (learning as it goes), the second re-classifies
+every stored conversation against the final FSM so early events that
+arrived before their activity was learned still receive their path id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.egpm.dataset import SGNetDataset
+from repro.egpm.events import AttackEvent, ExploitObservable, MalwareObservable
+from repro.honeypot.fsm import FSMLearner, UNKNOWN_PATH_ID
+from repro.honeypot.gateway import Gateway
+from repro.honeypot.sensor import HoneypotSensor
+from repro.honeypot.shellcode import ShellcodeAnalyzer, ShellcodeConfig
+from repro.malware.background import BackgroundProbe
+from repro.malware.landscape import AttackAttempt
+from repro.net.address import IPv4Address
+from repro.net.sampling import UniformSampler
+from repro.peformat.magic import magic_type
+from repro.peformat.parser import parse_pe
+from repro.peformat.structures import PEFormatError
+from repro.util.hashing import md5_hex
+from repro.util.rng import RandomSource
+from repro.util.timegrid import WEEK_SECONDS
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Deployment shape and pipeline failure rates."""
+
+    n_networks: int = 30
+    sensors_per_network: int = 5
+    refine_threshold: int = 30
+    fsm_min_support: int = 4
+    shellcode: ShellcodeConfig = field(default_factory=ShellcodeConfig)
+
+    def __post_init__(self) -> None:
+        require(self.n_networks >= 1, "n_networks must be >= 1")
+        require(self.sensors_per_network >= 1, "sensors_per_network must be >= 1")
+
+
+class SGNetDeployment:
+    """A simulated SGNET deployment ready to observe an attack stream."""
+
+    def __init__(self, source: RandomSource, config: DeploymentConfig | None = None) -> None:
+        self.config = config or DeploymentConfig()
+        self._source = source
+        self.gateway = Gateway(
+            FSMLearner(
+                refine_threshold=self.config.refine_threshold,
+                min_support=self.config.fsm_min_support,
+            )
+        )
+        self.shellcode = ShellcodeAnalyzer(self.config.shellcode)
+        self.sensors: dict[int, HoneypotSensor] = {}
+        self.sensor_addresses: list[IPv4Address] = []
+        self._build_sensors()
+        self._proxied_by_week: dict[int, int] = {}
+        self._handled_by_week: dict[int, int] = {}
+        self.n_background_filtered = 0
+
+    def _build_sensors(self) -> None:
+        rng = self._source.rng("deployment", "addresses")
+        sampler = UniformSampler()
+        networks: set[int] = set()
+        while len(networks) < self.config.n_networks:
+            networks.add(sampler.sample(rng).slash24)
+        for network in sorted(networks):
+            offsets = rng.sample(range(1, 255), self.config.sensors_per_network)
+            for offset in sorted(offsets):
+                address = IPv4Address((network << 8) | offset)
+                self.sensors[int(address)] = HoneypotSensor(address, self.gateway)
+                self.sensor_addresses.append(address)
+
+    @property
+    def sensor_networks(self) -> list[int]:
+        """The /24 prefixes of the monitored network locations."""
+        return sorted({address.slash24 for address in self.sensor_addresses})
+
+    def observe(
+        self,
+        attempts: Iterable[AttackAttempt],
+        *,
+        background: Iterable[BackgroundProbe] | None = None,
+    ) -> SGNetDataset:
+        """Run the stream through the pipeline and build the dataset.
+
+        ``background`` is an optional time-ordered stream of
+        non-injection probes; they exercise sensors and the oracle but
+        never become attack events (the dataset records injections only,
+        as SGNET does).  Both streams must be individually time-ordered.
+        """
+        merged = self._merge_streams(attempts, background)
+        staged: list[tuple[AttackAttempt, object, object, object]] = []
+        self.n_background_filtered = 0
+        for kind, item in merged:
+            if kind == "background":
+                sensor = self.sensors.get(int(item.sensor))
+                if sensor is not None:
+                    sensor.handle(item.conversation, is_injection=False)
+                    self.n_background_filtered += 1
+                continue
+            attempt = item
+            sensor = self.sensors.get(int(attempt.sensor))
+            require(
+                sensor is not None,
+                f"attack aimed at unmonitored address {attempt.sensor}",
+            )
+            path_id = sensor.handle(attempt.conversation)
+            week = (attempt.timestamp) // WEEK_SECONDS
+            if path_id == UNKNOWN_PATH_ID:
+                self._proxied_by_week[week] = self._proxied_by_week.get(week, 0) + 1
+            else:
+                self._handled_by_week[week] = self._handled_by_week.get(week, 0) + 1
+
+            rng = self._source.rng(
+                "pipeline", attempt.variant_key, attempt.timestamp, int(attempt.source)
+            )
+            payload_obs = self.shellcode.analyze(attempt.payload, attempt.filename, rng)
+            malware_obs = None
+            if payload_obs is not None:
+                outcome = self.shellcode.download(attempt.binary, rng)
+                if outcome.succeeded:
+                    malware_obs = self._malware_observable(outcome.data, outcome.truncated)
+            staged.append((attempt, payload_obs, malware_obs, None))
+
+        self.gateway.finalize()
+
+        dataset = SGNetDataset()
+        for attempt, payload_obs, malware_obs, _ in staged:
+            final_path = self.gateway.classify(attempt.conversation)
+            event = AttackEvent(
+                event_id=dataset.next_event_id(),
+                timestamp=attempt.timestamp,
+                source=attempt.source,
+                sensor=attempt.sensor,
+                exploit=ExploitObservable(
+                    fsm_path_id=final_path if final_path != UNKNOWN_PATH_ID else 0,
+                    dst_port=attempt.dst_port,
+                ),
+                payload=payload_obs,
+                malware=malware_obs,
+                ground_truth=attempt.truth,
+            )
+            dataset.add_event(event, behavior_handle=attempt.behavior)
+        return dataset
+
+    @staticmethod
+    def _merge_streams(
+        attempts: Iterable[AttackAttempt],
+        background: Iterable[BackgroundProbe] | None,
+    ) -> Iterable[tuple[str, object]]:
+        """Merge the two time-ordered streams into one tagged stream."""
+        import heapq
+
+        tagged_attacks = (("attack", a) for a in attempts)
+        if background is None:
+            return tagged_attacks
+        tagged_probes = (("background", p) for p in background)
+        return heapq.merge(
+            tagged_attacks, tagged_probes, key=lambda pair: pair[1].timestamp
+        )
+
+    @staticmethod
+    def _malware_observable(data: bytes, truncated: bool) -> MalwareObservable:
+        pe_info = None
+        corrupted = truncated
+        try:
+            pe_info = parse_pe(data)
+        except PEFormatError:
+            corrupted = True
+        return MalwareObservable(
+            md5=md5_hex(data),
+            size=len(data),
+            magic=magic_type(data),
+            pe=pe_info,
+            corrupted=corrupted,
+        )
+
+    def proxy_ratio_by_week(self) -> dict[int, float]:
+        """Fraction of conversations proxied to the honeyfarm, per week.
+
+        The downward trend of this ratio is the economic argument for
+        ScriptGen learning: sensors become autonomous as the FSM grows.
+        """
+        ratios: dict[int, float] = {}
+        weeks = set(self._proxied_by_week) | set(self._handled_by_week)
+        for week in sorted(weeks):
+            proxied = self._proxied_by_week.get(week, 0)
+            handled = self._handled_by_week.get(week, 0)
+            total = proxied + handled
+            ratios[week] = proxied / total if total else 0.0
+        return ratios

@@ -1,0 +1,107 @@
+"""FSM model persistence and introspection.
+
+The real SGNET gateway persists its accumulated FSM knowledge so that
+sensors rejoin with the full model after restarts.  This module
+round-trips an :class:`FSMModel` through JSON (wildcards encode as
+``None``-markers, token values as strings) and renders the learned tree
+for inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.honeypot.fsm import FSMModel, FSMNode, Pattern
+from repro.util.validation import require
+
+_WILDCARD_MARKER = {"__wildcard__": True}
+
+
+def _pattern_to_json(pattern: Pattern) -> list[Any]:
+    return [_WILDCARD_MARKER if token is None else token for token in pattern]
+
+
+def _pattern_from_json(data: list[Any]) -> Pattern:
+    return tuple(
+        None if isinstance(token, dict) and token.get("__wildcard__") else token
+        for token in data
+    )
+
+
+def _node_to_json(node: FSMNode) -> dict[str, Any]:
+    return {
+        "id": node.node_id,
+        "depth": node.depth,
+        "edges": [
+            {"pattern": _pattern_to_json(pattern), "child": _node_to_json(child)}
+            for pattern, child in node.edges
+        ],
+    }
+
+
+def model_to_json(model: FSMModel) -> dict[str, Any]:
+    """Serialize a model to JSON-compatible primitives."""
+    return {"next_id": model.n_states, "root": _node_to_json(model.root)}
+
+
+def model_from_json(data: dict[str, Any]) -> FSMModel:
+    """Inverse of :func:`model_to_json`."""
+    model = FSMModel()
+
+    def rebuild(node_data: dict[str, Any]) -> FSMNode:
+        node = FSMNode(node_id=node_data["id"], depth=node_data["depth"])
+        for edge in node_data["edges"]:
+            child = rebuild(edge["child"])
+            node.edges.append((_pattern_from_json(edge["pattern"]), child))
+        return node
+
+    root = rebuild(data["root"])
+    require(root.node_id == 0, "serialized root must have id 0")
+    model.root = root
+    # Restore the allocation counter and edge count.
+    max_id = 0
+    n_edges = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        max_id = max(max_id, node.node_id)
+        n_edges += len(node.edges)
+        stack.extend(child for _p, child in node.edges)
+    model._next_id = max(data.get("next_id", 0), max_id + 1)
+    model._n_edges = n_edges
+    return model
+
+
+def save_model(model: FSMModel, path: str | Path) -> None:
+    """Write a model as JSON."""
+    Path(path).write_text(json.dumps(model_to_json(model)), encoding="utf-8")
+
+
+def load_model(path: str | Path) -> FSMModel:
+    """Read a model written by :func:`save_model`."""
+    return model_from_json(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def render_model(model: FSMModel, *, max_depth: int | None = None) -> str:
+    """ASCII rendering of the learned state tree.
+
+    Each line is one transition: indentation encodes depth, ``*`` marks
+    mutating regions, and the target state id is the FSM path identifier
+    of conversations ending there.
+    """
+    lines = [f"FSM: {model.n_states} states, {model.n_edges} transitions"]
+
+    def render(node: FSMNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        for pattern, child in sorted(
+            node.edges, key=lambda edge: edge[1].node_id
+        ):
+            rendered = " ".join("*" if t is None else str(t) for t in pattern)
+            lines.append(f"{'  ' * depth}[{rendered}] -> state {child.node_id}")
+            render(child, depth + 1)
+
+    render(model.root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""The SGNET gateway: FSM synchronisation and honeyfarm hand-off.
+
+The gateway owns the shared FSM learner (all sensors see one model, kept
+"in sync" by construction) and the sample-factory pool.  Sensors call
+:meth:`Gateway.handle_unknown` for conversations their FSM cannot
+explain; the gateway proxies them to a factory and feeds them to the
+learner, eventually refining the model so future instances are handled
+on the sensors autonomously.
+"""
+
+from __future__ import annotations
+
+from repro.honeypot.fsm import Conversation, FSMLearner, UNKNOWN_PATH_ID
+from repro.honeypot.samplefactory import SampleFactory
+
+
+class Gateway:
+    """Central coordination point of the deployment."""
+
+    def __init__(self, learner: FSMLearner | None = None) -> None:
+        self.learner = learner or FSMLearner()
+        self.factory = SampleFactory()
+        self.n_proxied = 0
+
+    @property
+    def model(self):
+        """The shared FSM model sensors classify against."""
+        return self.learner.model
+
+    def handle_unknown(
+        self, conversation: Conversation, *, is_injection: bool = True
+    ) -> int:
+        """Proxy an unexplained conversation to the honeyfarm and learn.
+
+        Returns the path id if the learner's model already explains the
+        conversation (a race that happens right after refinement), else
+        :data:`UNKNOWN_PATH_ID`.
+        """
+        self.n_proxied += 1
+        self.factory.handle(conversation, is_injection=is_injection)
+        return self.learner.observe(conversation)
+
+    def finalize(self) -> None:
+        """End-of-stream hook: flush pending refinement buffers."""
+        self.learner.flush()
+
+    def classify(self, conversation: Conversation) -> int:
+        """Classify against the current shared model (no learning)."""
+        return self.learner.classify(conversation)

@@ -1,0 +1,54 @@
+"""The sample factory: SGNET's Argos-based injection oracle.
+
+When a sensor meets an activity its FSM cannot handle, the gateway
+instantiates a *sample factory*: a real service implementation run under
+the Argos memory-tainting emulator.  The factory (a) supplies the
+protocol interaction the sensor lacks, and (b) detects the code
+injection and pinpoints the injected shellcode.
+
+In the simulation the oracle's verdict is derived from the attempt's
+ground truth (an attack attempt *is* an injection by construction), but
+the cost structure is preserved: every proxied conversation consumes a
+factory instantiation, which is the resource the FSM learning loop
+exists to save — see the deployment's ``proxy_ratio_by_week`` ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.honeypot.fsm import Conversation
+
+
+@dataclass(frozen=True)
+class InjectionReport:
+    """What the tainting oracle reports for one proxied conversation."""
+
+    is_injection: bool
+    n_messages: int
+
+
+class SampleFactory:
+    """Counts and reports on proxied conversations."""
+
+    def __init__(self) -> None:
+        self.n_instantiations = 0
+        self.n_injections = 0
+        self.n_benign = 0
+
+    def handle(
+        self, conversation: Conversation, *, is_injection: bool = True
+    ) -> InjectionReport:
+        """Run one proxied conversation through the oracle.
+
+        ``is_injection`` stands in for the memory-tainting verdict: the
+        simulation derives it from the traffic's provenance (attack
+        attempts taint control flow, background probes do not), exactly
+        the ground truth Argos extracts from execution.
+        """
+        self.n_instantiations += 1
+        if is_injection:
+            self.n_injections += 1
+        else:
+            self.n_benign += 1
+        return InjectionReport(is_injection=is_injection, n_messages=len(conversation))

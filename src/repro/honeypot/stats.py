@@ -1,0 +1,96 @@
+"""Deployment observation statistics: the honeypot's own health view.
+
+Aggregates what the deployment experienced during a run: per-sensor
+autonomy (locally-handled vs proxied conversations), honeyfarm load,
+FSM growth, shellcode-pipeline failure rates, and background filtering.
+Rendered into the operational section of reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.honeypot.deployment import SGNetDeployment
+from repro.util.stats import quantile
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class DeploymentStats:
+    """Counters summarising one deployment's observation run."""
+
+    n_sensors: int
+    n_networks: int
+    conversations: int
+    handled_locally: int
+    proxied: int
+    factory_instantiations: int
+    factory_injections: int
+    factory_benign: int
+    fsm_states: int
+    fsm_edges: int
+    fsm_refinements: int
+    shellcode: dict[str, int]
+    background_filtered: int
+    median_sensor_autonomy: float
+
+    @property
+    def autonomy(self) -> float:
+        """Share of conversations answered without the honeyfarm."""
+        total = self.handled_locally + self.proxied
+        return self.handled_locally / total if total else 0.0
+
+
+def collect_stats(deployment: SGNetDeployment) -> DeploymentStats:
+    """Snapshot a deployment's counters after :meth:`observe`."""
+    handled = sum(s.n_handled_locally for s in deployment.sensors.values())
+    proxied = sum(s.n_proxied for s in deployment.sensors.values())
+    autonomies = []
+    for sensor in deployment.sensors.values():
+        total = sensor.n_handled_locally + sensor.n_proxied
+        if total:
+            autonomies.append(sensor.n_handled_locally / total)
+    factory = deployment.gateway.factory
+    model = deployment.gateway.model
+    return DeploymentStats(
+        n_sensors=len(deployment.sensors),
+        n_networks=len(deployment.sensor_networks),
+        conversations=handled + proxied,
+        handled_locally=handled,
+        proxied=proxied,
+        factory_instantiations=factory.n_instantiations,
+        factory_injections=factory.n_injections,
+        factory_benign=factory.n_benign,
+        fsm_states=model.n_states,
+        fsm_edges=model.n_edges,
+        fsm_refinements=deployment.gateway.learner.n_refinements,
+        shellcode=deployment.shellcode.stats(),
+        background_filtered=deployment.n_background_filtered,
+        median_sensor_autonomy=quantile(autonomies, 0.5) if autonomies else 0.0,
+    )
+
+
+def render_stats(stats: DeploymentStats) -> str:
+    """Text rendering of the operational summary."""
+    table = TextTable(["metric", "value"], title="Deployment operation summary")
+    table.add_row(["sensors / networks", f"{stats.n_sensors} / {stats.n_networks}"])
+    table.add_row(["conversations", stats.conversations])
+    table.add_row(
+        ["handled locally", f"{stats.handled_locally} ({stats.autonomy:.0%})"]
+    )
+    table.add_row(["proxied to honeyfarm", stats.proxied])
+    table.add_row(["median sensor autonomy", f"{stats.median_sensor_autonomy:.0%}"])
+    table.add_row(
+        [
+            "factory verdicts (injection/benign)",
+            f"{stats.factory_injections}/{stats.factory_benign}",
+        ]
+    )
+    table.add_row(
+        ["FSM states/edges/refinements",
+         f"{stats.fsm_states}/{stats.fsm_edges}/{stats.fsm_refinements}"]
+    )
+    table.add_row(["background probes filtered", stats.background_filtered])
+    for key, value in stats.shellcode.items():
+        table.add_row([f"shellcode pipeline: {key}", value])
+    return table.render()

@@ -1,0 +1,133 @@
+"""IPv4 addresses and subnets as lightweight value types.
+
+Addresses are plain ``int`` subclasses (32-bit), so they are hashable,
+orderable, storable in numpy arrays and JSON-serializable via ``int`` —
+while still rendering in dotted-quad form for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require
+
+_MAX_IPV4 = (1 << 32) - 1
+
+
+def ip_to_string(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad.
+
+    >>> ip_to_string(0x01020304)
+    '1.2.3.4'
+    """
+    require(0 <= value <= _MAX_IPV4, f"not a 32-bit IPv4 value: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ip_from_string(text: str) -> "IPv4Address":
+    """Parse dotted-quad text into an :class:`IPv4Address`.
+
+    >>> int(ip_from_string('1.2.3.4')) == 0x01020304
+    True
+    """
+    parts = text.strip().split(".")
+    require(len(parts) == 4, f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        require(part.isdigit(), f"not a dotted quad: {text!r}")
+        octet = int(part)
+        require(0 <= octet <= 255, f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return IPv4Address(value)
+
+
+class IPv4Address(int):
+    """A 32-bit IPv4 address; an ``int`` that prints as dotted-quad."""
+
+    def __new__(cls, value: int) -> "IPv4Address":
+        require(0 <= value <= _MAX_IPV4, f"not a 32-bit IPv4 value: {value!r}")
+        return super().__new__(cls, value)
+
+    @property
+    def dotted(self) -> str:
+        """Dotted-quad rendering."""
+        return ip_to_string(int(self))
+
+    @property
+    def slash8(self) -> int:
+        """The /8 block (first octet) the address belongs to."""
+        return (int(self) >> 24) & 0xFF
+
+    @property
+    def slash16(self) -> int:
+        """The /16 prefix as an integer."""
+        return int(self) >> 16
+
+    @property
+    def slash24(self) -> int:
+        """The /24 prefix as an integer."""
+        return int(self) >> 8
+
+    def __str__(self) -> str:
+        return self.dotted
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({self.dotted!r})"
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """A CIDR block ``network/prefix_len``."""
+
+    network: int
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        require(0 <= self.prefix_len <= 32, f"bad prefix length {self.prefix_len}")
+        require(0 <= self.network <= _MAX_IPV4, "network must be 32-bit")
+        host_bits = 32 - self.prefix_len
+        require(
+            self.network & ((1 << host_bits) - 1) == 0 if host_bits < 32 else self.network == 0,
+            f"network {ip_to_string(self.network)} has host bits set for /{self.prefix_len}",
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "Subnet":
+        """Parse ``a.b.c.d/len`` notation.
+
+        >>> Subnet.parse('10.0.0.0/8').prefix_len
+        8
+        """
+        addr, _, plen = text.partition("/")
+        require(plen != "", f"missing prefix length in {text!r}")
+        return cls(int(ip_from_string(addr)), int(plen))
+
+    @property
+    def size(self) -> int:
+        """Number of addresses in the block."""
+        return 1 << (32 - self.prefix_len)
+
+    @property
+    def first(self) -> IPv4Address:
+        """Lowest address in the block."""
+        return IPv4Address(self.network)
+
+    @property
+    def last(self) -> IPv4Address:
+        """Highest address in the block."""
+        return IPv4Address(self.network + self.size - 1)
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` lies in the block."""
+        return self.network <= int(address) < self.network + self.size
+
+    def nth(self, offset: int) -> IPv4Address:
+        """The ``offset``-th address of the block (0-based)."""
+        require(0 <= offset < self.size, f"offset {offset} outside /{self.prefix_len}")
+        return IPv4Address(self.network + offset)
+
+    def __str__(self) -> str:
+        return f"{ip_to_string(self.network)}/{self.prefix_len}"
+
+    def __contains__(self, address: object) -> bool:
+        return isinstance(address, int) and self.contains(address)

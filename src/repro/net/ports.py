@@ -1,0 +1,29 @@
+"""TCP port registry for the services involved in observed attacks.
+
+The SGNET deployment observed server-side code injections against a small
+set of Windows services (the epsilon dimension records the destination
+port), and shellcodes instructed victims to fetch malware over a small
+set of download channels (the pi dimension records the involved port).
+"""
+
+from __future__ import annotations
+
+#: Service ports seen on the exploitation side of the dataset.
+KNOWN_SERVICE_PORTS: dict[int, str] = {
+    135: "epmap (MS-RPC endpoint mapper)",
+    139: "netbios-ssn",
+    445: "microsoft-ds (SMB)",
+    1025: "msrpc-alt",
+    2967: "symantec-av",
+    5000: "upnp",
+    21: "ftp",
+    80: "http",
+    69: "tftp",
+    6667: "irc",
+    9988: "allaple-push",
+}
+
+
+def service_name(port: int) -> str:
+    """Human-readable service name for a port, or ``tcp/<port>``."""
+    return KNOWN_SERVICE_PORTS.get(port, f"tcp/{port}")

@@ -1,0 +1,45 @@
+"""Synthetic Portable Executable (PE) model.
+
+The malware dimension (μ) of EPM clustering is characterised almost
+entirely by PE-header features (Table 1 of the paper): machine type,
+number of sections, section names, linker version, imported DLLs and the
+Kernel32 symbols referenced.  The paper extracted them with the
+``pefile`` library from real binaries; here we provide
+
+* :class:`PESpec`/:class:`SectionSpec` — a declarative description of a
+  binary's *structure* (what a malware family's codebase looks like),
+* :func:`build_pe` — a builder emitting real, byte-level PE images from a
+  spec (with deterministic content derived from a content seed), and
+* :func:`parse_pe` — a ``pefile``-like parser recovering a
+  :class:`PEInfo` from bytes, used by the honeypot pipeline exactly where
+  the paper used pefile.
+
+Build → mutate-content → parse round-trips preserve the header features,
+which is precisely the property Allaple-style polymorphism exhibits in
+the wild and that EPM clustering exploits.
+"""
+
+from repro.peformat.structures import (
+    MACHINE_AMD64,
+    MACHINE_I386,
+    PEFormatError,
+    PEInfo,
+    PESpec,
+    SectionSpec,
+)
+from repro.peformat.builder import build_pe, minimum_file_size
+from repro.peformat.parser import parse_pe
+from repro.peformat.magic import magic_type
+
+__all__ = [
+    "MACHINE_AMD64",
+    "MACHINE_I386",
+    "PEFormatError",
+    "PEInfo",
+    "PESpec",
+    "SectionSpec",
+    "build_pe",
+    "minimum_file_size",
+    "parse_pe",
+    "magic_type",
+]

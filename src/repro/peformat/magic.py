@@ -1,0 +1,55 @@
+"""libmagic-style file-type strings.
+
+The μ dimension of Table 1 includes "File type according to libmagic
+signatures".  This module reproduces the signature strings libmagic emits
+for the file classes present in the SGNET collection: PE executables
+(GUI/console, i386/x86-64), bare MS-DOS executables, and unrecognisable
+data (truncated downloads).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.peformat.structures import (
+    MACHINE_AMD64,
+    MACHINE_I386,
+    SUBSYSTEM_CUI,
+    SUBSYSTEM_GUI,
+)
+
+_MACHINE_NAMES = {
+    MACHINE_I386: "Intel 80386 32-bit",
+    MACHINE_AMD64: "x86-64",
+}
+
+_SUBSYSTEM_NAMES = {
+    SUBSYSTEM_GUI: "GUI",
+    SUBSYSTEM_CUI: "console",
+}
+
+
+def magic_type(data: bytes) -> str:
+    """Return a libmagic-style type string for ``data``.
+
+    >>> magic_type(b"\\x00\\x01")
+    'data'
+    """
+    if len(data) < 2 or data[0:2] != b"MZ":
+        return "data"
+    if len(data) < 0x40:
+        return "MS-DOS executable"
+    (e_lfanew,) = struct.unpack("<I", data[0x3C:0x40])
+    if e_lfanew + 26 > len(data) or data[e_lfanew : e_lfanew + 4] != b"PE\x00\x00":
+        return "MS-DOS executable"
+    (machine,) = struct.unpack("<H", data[e_lfanew + 4 : e_lfanew + 6])
+    machine_name = _MACHINE_NAMES.get(machine, f"machine {machine:#x}")
+    # Subsystem lives at optional-header offset 68 (PE32).
+    subsystem_name = "unknown"
+    opt_offset = e_lfanew + 24
+    if opt_offset + 70 <= len(data):
+        (subsystem,) = struct.unpack("<H", data[opt_offset + 68 : opt_offset + 70])
+        subsystem_name = _SUBSYSTEM_NAMES.get(subsystem, f"subsystem {subsystem}")
+    return (
+        f"MS-DOS executable PE for MS Windows ({subsystem_name}) {machine_name}"
+    )

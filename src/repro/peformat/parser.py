@@ -1,0 +1,175 @@
+"""Parser: PE image bytes -> :class:`PEInfo` header features.
+
+This is the reproduction's stand-in for the ``pefile`` library the paper
+used to extract μ-dimension features.  It performs genuine structural
+parsing — DOS header, COFF header, optional header, section table, and a
+walk of the import directory through RVA-to-file-offset translation — and
+raises :class:`PEFormatError` on anything malformed, which is how
+truncated Nepenthes downloads surface in the pipeline.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.peformat.structures import PEFormatError, PEInfo
+
+_COFF_SIZE = 20
+_MAX_IMPORT_DESCRIPTORS = 256
+_MAX_IMPORT_SYMBOLS = 4096
+_MAX_NAME_LEN = 256
+
+
+def _read(data: bytes, offset: int, size: int) -> bytes:
+    if offset < 0 or offset + size > len(data):
+        raise PEFormatError(
+            f"truncated image: need bytes [{offset}, {offset + size}), have {len(data)}"
+        )
+    return data[offset : offset + size]
+
+
+def _read_cstring(data: bytes, offset: int, what: str) -> str:
+    end = data.find(b"\x00", offset, offset + _MAX_NAME_LEN)
+    if end < 0:
+        raise PEFormatError(f"unterminated {what} string at offset {offset}")
+    return data[offset:end].decode("latin-1")
+
+
+class _SectionEntry:
+    __slots__ = ("name", "virtual_size", "virtual_address", "raw_size", "raw_pointer")
+
+    def __init__(self, name: str, vsize: int, vaddr: int, rsize: int, rptr: int) -> None:
+        self.name = name
+        self.virtual_size = vsize
+        self.virtual_address = vaddr
+        self.raw_size = rsize
+        self.raw_pointer = rptr
+
+
+def _rva_to_offset(sections: list[_SectionEntry], rva: int) -> int:
+    for sec in sections:
+        span = max(sec.virtual_size, sec.raw_size)
+        if sec.virtual_address <= rva < sec.virtual_address + span:
+            return sec.raw_pointer + (rva - sec.virtual_address)
+    raise PEFormatError(f"RVA {rva:#x} maps to no section")
+
+
+def _parse_imports(
+    data: bytes, sections: list[_SectionEntry], import_rva: int
+) -> dict[str, tuple[str, ...]]:
+    imports: dict[str, tuple[str, ...]] = {}
+    desc_offset = _rva_to_offset(sections, import_rva)
+    for index in range(_MAX_IMPORT_DESCRIPTORS):
+        raw = _read(data, desc_offset + index * 20, 20)
+        oft_rva, _stamp, _chain, name_rva, ft_rva = struct.unpack("<IIIII", raw)
+        if oft_rva == 0 and name_rva == 0 and ft_rva == 0:
+            return imports
+        if name_rva == 0:
+            raise PEFormatError("import descriptor with no DLL name")
+        dll = _read_cstring(data, _rva_to_offset(sections, name_rva), "DLL name")
+        thunk_rva = oft_rva or ft_rva
+        thunk_offset = _rva_to_offset(sections, thunk_rva)
+        symbols: list[str] = []
+        for j in range(_MAX_IMPORT_SYMBOLS):
+            (entry,) = struct.unpack("<I", _read(data, thunk_offset + j * 4, 4))
+            if entry == 0:
+                break
+            if entry & 0x8000_0000:
+                symbols.append(f"ordinal:{entry & 0xFFFF}")
+                continue
+            hint_offset = _rva_to_offset(sections, entry)
+            _read(data, hint_offset, 2)  # the hint; validates bounds
+            symbols.append(_read_cstring(data, hint_offset + 2, "import symbol"))
+        else:
+            raise PEFormatError("unterminated import thunk array")
+        imports[dll] = tuple(symbols)
+    raise PEFormatError("unterminated import descriptor table")
+
+
+def parse_pe(data: bytes) -> PEInfo:
+    """Parse a PE image and return its header features.
+
+    Raises :class:`PEFormatError` for non-PE or truncated input.  Only
+    32-bit (PE32) optional headers are understood, matching the malware
+    population of the paper's period.
+    """
+    if len(data) < 0x40 or data[0:2] != b"MZ":
+        raise PEFormatError("missing MZ signature")
+    (e_lfanew,) = struct.unpack("<I", _read(data, 0x3C, 4))
+    if _read(data, e_lfanew, 4) != b"PE\x00\x00":
+        raise PEFormatError("missing PE signature")
+
+    coff = _read(data, e_lfanew + 4, _COFF_SIZE)
+    machine, n_sections, _stamp, _symptr, _nsyms, opt_size, _chars = struct.unpack(
+        "<HHIIIHH", coff
+    )
+    if n_sections == 0 or n_sections > 96:
+        raise PEFormatError(f"implausible section count {n_sections}")
+    if opt_size < 96:
+        raise PEFormatError(f"optional header too small ({opt_size})")
+
+    opt_offset = e_lfanew + 4 + _COFF_SIZE
+    opt_head = _read(data, opt_offset, 28)
+    (magic, linker_major, linker_minor) = struct.unpack("<HBB", opt_head[:4])
+    if magic != 0x10B:
+        raise PEFormatError(f"not a PE32 optional header (magic {magic:#x})")
+    win_fields = _read(data, opt_offset + 28, 68)
+    (
+        _image_base,
+        _sec_align,
+        _file_align,
+        os_major,
+        os_minor,
+        _img_major,
+        _img_minor,
+        _ss_major,
+        _ss_minor,
+        _win32ver,
+        _size_of_image,
+        _size_of_headers,
+        _checksum,
+        subsystem,
+        _dll_chars,
+        _sr,
+        _sc,
+        _hr,
+        _hc,
+        _loader,
+        n_rva_sizes,
+    ) = struct.unpack("<IIIHHHHHHIIIIHHIIIIII", win_fields)
+
+    import_rva = import_size = 0
+    if n_rva_sizes >= 2:
+        import_rva, import_size = struct.unpack(
+            "<II", _read(data, opt_offset + 96 + 8, 8)
+        )
+
+    sec_table = opt_offset + opt_size
+    sections: list[_SectionEntry] = []
+    section_names: list[str] = []
+    for i in range(n_sections):
+        entry = _read(data, sec_table + i * 40, 40)
+        name = entry[:8].decode("latin-1")
+        vsize, vaddr, rsize, rptr = struct.unpack("<IIII", entry[8:24])
+        if rptr + rsize > len(data):
+            raise PEFormatError(
+                f"section {name.rstrip(chr(0))!r} raw data extends past end of file"
+            )
+        sections.append(_SectionEntry(name, vsize, vaddr, rsize, rptr))
+        section_names.append(name)
+
+    imports: dict[str, tuple[str, ...]] = {}
+    if import_rva and import_size:
+        imports = _parse_imports(data, sections, import_rva)
+
+    return PEInfo(
+        machine_type=machine,
+        n_sections=n_sections,
+        os_version=os_major * 10 + os_minor,
+        linker_version=linker_major * 10 + linker_minor,
+        subsystem=subsystem,
+        section_names=tuple(section_names),
+        imported_dlls=tuple(imports.keys()),
+        imports=imports,
+        file_size=len(data),
+    )

@@ -1,0 +1,93 @@
+"""Alternative linkage strategies for behaviour clustering.
+
+The paper attributes part of the size-1 anomaly population to "the
+employment of supervised clustering techniques (single linkage
+hierarchical clustering) in Anubis clustering".  Single linkage merges
+through chains — one borderline profile can bridge otherwise-distant
+groups — while leaving genuinely noisy profiles stranded alone.
+
+:func:`cluster_hierarchical` runs full agglomerative clustering (via
+scipy) over the unique behavioural profiles with a choice of linkage
+(``single``, ``complete``, ``average``), cut at distance ``1 - t``.
+With ``single`` it reproduces the union-find implementation of
+:func:`repro.sandbox.clustering.cluster_exact` exactly (a good
+cross-implementation oracle); ``average``/``complete`` are the
+ablation: stricter group cohesion, different artifact structure.
+
+This module requires scipy and is therefore *not* re-exported from
+:mod:`repro.sandbox` — it is an ablation/validation tool, imported
+explicitly by the tests and benches that need it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+from scipy.cluster.hierarchy import fcluster, linkage as scipy_linkage
+
+from repro.sandbox.behavior import BehaviorProfile
+from repro.sandbox.clustering import BehaviorClustering, ClusteringConfig
+from repro.util.validation import require
+
+_LINKAGES = ("single", "complete", "average")
+
+
+def _condensed_jaccard_distances(feature_sets: list[set]) -> np.ndarray:
+    n = len(feature_sets)
+    out = np.empty(n * (n - 1) // 2, dtype=np.float64)
+    k = 0
+    sizes = [len(s) for s in feature_sets]
+    for i in range(n):
+        a = feature_sets[i]
+        size_a = sizes[i]
+        for j in range(i + 1, n):
+            b = feature_sets[j]
+            if not a and not b:
+                similarity = 1.0
+            else:
+                inter = len(a & b)
+                similarity = inter / (size_a + sizes[j] - inter)
+            out[k] = 1.0 - similarity
+            k += 1
+    return out
+
+
+def cluster_hierarchical(
+    profiles: Mapping[str, BehaviorProfile],
+    config: ClusteringConfig | None = None,
+    *,
+    method: str = "average",
+) -> BehaviorClustering:
+    """Agglomerative clustering of profiles cut at distance ``1 - t``.
+
+    Exact duplicates are pre-collapsed as in the main pipeline;
+    complexity is quadratic in *unique* profiles, so this is the
+    ablation/validation tool, not the production path.
+    """
+    require(method in _LINKAGES, f"unknown linkage {method!r}")
+    config = config or ClusteringConfig()
+
+    groups: dict[frozenset, list[str]] = {}
+    for key, profile in profiles.items():
+        groups.setdefault(profile.features, []).append(key)
+    uniques = sorted(groups.keys(), key=lambda fs: (len(fs), sorted(fs)))
+
+    if not uniques:
+        return BehaviorClustering.from_assignment({})
+    if len(uniques) == 1:
+        assignment = {key: 0 for key in groups[uniques[0]]}
+        return BehaviorClustering.from_assignment(assignment)
+
+    distances = _condensed_jaccard_distances([set(f) for f in uniques])
+    tree = scipy_linkage(distances, method=method)
+    # fcluster with criterion='distance' groups everything whose merge
+    # height is <= the cutoff; cutting just below 1-t keeps >= t merges.
+    cutoff = (1.0 - config.threshold) + 1e-9
+    labels = fcluster(tree, t=cutoff, criterion="distance")
+
+    assignment: dict[str, int] = {}
+    for index, features in enumerate(uniques):
+        for key in groups[features]:
+            assignment[key] = int(labels[index])
+    return BehaviorClustering.from_assignment(assignment)

@@ -1,0 +1,80 @@
+"""Plain-text rendering of tables and histograms.
+
+The benchmark harness reproduces the paper's tables and figures as text:
+tables via :class:`TextTable`, figure-like distributions via
+:func:`format_histogram` (an ASCII bar chart).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+class TextTable:
+    """Minimal, dependency-free table renderer with aligned columns.
+
+    >>> t = TextTable(["name", "count"])
+    >>> t.add_row(["alpha", 3])
+    >>> print(t.render())
+    name  | count
+    ------+------
+    alpha | 3
+    """
+
+    def __init__(self, headers: Sequence[str], *, title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append a row; cells are stringified with ``str``."""
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table as aligned, pipe-separated text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_histogram(
+    counts: Mapping[str, int | float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    sort: bool = True,
+) -> str:
+    """Render a labelled ASCII bar chart, the text stand-in for figures.
+
+    >>> print(format_histogram({"a": 2, "b": 4}, width=4, sort=False))
+    a | ##   (2)
+    b | #### (4)
+    """
+    if not counts:
+        return (title + "\n" if title else "") + "(empty)"
+    peak = max(counts.values())
+    label_width = max(len(str(k)) for k in counts)
+    items = sorted(counts.items(), key=lambda kv: -kv[1]) if sort else list(counts.items())
+    lines = [title] if title else []
+    for label, value in items:
+        bar_len = 0 if peak == 0 else max(int(round(width * value / peak)), 1 if value > 0 else 0)
+        bar = ("#" * bar_len).ljust(width if peak > 0 else 0)
+        lines.append(f"{str(label).ljust(label_width)} | {bar} ({value})".rstrip())
+    return "\n".join(lines)

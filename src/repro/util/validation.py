@@ -1,0 +1,48 @@
+"""Lightweight argument validation helpers.
+
+The simulation layers take many numeric knobs (probabilities, rates,
+population sizes).  Validating them eagerly at construction time turns
+silent mis-configurations into immediate, well-located errors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ValidationError(ValueError):
+    """Raised when a configuration value fails validation."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_type(value: Any, expected: type | tuple[type, ...], name: str) -> None:
+    """Require ``value`` to be an instance of ``expected``."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise ValidationError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )
+
+
+def require_positive(value: float, name: str, *, allow_zero: bool = False) -> None:
+    """Require a strictly positive (or non-negative) numeric value."""
+    require_type(value, (int, float), name)
+    if allow_zero:
+        require(value >= 0, f"{name} must be >= 0, got {value!r}")
+    else:
+        require(value > 0, f"{name} must be > 0, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Require ``value`` to lie in the closed interval [0, 1]."""
+    require_type(value, (int, float), name)
+    require(0.0 <= value <= 1.0, f"{name} must be in [0, 1], got {value!r}")

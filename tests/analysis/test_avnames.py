@@ -1,0 +1,68 @@
+"""Tests for AV-name and EP-coordinate distributions (Figure 4)."""
+
+import pytest
+
+from repro.analysis.avnames import (
+    av_name_distribution,
+    dominant_p_cluster,
+    ep_coordinate_distribution,
+)
+from repro.analysis.crossview import CrossView
+
+
+@pytest.fixture(scope="module")
+def anomaly_md5s(small_run):
+    crossview = CrossView(small_run.dataset, small_run.epm, small_run.bclusters)
+    return [a.md5 for a in crossview.singleton_anomalies()]
+
+
+class TestAvNames:
+    def test_rahack_dominates_anomalies(self, small_run, anomaly_md5s):
+        counts = av_name_distribution(small_run.dataset, anomaly_md5s)
+        rahack = sum(n for label, n in counts.items() if "Rahack" in str(label))
+        assert rahack / sum(counts.values()) > 0.6
+
+    def test_unknown_md5_counted_as_not_scanned(self, small_run):
+        counts = av_name_distribution(small_run.dataset, ["0" * 32])
+        assert sum(counts.values()) == 0  # unknown samples are skipped entirely
+
+    def test_engine_selectable(self, small_run, anomaly_md5s):
+        counts = av_name_distribution(
+            small_run.dataset, anomaly_md5s[:20], engine="EuroAV"
+        )
+        labels = " ".join(str(k) for k in counts)
+        assert "Allaple" in labels or "<not detected>" in labels
+
+    def test_missing_engine_counts_not_scanned(self, small_run, anomaly_md5s):
+        counts = av_name_distribution(
+            small_run.dataset, anomaly_md5s[:5], engine="NoSuchAV"
+        )
+        assert counts["<not scanned>"] == 5
+
+
+class TestEpCoordinates:
+    def test_anomalies_concentrated_on_one_ep(self, small_run, anomaly_md5s):
+        counts = ep_coordinate_distribution(
+            small_run.dataset, small_run.epm, anomaly_md5s
+        )
+        top = counts.most_common(1)[0][1]
+        assert top / sum(counts.values()) > 0.9
+
+    def test_dominant_p_cluster_is_push_9988(self, small_run, anomaly_md5s):
+        p_cluster, share = dominant_p_cluster(
+            small_run.dataset, small_run.epm, anomaly_md5s
+        )
+        assert share > 0.9
+        pattern = dict(
+            zip(
+                small_run.epm.pi.feature_names,
+                small_run.epm.pi.clusters[p_cluster].pattern,
+            )
+        )
+        assert pattern["port"] == 9988
+        assert pattern["interaction"] == "push"
+
+    def test_dominant_p_empty_input(self, small_run):
+        p_cluster, share = dominant_p_cluster(small_run.dataset, small_run.epm, [])
+        assert p_cluster is None
+        assert share == 0.0

@@ -1,0 +1,84 @@
+"""Tests for code-sharing and patch-lineage analysis."""
+
+import pytest
+
+from repro.analysis.codeshare import CodeSharingAnalysis
+from repro.analysis.crossview import CrossView
+
+
+@pytest.fixture(scope="module")
+def analysis(small_run):
+    crossview = CrossView(small_run.dataset, small_run.epm, small_run.bclusters)
+    return CodeSharingAnalysis(
+        small_run.dataset, small_run.epm, crossview, small_run.grid
+    )
+
+
+class TestSharedPropagation:
+    def test_shared_payload_found(self, analysis):
+        # The allaple worm and the iliketay family share the TCP/9988
+        # PUSH payload by construction — the analysis must see it.
+        shared = analysis.shared_propagation()
+        assert shared
+        p_clusters = {p for p, _bs in shared}
+        assert 0 in p_clusters  # P0 is the push-9988 pattern
+
+    def test_shared_exploits_found(self, analysis):
+        shared = analysis.shared_exploits()
+        assert shared
+        for _e, behaviours in shared:
+            assert len(behaviours) > 1
+
+    def test_sorted_by_breadth(self, analysis):
+        shared = analysis.shared_propagation()
+        breadths = [len(bs) for _p, bs in shared]
+        assert breadths == sorted(breadths, reverse=True)
+
+    def test_min_events_filters(self, analysis):
+        loose = analysis.shared_propagation(min_events=1)
+        tight = analysis.shared_propagation(min_events=500)
+        assert len(tight) <= len(loose)
+
+
+class TestPatchLineages:
+    def test_worm_lineage_found(self, analysis, small_run):
+        lineages = analysis.patch_lineages()
+        assert lineages
+        # The biggest lineage is an allaple generation with many patches.
+        top = lineages[0]
+        assert top.n_patches > 5
+        families = set()
+        for m in top.m_clusters:
+            info = small_run.epm.mu.clusters[m]
+            families |= {
+                small_run.dataset.events[i].ground_truth.family
+                for i in info.event_ids
+            }
+        assert families == {"allaple"}
+
+    def test_steps_ordered_by_week(self, analysis):
+        for lineage in analysis.patch_lineages()[:5]:
+            assert list(lineage.first_weeks) == sorted(lineage.first_weeks)
+            assert len(lineage.steps) == lineage.n_patches - 1
+
+    def test_size_changes_dominate_worm_patches(self, analysis):
+        # Allaple patches differ mainly by file size (the paper's
+        # observation); linker changes mark the occasional recompile.
+        top = analysis.patch_lineages()[0]
+        size_changes = sum(
+            1 for step in top.steps if "size" in step.changed_features
+        )
+        assert size_changes >= len(top.steps) * 0.8
+        assert len(top.recompilations()) < len(top.steps)
+
+    def test_render_lineage(self, analysis):
+        lineage = analysis.patch_lineages()[0]
+        text = analysis.render_lineage(lineage, max_steps=3)
+        assert "code versions" in text
+        assert "week" in text
+
+    def test_min_m_clusters_validated(self, analysis):
+        from repro.util.validation import ValidationError
+
+        with pytest.raises(ValidationError):
+            analysis.patch_lineages(min_m_clusters=1)

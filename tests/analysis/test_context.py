@@ -1,0 +1,117 @@
+"""Tests for propagation-context analysis (Figure 5)."""
+
+import pytest
+
+from repro.analysis.context import PropagationContext
+from repro.analysis.crossview import CrossView
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def context(small_run):
+    return PropagationContext(small_run.dataset, small_run.grid)
+
+
+def _family_m_clusters(small_run, family):
+    """M-clusters dominated (>=90% of events) by one ground-truth family.
+
+    Excludes the generic junk clusters (corrupted downloads of many
+    families share wildcard-heavy patterns and pool together).
+    """
+    result = set()
+    for cid, info in small_run.epm.mu.clusters.items():
+        families = [
+            small_run.dataset.events[i].ground_truth.family for i in info.event_ids
+        ]
+        if families.count(family) / len(families) >= 0.9:
+            result.add(cid)
+    return result
+
+
+class TestSummaries:
+    def test_empty_cluster_rejected(self, context):
+        with pytest.raises(ValidationError):
+            context.summarize_events([], label="X")
+
+    def test_m_cluster_summary_fields(self, small_run, context):
+        ctx = context.summarize_m_cluster(small_run.epm, 0)
+        assert ctx.n_events == small_run.epm.mu.clusters[0].size
+        assert ctx.n_sources > 0
+        assert ctx.weeks_active >= 1
+        assert ctx.first_week <= ctx.last_week
+        assert sum(ctx.timeline.values()) == ctx.n_events
+
+    def test_b_cluster_summary_counts_sample_events(self, small_run, context):
+        ctx = context.summarize_b_cluster(small_run.bclusters, 0)
+        expected = sum(
+            len(small_run.dataset.events_for_sample(md5))
+            for md5 in small_run.bclusters.clusters[0]
+        )
+        assert ctx.n_events == expected
+
+    def test_duty_cycle_bounds(self, small_run, context):
+        ctx = context.summarize_m_cluster(small_run.epm, 0)
+        assert 0 < ctx.duty_cycle <= 1.0
+
+    def test_top_networks_limited(self, small_run, context):
+        ctx = context.summarize_m_cluster(small_run.epm, 0)
+        assert len(ctx.top_networks) <= 5
+
+
+class TestSignatures:
+    def test_worm_cluster_signature(self, small_run, context):
+        # The largest allaple M-cluster must look worm-like: spread wide,
+        # active for many weeks, non-bursty.
+        allaple_ms = _family_m_clusters(small_run, "allaple")
+        biggest = min(allaple_ms)  # smallest id = biggest cluster
+        ctx = context.summarize_m_cluster(small_run.epm, biggest)
+        assert ctx.signature() == "worm-like"
+        assert len(ctx.slash8_histogram) >= 8
+
+    def test_bot_cluster_signature(self, small_run, context):
+        bot_ms = set()
+        for i in range(10):
+            bot_ms |= _family_m_clusters(small_run, f"ircbot{i:02d}")
+        signatures = []
+        for m in sorted(bot_ms):
+            ctx = context.summarize_m_cluster(small_run.epm, m)
+            if ctx.n_events >= 15:
+                signatures.append(ctx.signature())
+        assert signatures
+        bot_like = signatures.count("bot-like")
+        assert bot_like / len(signatures) > 0.6
+
+    def test_bot_concentration(self, small_run, context):
+        # Bot populations live in at most two home /16s plus a small leak.
+        bot_ms = sorted(_family_m_clusters(small_run, "ircbot00"))
+        if not bot_ms:
+            pytest.skip("no ircbot00 M-clusters in the reduced run")
+        ctx = context.summarize_m_cluster(small_run.epm, bot_ms[0])
+        assert len(ctx.slash8_histogram) <= 6
+
+
+class TestFigure5:
+    def test_figure5_splits_by_m(self, small_run, context):
+        contexts = context.figure5(small_run.epm, small_run.bclusters, 0)
+        assert len(contexts) > 1
+        assert all(ctx.cluster_label.startswith("B0/M") for ctx in contexts)
+
+    def test_figure5_ordered_by_events(self, small_run, context):
+        contexts = context.figure5(small_run.epm, small_run.bclusters, 0)
+        events = [c.n_events for c in contexts]
+        assert events == sorted(events, reverse=True)
+
+    def test_figure5_min_events_filter(self, small_run, context):
+        all_slices = context.figure5(small_run.epm, small_run.bclusters, 0)
+        filtered = context.figure5(
+            small_run.epm, small_run.bclusters, 0, min_events=30
+        )
+        assert len(filtered) <= len(all_slices)
+        assert all(c.n_events >= 30 for c in filtered)
+
+    def test_worm_b_cluster_slices_all_widespread(self, small_run, context):
+        contexts = context.figure5(
+            small_run.epm, small_run.bclusters, 0, min_events=30
+        )
+        for ctx in contexts:
+            assert ctx.source_spread > 0.8

@@ -1,0 +1,119 @@
+"""Tests for the threat-evolution analysis."""
+
+import pytest
+
+from repro.analysis.evolution import EvolutionAnalysis, dataset_between
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def evolution(small_run):
+    return EvolutionAnalysis(small_run.dataset, small_run.epm, small_run.grid)
+
+
+class TestWeeklyActivity:
+    def test_covers_whole_window(self, small_run, evolution):
+        weekly = evolution.weekly_activity()
+        assert len(weekly) == small_run.grid.n_weeks
+        assert [w.week for w in weekly] == list(range(small_run.grid.n_weeks))
+
+    def test_event_counts_sum(self, small_run, evolution):
+        weekly = evolution.weekly_activity()
+        assert sum(w.n_events for w in weekly) == len(small_run.dataset)
+
+    def test_new_samples_sum_to_collection(self, small_run, evolution):
+        weekly = evolution.weekly_activity()
+        assert sum(w.new_samples for w in weekly) == small_run.dataset.n_samples
+
+    def test_new_clusters_sum(self, small_run, evolution):
+        weekly = evolution.weekly_activity()
+        assert sum(w.new_m_clusters for w in weekly) == small_run.epm.mu.n_clusters
+
+    def test_continuous_discovery(self, evolution):
+        # New code keeps appearing throughout the window — the paper's
+        # argument for continuous collection.
+        weekly = evolution.weekly_activity()
+        second_half = weekly[len(weekly) // 2 :]
+        assert sum(w.new_samples for w in second_half) > 0
+
+
+class TestLifecycles:
+    def test_fields_consistent(self, evolution):
+        for lc in evolution.m_cluster_lifecycles():
+            assert lc.birth_week <= lc.death_week
+            assert 1 <= lc.active_weeks <= lc.life_span
+            assert 0.0 <= lc.dormancy < 1.0
+
+    def test_sorted_by_birth(self, evolution):
+        births = [lc.birth_week for lc in evolution.m_cluster_lifecycles()]
+        assert births == sorted(births)
+
+    def test_bot_clusters_more_dormant_than_worms(self, small_run, evolution):
+        dormancies = {}
+        for lc in evolution.m_cluster_lifecycles(min_events=20):
+            info = small_run.epm.mu.clusters[lc.m_cluster]
+            families = {
+                small_run.dataset.events[i].ground_truth.family
+                for i in info.event_ids
+            }
+            if len(families) != 1:
+                continue
+            family = families.pop()
+            kind = (
+                "worm"
+                if family == "allaple"
+                else "bot" if family.startswith("ircbot") else None
+            )
+            if kind and lc.life_span > 4:
+                dormancies.setdefault(kind, []).append(lc.dormancy)
+        assert dormancies.get("worm") and dormancies.get("bot")
+        worm_avg = sum(dormancies["worm"]) / len(dormancies["worm"])
+        bot_avg = sum(dormancies["bot"]) / len(dormancies["bot"])
+        assert bot_avg > worm_avg
+
+
+class TestDiscoveryCurve:
+    def test_monotone(self, evolution):
+        curve = evolution.sample_discovery_curve()
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_ends_at_collection_size(self, small_run, evolution):
+        assert evolution.sample_discovery_curve()[-1] == small_run.dataset.n_samples
+
+
+class TestDatasetBetween:
+    def test_window_filtering(self, small_run):
+        subset = dataset_between(small_run.dataset, small_run.grid, 0, 10)
+        window = small_run.grid.subwindow(0, 10)
+        assert len(subset) > 0
+        assert all(window.contains(e.timestamp) for e in subset)
+
+    def test_event_ids_renumbered(self, small_run):
+        subset = dataset_between(small_run.dataset, small_run.grid, 5, 15)
+        assert [e.event_id for e in subset] == list(range(len(subset)))
+
+    def test_partition_covers_everything(self, small_run):
+        half = small_run.grid.n_weeks // 2
+        first = dataset_between(small_run.dataset, small_run.grid, 0, half)
+        second = dataset_between(
+            small_run.dataset, small_run.grid, half, small_run.grid.n_weeks
+        )
+        assert len(first) + len(second) == len(small_run.dataset)
+
+    def test_behavior_handles_preserved(self, small_run):
+        subset = dataset_between(small_run.dataset, small_run.grid, 0, 20)
+        with_handles = [
+            r for r in subset.samples.values() if r.behavior_handle is not None
+        ]
+        assert with_handles
+
+    def test_empty_window_rejected(self, small_run):
+        with pytest.raises(ValidationError):
+            dataset_between(small_run.dataset, small_run.grid, 5, 5)
+
+    def test_subwindow_reclusterable(self, small_run):
+        from repro.core.epm import EPMClustering
+
+        subset = dataset_between(small_run.dataset, small_run.grid, 0, 30)
+        epm = EPMClustering().fit(subset)
+        assert epm.counts()["m_clusters"] > 0

@@ -1,0 +1,79 @@
+"""Tests for C&C correlation (Table 2)."""
+
+import pytest
+
+from repro.analysis.irc import CnCCorrelation, IRCRendezvous, _parse_rendezvous
+
+
+@pytest.fixture(scope="module")
+def correlation(small_run):
+    return CnCCorrelation(small_run.dataset, small_run.epm, small_run.anubis)
+
+
+class TestParsing:
+    def test_parse_rendezvous(self):
+        rv = _parse_rendezvous("irc://67.43.232.36:6667/#kok6")
+        assert rv == IRCRendezvous(server="67.43.232.36", room="#kok6")
+
+    def test_parse_rejects_other_features(self):
+        assert _parse_rendezvous("http://x.cn/a.exe") is None
+
+    def test_parse_rejects_incomplete(self):
+        assert _parse_rendezvous("irc://hostonly:6667") is None
+
+    def test_slash24(self):
+        rv = IRCRendezvous(server="67.43.232.36", room="#a")
+        assert rv.slash24 == (67 << 16 | 43 << 8 | 232)
+
+
+class TestCorrelation:
+    def test_bot_m_clusters_correlated(self, correlation):
+        assert correlation.n_irc_m_clusters > 5
+
+    def test_table2_rows_sorted(self, correlation):
+        rows = correlation.table2()
+        keys = [(server, room) for server, room, _ in rows]
+        assert keys == sorted(keys)
+
+    def test_table2_m_clusters_nonempty(self, correlation):
+        for _server, _room, ms in correlation.table2():
+            assert ms
+
+    def test_render_table2(self, correlation):
+        text = correlation.render_table2()
+        assert "Server address" in text
+        assert "#" in text
+
+    def test_rooms_commanding_multiple_m_clusters(self, correlation):
+        # Patched botnets: same room, several code variants.
+        assert correlation.shared_rooms()
+
+    def test_servers_concentrated_in_subnets(self, correlation):
+        summary = correlation.infrastructure_summary()
+        assert summary["subnets_with_multiple_servers"] >= 1
+
+    def test_room_names_recur_across_servers(self, correlation):
+        assert correlation.recurring_rooms()
+
+    def test_infrastructure_summary_consistent(self, correlation):
+        summary = correlation.infrastructure_summary()
+        assert summary["servers"] <= summary["rendezvous"]
+        assert summary["subnets"] <= summary["servers"]
+
+    def test_ground_truth_agreement(self, small_run, correlation):
+        # Every correlated rendezvous matches a C&C some generating
+        # variant was actually wired to (directly or via a downloaded
+        # second-stage component).
+        truth = set()
+
+        def collect(template):
+            if template.cnc is not None:
+                truth.add((template.cnc.server, template.cnc.room))
+            for component in template.components:
+                collect(component.component)
+
+        for family in small_run.catalog.families:
+            for variant in family.variants:
+                collect(variant.behavior)
+        for rv in correlation.m_of_rendezvous:
+            assert (rv.server, rv.room) in truth

@@ -1,0 +1,132 @@
+"""Tests for clustering-quality metrics and AV-label references."""
+
+import pytest
+
+from repro.analysis.quality import (
+    av_label_consistency,
+    av_reference_labels,
+    coverage,
+    ground_truth_labels,
+    pairwise_f1,
+    precision_recall,
+)
+from repro.util.validation import ValidationError
+
+
+class TestPrecisionRecall:
+    def test_perfect_clustering(self):
+        assignment = {"a": 1, "b": 1, "c": 2}
+        reference = {"a": "x", "b": "x", "c": "y"}
+        score = precision_recall(assignment, reference)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_everything_in_one_cluster(self):
+        assignment = {"a": 1, "b": 1, "c": 1, "d": 1}
+        reference = {"a": "x", "b": "x", "c": "y", "d": "y"}
+        score = precision_recall(assignment, reference)
+        assert score.precision == 0.5  # best class covers half the cluster
+        assert score.recall == 1.0  # each class sits in one cluster
+
+    def test_everything_singleton(self):
+        assignment = {"a": 1, "b": 2, "c": 3, "d": 4}
+        reference = {"a": "x", "b": "x", "c": "y", "d": "y"}
+        score = precision_recall(assignment, reference)
+        assert score.precision == 1.0
+        assert score.recall == 0.5
+
+    def test_items_missing_from_reference_ignored(self):
+        assignment = {"a": 1, "b": 1, "zz": 9}
+        reference = {"a": "x", "b": "x"}
+        score = precision_recall(assignment, reference)
+        assert score.n_items == 2
+
+    def test_no_overlap_rejected(self):
+        with pytest.raises(ValidationError):
+            precision_recall({"a": 1}, {"b": "x"})
+
+    def test_f1_zero_case(self):
+        from repro.analysis.quality import QualityScore
+
+        score = QualityScore(0.0, 0.0, 1, 1, 1)
+        assert score.f1 == 0.0
+
+
+class TestPairwiseF1:
+    def test_perfect(self):
+        assignment = {"a": 1, "b": 1, "c": 2}
+        reference = {"a": "x", "b": "x", "c": "y"}
+        assert pairwise_f1(assignment, reference) == 1.0
+
+    def test_all_singletons_vs_pairs(self):
+        assignment = {"a": 1, "b": 2}
+        reference = {"a": "x", "b": "x"}
+        assert pairwise_f1(assignment, reference) == 0.0
+
+    def test_both_trivial(self):
+        assignment = {"a": 1, "b": 2}
+        reference = {"a": "x", "b": "y"}
+        assert pairwise_f1(assignment, reference) == 1.0
+
+    def test_partial(self):
+        assignment = {"a": 1, "b": 1, "c": 1}
+        reference = {"a": "x", "b": "x", "c": "y"}
+        score = pairwise_f1(assignment, reference)
+        assert 0.0 < score < 1.0
+
+
+class TestReferences:
+    def test_ground_truth_levels(self, small_dataset):
+        families = set(ground_truth_labels(small_dataset, level="family").values())
+        variants = set(ground_truth_labels(small_dataset, level="variant").values())
+        assert len(variants) > len(families)
+        assert all("/" in v for v in variants)
+
+    def test_ground_truth_bad_level(self, small_dataset):
+        with pytest.raises(ValidationError):
+            ground_truth_labels(small_dataset, level="nope")
+
+    def test_av_reference_partial_coverage(self, small_dataset):
+        labels = av_reference_labels(small_dataset)
+        assert 0.5 < coverage(labels, small_dataset) < 1.0
+
+    def test_av_reference_drops_generics(self, small_dataset):
+        labels = av_reference_labels(small_dataset)
+        assert all("Generic" not in label for label in labels.values())
+
+    def test_av_engines_disagree_on_names(self, small_dataset):
+        # The aliasing problem: cross-engine stem agreement is low.
+        assert av_label_consistency(small_dataset) < 0.5
+
+
+class TestQualityOnScenario:
+    def test_epm_variant_quality_high(self, small_run):
+        truth = ground_truth_labels(small_run.dataset, level="variant")
+        assignment = small_run.epm.m_cluster_of_samples(small_run.dataset)
+        # Restrict to clean samples: truncated binaries legitimately
+        # land in junk bins.
+        clean = {
+            md5: cluster
+            for md5, cluster in assignment.items()
+            if not small_run.dataset.samples[md5].observable.corrupted
+        }
+        score = precision_recall(clean, truth)
+        assert score.precision > 0.9
+        assert score.recall > 0.75
+
+    def test_av_reference_worse_than_truth(self, small_run):
+        # Scoring EPM against AV labels *underestimates* it relative to
+        # ground truth — the reason the paper distrusts AV references.
+        truth = ground_truth_labels(small_run.dataset, level="family")
+        av = av_reference_labels(small_run.dataset)
+        assignment = {
+            md5: cluster
+            for md5, cluster in small_run.epm.m_cluster_of_samples(
+                small_run.dataset
+            ).items()
+            if not small_run.dataset.samples[md5].observable.corrupted
+        }
+        truth_score = precision_recall(assignment, truth)
+        av_score = precision_recall(assignment, av)
+        assert av_score.precision <= truth_score.precision + 0.02

@@ -1,0 +1,73 @@
+"""Tests for the Figure 3 relation graph."""
+
+import pytest
+
+from repro.analysis.relations import RelationGraph
+
+
+@pytest.fixture(scope="module")
+def graph(small_run):
+    return RelationGraph(
+        small_run.dataset, small_run.epm, small_run.bclusters, min_events=30
+    )
+
+
+class TestStructure:
+    def test_four_layers_present(self, graph):
+        stats = graph.stats()
+        assert stats.e_nodes > 0
+        assert stats.p_nodes > 0
+        assert stats.m_nodes > 0
+        assert stats.b_nodes > 0
+
+    def test_paper_shape_few_ep_many_m(self, graph):
+        stats = graph.stats()
+        assert stats.m_nodes > stats.e_nodes * 2
+        assert stats.m_nodes > stats.p_nodes * 2
+
+    def test_edges_respect_layering(self, graph):
+        allowed = {("E", "P"), ("P", "M"), ("M", "B")}
+        for u, v in graph.graph.edges:
+            assert (u[0], v[0]) in allowed
+
+    def test_min_events_filter(self, small_run):
+        tight = RelationGraph(
+            small_run.dataset, small_run.epm, small_run.bclusters, min_events=200
+        )
+        loose = RelationGraph(
+            small_run.dataset, small_run.epm, small_run.bclusters, min_events=5
+        )
+        assert tight.graph.number_of_nodes() < loose.graph.number_of_nodes()
+
+    def test_node_event_counts_above_threshold(self, graph):
+        for _node, data in graph.graph.nodes(data=True):
+            assert data["events"] >= 30
+
+    def test_edge_weights_positive(self, graph):
+        assert all(d["weight"] > 0 for _u, _v, d in graph.graph.edges(data=True))
+
+
+class TestPaperReadings:
+    def test_shared_payloads_exist(self, graph):
+        # "The same payload can be associated with multiple exploits."
+        shared = graph.shared_payloads()
+        assert shared
+        for p_cluster, exploits in shared:
+            assert len(exploits) > 1
+
+    def test_b_cluster_splits_exist(self, graph):
+        # "The number of B-clusters is lower than the number of M-clusters."
+        splits = graph.b_cluster_splits()
+        assert splits
+        biggest = max(len(ms) for _b, ms in splits)
+        assert biggest >= 5  # the worm B-cluster spans many patches
+
+    def test_layer_nodes_sorted_by_events(self, graph):
+        nodes = graph.layer_nodes("M")
+        events = [graph.graph.nodes[n]["events"] for n in nodes]
+        assert events == sorted(events, reverse=True)
+
+    def test_render_text(self, graph):
+        text = graph.render_text()
+        assert "E-layer" in text
+        assert "->" in text

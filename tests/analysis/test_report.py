@@ -1,0 +1,44 @@
+"""Tests for the combined intelligence report."""
+
+import pytest
+
+from repro.analysis.report import full_report
+
+
+@pytest.fixture(scope="module")
+def report_text(small_run):
+    return full_report(small_run)
+
+
+class TestFullReport:
+    def test_all_sections_present(self, report_text):
+        for section in (
+            "Collection summary",
+            "Cluster relations",
+            "Anomaly triage",
+            "Propagation-context classification",
+            "C&C infrastructure",
+            "Patching practices",
+            "Landscape evolution",
+            "Pattern drift",
+            "Deployment operations",
+        ):
+            assert section in report_text
+
+    def test_headline_numbers_embedded(self, small_run, report_text):
+        headline = small_run.headline()
+        assert str(headline["samples_collected"]) in report_text
+        assert str(headline["m_clusters"]) in report_text
+
+    def test_timelines_rendered(self, report_text):
+        assert "events/week" in report_text
+        # timeline strips use the . : | # alphabet
+        assert "#" in report_text
+
+    def test_signatures_shown(self, report_text):
+        assert "worm-like" in report_text
+        assert "bot-like" in report_text
+
+    def test_graph_filter_configurable(self, small_run):
+        tight = full_report(small_run, min_graph_events=500)
+        assert "Cluster relations" in tight

@@ -1,0 +1,55 @@
+"""Tests for the pattern-drift analysis."""
+
+import pytest
+
+from repro.analysis.stability import drift_analysis, render_drift
+from repro.core.features import Dimension
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def reports(small_run):
+    return drift_analysis(small_run.dataset, small_run.grid)
+
+
+class TestDriftAnalysis:
+    def test_all_dimensions_reported(self, reports):
+        assert set(reports) == set(Dimension)
+
+    def test_counts_consistent(self, reports):
+        for report in reports.values():
+            assert report.explained + report.novel == report.n_eval
+            assert 0.0 <= report.novelty_rate <= 1.0
+            assert report.explained_rate + report.novelty_rate == pytest.approx(1.0)
+
+    def test_epsilon_mostly_stable(self, reports):
+        # Exploit vocabularies changed slowly; most future exploit
+        # traffic matches known paths.
+        assert reports[Dimension.EPSILON].explained_rate > 0.6
+
+    def test_mu_has_novelty(self, reports):
+        # New variants keep appearing: the future mints patterns the
+        # past never saw.
+        assert reports[Dimension.MU].eval_only_patterns > 0
+
+    def test_bad_split_rejected(self, small_run):
+        with pytest.raises(ValidationError):
+            drift_analysis(small_run.dataset, small_run.grid, split_week=0)
+
+    def test_split_position_changes_result(self, small_run):
+        early = drift_analysis(small_run.dataset, small_run.grid, split_week=10)
+        late = drift_analysis(
+            small_run.dataset, small_run.grid,
+            split_week=small_run.grid.n_weeks - 10,
+        )
+        # A model trained on more history explains at least roughly as
+        # much of the (smaller) future.
+        assert (
+            late[Dimension.MU].explained_rate
+            >= early[Dimension.MU].explained_rate - 0.05
+        )
+
+    def test_render(self, reports):
+        text = render_drift(reports)
+        assert "drift" in text.lower()
+        assert "epsilon" in text

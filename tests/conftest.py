@@ -1,0 +1,31 @@
+"""Shared fixtures: one reduced end-to-end scenario per test session.
+
+The reduced scenario keeps the full landscape shape (worm lineage, bots,
+the per-source family, misc tail) at a fraction of the event volume, so
+integration and analysis tests run against a realistic dataset without
+paying the full-scale simulation cost more than once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import PaperScenario, ScenarioConfig, ScenarioRun
+from repro.honeypot.deployment import DeploymentConfig
+
+
+@pytest.fixture(scope="session")
+def small_run() -> ScenarioRun:
+    """A reduced but structurally complete pipeline run."""
+    config = ScenarioConfig(
+        n_weeks=74,
+        scale=0.22,
+        deployment=DeploymentConfig(n_networks=12, sensors_per_network=4),
+    )
+    return PaperScenario(seed=2010, config=config).run()
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_run):
+    """The reduced run's SGNET dataset."""
+    return small_run.dataset

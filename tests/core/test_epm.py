@@ -1,0 +1,134 @@
+"""Tests for the EPM clustering facade over realistic datasets."""
+
+import pytest
+
+from repro.core.epm import EPMClustering
+from repro.core.features import Dimension
+from repro.core.invariants import InvariantPolicy
+from repro.core.patterns import WILDCARD
+from repro.egpm.dataset import SGNetDataset
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def epm_result(small_run):
+    return small_run.epm
+
+
+class TestFacade:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValidationError):
+            EPMClustering().fit(SGNetDataset())
+
+    def test_all_dimensions_fit(self, epm_result):
+        assert set(epm_result.dimensions) == set(Dimension)
+
+    def test_counts_positive(self, epm_result):
+        counts = epm_result.counts()
+        assert counts["e_clusters"] > 1
+        assert counts["p_clusters"] > 1
+        assert counts["m_clusters"] > counts["e_clusters"]
+
+    def test_table1_shape(self, epm_result):
+        table = epm_result.table1()
+        assert set(table[Dimension.EPSILON]) == {"fsm_path_id", "dst_port"}
+        assert table[Dimension.MU]["machine_type"] >= 1
+
+
+class TestAssignments:
+    def test_every_event_has_epsilon_cluster(self, small_run, epm_result):
+        for event in small_run.dataset:
+            assert epm_result.epsilon.cluster_of(event.event_id) is not None
+
+    def test_pi_only_for_events_with_payload(self, small_run, epm_result):
+        for event in small_run.dataset:
+            assigned = epm_result.pi.cluster_of(event.event_id) is not None
+            assert assigned == (event.payload is not None)
+
+    def test_mu_only_for_events_with_malware(self, small_run, epm_result):
+        for event in small_run.dataset:
+            assigned = epm_result.mu.cluster_of(event.event_id) is not None
+            assert assigned == (event.malware is not None)
+
+    def test_cluster_sizes_sum_to_instances(self, epm_result):
+        for clustering in epm_result.dimensions.values():
+            assert sum(clustering.sizes().values()) == clustering.n_instances
+
+    def test_coordinates(self, small_run, epm_result):
+        event = small_run.dataset.events[0]
+        e, p, m = epm_result.coordinates(event.event_id)
+        assert e is not None
+
+    def test_cluster_ids_dense_and_size_ordered(self, epm_result):
+        for clustering in epm_result.dimensions.values():
+            sizes = [clustering.clusters[c].size for c in sorted(clustering.clusters)]
+            assert sizes == sorted(sizes, reverse=True)
+            assert sorted(clustering.clusters) == list(range(len(sizes)))
+
+
+class TestSampleLevelConsistency:
+    def test_m_cluster_of_samples_well_defined(self, small_run, epm_result):
+        mapping = epm_result.m_cluster_of_samples(small_run.dataset)
+        assert len(mapping) == small_run.dataset.n_samples
+
+    def test_same_md5_same_m_cluster(self, small_run, epm_result):
+        by_md5 = {}
+        for event in small_run.dataset:
+            if event.malware is None:
+                continue
+            cluster = epm_result.mu.cluster_of(event.event_id)
+            previous = by_md5.setdefault(event.malware.md5, cluster)
+            assert previous == cluster
+
+
+class TestGroundTruthAgreement:
+    def test_m_clusters_do_not_mix_pe_families(self, small_run, epm_result):
+        """Events of one specific M-cluster should come from one variant.
+
+        Checked on clusters whose pattern pins the file size: those are
+        the variant-level clusters EPM is supposed to isolate.
+        """
+        names = epm_result.mu.feature_names
+        size_index = names.index("size")
+        checked = 0
+        for info in epm_result.mu.clusters.values():
+            if info.pattern[size_index] is WILDCARD or info.size < 10:
+                continue
+            variants = {
+                small_run.dataset.events[i].ground_truth.variant
+                for i in info.event_ids
+            }
+            families = {
+                small_run.dataset.events[i].ground_truth.family
+                for i in info.event_ids
+            }
+            checked += 1
+            assert len(families) == 1
+            assert len(variants) == 1
+        assert checked > 5
+
+    def test_e_clusters_do_not_mix_exploits(self, small_run, epm_result):
+        # Specific clusters (non-wildcard patterns) never mix destination
+        # ports; the all-wildcard fallback bin legitimately pools the
+        # unlearned tail and is skipped.
+        for info in epm_result.epsilon.clusters.values():
+            if info.size < 10 or all(v is WILDCARD for v in info.pattern):
+                continue
+            port_values = {
+                small_run.dataset.events[i].exploit.dst_port for i in info.event_ids
+            }
+            assert len(port_values) == 1
+
+
+class TestPolicyKnobs:
+    def test_strict_policy_fewer_specific_clusters(self, small_run):
+        loose = small_run.epm
+        strict = EPMClustering(
+            policy=InvariantPolicy(min_instances=50, min_sources=10, min_sensors=10)
+        ).fit(small_run.dataset)
+        # Stricter invariants -> fewer invariant values -> fewer M-clusters.
+        assert strict.mu.n_clusters < loose.mu.n_clusters
+
+    def test_min_pattern_support_reduces_clusters(self, small_run):
+        pruned = EPMClustering(min_pattern_support=30).fit(small_run.dataset)
+        assert pruned.mu.n_clusters <= small_run.epm.mu.n_clusters

@@ -1,0 +1,78 @@
+"""Tests for clustering-result export."""
+
+import json
+
+import pytest
+
+from repro.core.export import bclusters_to_dict, dimension_to_dict, epm_to_dict
+
+
+@pytest.fixture(scope="module")
+def exported(small_run):
+    return epm_to_dict(small_run.epm)
+
+
+class TestEpmExport:
+    def test_json_serializable(self, exported):
+        json.dumps(exported)
+
+    def test_counts_match(self, small_run, exported):
+        assert exported["counts"] == small_run.epm.counts()
+
+    def test_policy_recorded(self, exported):
+        assert exported["policy"] == {
+            "min_instances": 10,
+            "min_sources": 3,
+            "min_sensors": 3,
+        }
+
+    def test_all_dimensions_present(self, exported):
+        assert set(exported["dimensions"]) == {"epsilon", "pi", "mu"}
+
+    def test_assignment_covers_instances(self, small_run, exported):
+        mu = exported["dimensions"]["mu"]
+        assert len(mu["assignment"]) == small_run.epm.mu.n_instances
+
+    def test_wildcard_encoding(self, exported):
+        mu = exported["dimensions"]["mu"]
+        md5_index = mu["feature_names"].index("md5")
+        wildcarded = [
+            c for c in mu["clusters"] if c["pattern"][md5_index] == "*"
+        ]
+        assert wildcarded  # polymorphic clusters have md5='*'
+
+    def test_tuple_values_become_lists(self, exported):
+        mu = exported["dimensions"]["mu"]
+        names_index = mu["feature_names"].index("section_names")
+        concrete = [
+            c["pattern"][names_index]
+            for c in mu["clusters"]
+            if c["pattern"][names_index] not in ("*", None)
+        ]
+        assert concrete
+        assert all(isinstance(v, list) for v in concrete)
+
+    def test_cluster_sizes_sum(self, small_run, exported):
+        mu = exported["dimensions"]["mu"]
+        assert sum(c["size"] for c in mu["clusters"]) == mu["n_instances"]
+
+
+class TestDimensionExport:
+    def test_invariant_counts_included(self, small_run):
+        data = dimension_to_dict(small_run.epm.epsilon)
+        assert set(data["invariant_counts"]) == {"fsm_path_id", "dst_port"}
+
+
+class TestBclustersExport:
+    def test_json_serializable(self, small_run):
+        json.dumps(bclusters_to_dict(small_run.bclusters))
+
+    def test_counts_match(self, small_run):
+        data = bclusters_to_dict(small_run.bclusters)
+        assert data["n_clusters"] == small_run.bclusters.n_clusters
+        assert data["n_singletons"] == len(small_run.bclusters.singletons())
+
+    def test_members_preserved(self, small_run):
+        data = bclusters_to_dict(small_run.bclusters)
+        total = sum(len(members) for members in data["clusters"].values())
+        assert total == len(small_run.bclusters.assignment)

@@ -1,0 +1,109 @@
+"""Tests for Table 1 feature definitions and extraction."""
+
+import pytest
+
+from repro.core.features import (
+    Dimension,
+    FeatureDefinition,
+    FeatureSet,
+    default_feature_sets,
+    epsilon_features,
+    mu_features,
+    pi_features,
+)
+from repro.util.validation import ValidationError
+
+from tests.egpm.test_events import make_event
+
+
+class TestFeatureSets:
+    def test_default_sets_cover_all_dimensions(self):
+        sets = default_feature_sets()
+        assert set(sets) == set(Dimension)
+
+    def test_table1_epsilon_features(self):
+        assert epsilon_features().names == ["fsm_path_id", "dst_port"]
+
+    def test_table1_pi_features(self):
+        assert pi_features().names == ["protocol", "filename", "port", "interaction"]
+
+    def test_table1_mu_features(self):
+        names = mu_features().names
+        assert names == [
+            "md5",
+            "size",
+            "magic",
+            "machine_type",
+            "n_sections",
+            "n_dlls",
+            "os_version",
+            "linker_version",
+            "section_names",
+            "imported_dlls",
+            "kernel32_symbols",
+        ]
+
+    def test_duplicate_names_rejected(self):
+        f = FeatureDefinition("x", lambda e: 1)
+        with pytest.raises(ValidationError):
+            FeatureSet(Dimension.PI, [f, f], applies=lambda e: True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureSet(Dimension.PI, [], applies=lambda e: True)
+
+
+class TestExtraction:
+    def test_epsilon_always_applies(self):
+        event = make_event(with_payload=False, with_malware=False)
+        assert epsilon_features().applies_to(event)
+        assert epsilon_features().extract(event) == (3, 445)
+
+    def test_pi_requires_payload(self):
+        event = make_event(with_payload=False, with_malware=False)
+        assert not pi_features().applies_to(event)
+        with pytest.raises(ValidationError):
+            pi_features().extract(event)
+
+    def test_pi_extraction(self):
+        event = make_event()
+        assert pi_features().extract(event) == ("ftp", "x.exe", 21, "pull")
+
+    def test_mu_requires_malware(self):
+        event = make_event(with_malware=False)
+        assert not mu_features().applies_to(event)
+
+    def test_mu_extraction_values(self):
+        event = make_event()
+        values = dict(zip(mu_features().names, mu_features().extract(event)))
+        assert values["md5"] == event.malware.md5
+        assert values["size"] == 59_904
+        assert values["machine_type"] == 332
+        assert values["n_sections"] == 3
+        assert values["linker_version"] == 92
+        assert values["kernel32_symbols"] == ("GetProcAddress", "LoadLibraryA")
+
+    def test_mu_pe_features_none_for_corrupted(self):
+        from repro.egpm.events import AttackEvent, MalwareObservable
+
+        base = make_event()
+        corrupted = AttackEvent(
+            event_id=0,
+            timestamp=1,
+            source=base.source,
+            sensor=base.sensor,
+            exploit=base.exploit,
+            malware=MalwareObservable(
+                md5="f" * 32, size=100, magic="data", pe=None, corrupted=True
+            ),
+        )
+        values = dict(zip(mu_features().names, mu_features().extract(corrupted)))
+        assert values["machine_type"] is None
+        assert values["section_names"] is None
+        assert values["md5"] == "f" * 32
+
+    def test_extracted_values_hashable(self):
+        event = make_event()
+        for feature_set in default_feature_sets().values():
+            if feature_set.applies_to(event):
+                hash(feature_set.extract(event))

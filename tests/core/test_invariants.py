@@ -1,0 +1,106 @@
+"""Tests for invariant discovery (EPM phase 2)."""
+
+import pytest
+
+from repro.core.invariants import InvariantPolicy, discover_invariants
+from repro.util.validation import ValidationError
+
+
+def obs(value, source, sensor):
+    return ((value,), source, sensor)
+
+
+def spread_observations(value, *, n=10, sources=3, sensors=3):
+    """n observations of `value` spread over the given diversity."""
+    return [
+        obs(value, i % sources, 100 + (i % sensors)) for i in range(n)
+    ]
+
+
+class TestPolicy:
+    def test_defaults_match_paper(self):
+        policy = InvariantPolicy()
+        assert (policy.min_instances, policy.min_sources, policy.min_sensors) == (
+            10,
+            3,
+            3,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            InvariantPolicy(min_instances=0)
+
+
+class TestDiscovery:
+    def test_qualifying_value_found(self):
+        stats = discover_invariants(spread_observations("v"), ["f"])
+        assert stats.is_invariant(0, "v")
+        assert stats.count_per_feature() == {"f": 1}
+
+    def test_below_instance_threshold(self):
+        stats = discover_invariants(spread_observations("v", n=9), ["f"])
+        assert not stats.is_invariant(0, "v")
+
+    def test_below_source_diversity(self):
+        # Frequent but single-attacker: the per-source-polymorphism trap.
+        stats = discover_invariants(spread_observations("v", n=50, sources=1), ["f"])
+        assert not stats.is_invariant(0, "v")
+
+    def test_below_sensor_diversity(self):
+        stats = discover_invariants(spread_observations("v", n=50, sensors=2), ["f"])
+        assert not stats.is_invariant(0, "v")
+
+    def test_exactly_at_thresholds(self):
+        stats = discover_invariants(
+            spread_observations("v", n=10, sources=3, sensors=3), ["f"]
+        )
+        assert stats.is_invariant(0, "v")
+
+    def test_custom_policy(self):
+        policy = InvariantPolicy(min_instances=3, min_sources=1, min_sensors=1)
+        stats = discover_invariants(
+            spread_observations("v", n=3, sources=1, sensors=1), ["f"], policy
+        )
+        assert stats.is_invariant(0, "v")
+
+    def test_per_feature_independence(self):
+        observations = [
+            (("common", f"unique-{i}"), i % 5, 100 + (i % 5)) for i in range(20)
+        ]
+        stats = discover_invariants(observations, ["stable", "random"])
+        assert stats.count_per_feature() == {"stable": 1, "random": 0}
+
+    def test_multiple_invariants_per_feature(self):
+        observations = spread_observations("a", n=15) + spread_observations("b", n=15)
+        stats = discover_invariants(observations, ["f"])
+        assert stats.invariants[0] == {"a", "b"}
+        assert stats.total_invariants == 2
+
+    def test_support_recorded(self):
+        stats = discover_invariants(spread_observations("v", n=12), ["f"])
+        assert stats.support[0]["v"] == 12
+
+    def test_none_is_a_value(self):
+        stats = discover_invariants(spread_observations(None), ["f"])
+        assert stats.is_invariant(0, None)
+
+    def test_arity_checked(self):
+        with pytest.raises(ValidationError):
+            discover_invariants([(("a", "b"), 1, 2)], ["only-one"])
+
+    def test_empty_observations(self):
+        stats = discover_invariants([], ["f"])
+        assert stats.count_per_feature() == {"f": 0}
+
+    def test_monotone_in_thresholds(self):
+        # Stricter policies can only shrink the invariant set.
+        observations = (
+            spread_observations("a", n=30, sources=5, sensors=5)
+            + spread_observations("b", n=12, sources=3, sensors=3)
+            + spread_observations("c", n=10, sources=2, sensors=5)
+        )
+        loose = discover_invariants(
+            observations, ["f"], InvariantPolicy(min_instances=5, min_sources=2, min_sensors=2)
+        )
+        strict = discover_invariants(observations, ["f"], InvariantPolicy())
+        assert strict.invariants[0] <= loose.invariants[0]

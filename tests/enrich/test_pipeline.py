@@ -1,0 +1,48 @@
+"""Tests for the enrichment pipeline."""
+
+from repro.enrich.pipeline import EnrichmentPipeline
+from repro.enrich.virustotal import VirusTotalService
+from repro.sandbox.anubis import AnubisService
+from repro.sandbox.environment import Environment
+from repro.sandbox.execution import Sandbox
+
+
+def _pipeline():
+    return EnrichmentPipeline(
+        AnubisService(Sandbox(Environment())), VirusTotalService()
+    )
+
+
+class TestEnrichment:
+    def test_av_labels_attached(self, small_dataset):
+        # The session fixture already ran enrichment; check its traces.
+        scanned = [
+            r for r in small_dataset.samples.values() if "av_labels" in r.enrichment
+        ]
+        assert len(scanned) == small_dataset.n_samples
+
+    def test_executable_samples_have_anubis_reports(self, small_dataset):
+        for record in small_dataset.valid_samples():
+            assert "anubis" in record.enrichment
+
+    def test_corrupted_samples_not_executed(self, small_dataset):
+        corrupted = [
+            r for r in small_dataset.samples.values() if r.observable.corrupted
+        ]
+        assert corrupted, "scenario should produce truncated downloads"
+        assert all("anubis" not in r.enrichment for r in corrupted)
+
+    def test_fresh_pipeline_counts(self, small_dataset):
+        pipeline = _pipeline()
+        pipeline.enrich(small_dataset)
+        stats = pipeline.stats()
+        assert stats["enriched"] == small_dataset.n_samples
+        assert stats["executed"] == len(small_dataset.valid_samples())
+        assert stats["executed"] + stats["not_executable"] == stats["enriched"]
+
+    def test_collected_vs_executed_gap(self, small_dataset):
+        # The paper's 6353-collected vs 5165-executed gap in miniature.
+        pipeline = _pipeline()
+        pipeline.enrich(small_dataset)
+        stats = pipeline.stats()
+        assert 0 < stats["not_executable"] < stats["enriched"] * 0.5

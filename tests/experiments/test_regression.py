@@ -1,0 +1,26 @@
+"""Tests for golden-value regression pinning."""
+
+from repro.experiments.regression import GOLDEN, check_headline
+
+
+class TestCheckHeadline:
+    def test_golden_matches_itself(self):
+        assert check_headline(GOLDEN) == []
+
+    def test_deviation_reported(self):
+        measured = dict(GOLDEN)
+        measured["m_clusters"] += 1
+        deviations = check_headline(measured)
+        assert len(deviations) == 1
+        assert "m_clusters" in deviations[0]
+
+    def test_missing_key_reported(self):
+        measured = dict(GOLDEN)
+        del measured["events"]
+        assert any("events" in d for d in check_headline(measured))
+
+    def test_golden_consistency(self):
+        # Internal sanity of the pinned values themselves.
+        assert GOLDEN["samples_executed"] < GOLDEN["samples_collected"]
+        assert GOLDEN["size1_b_clusters"] < GOLDEN["b_clusters"]
+        assert GOLDEN["e_clusters"] < GOLDEN["m_clusters"]

@@ -1,0 +1,83 @@
+"""Tests for the parameter sweeps."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    lsh_shape_sweep,
+    noise_sweep,
+    threshold_sweep,
+)
+from repro.util.validation import ValidationError
+
+
+class TestNoiseSweep:
+    def test_singletons_grow_with_noise(self, small_run):
+        points = noise_sweep(
+            small_run.dataset,
+            small_run.catalog.environment,
+            [0.0, 1.0, 2.0],
+            clustering=small_run.config.clustering,
+        )
+        by_multiplier = {p.multiplier: p for p in points}
+        assert (
+            by_multiplier[0.0].n_singletons
+            < by_multiplier[1.0].n_singletons
+            < by_multiplier[2.0].n_singletons
+        )
+
+    def test_zero_noise_minimal_singletons(self, small_run):
+        (point,) = noise_sweep(
+            small_run.dataset,
+            small_run.catalog.environment,
+            [0.0],
+            clustering=small_run.config.clustering,
+        )
+        # Without derailments only genuine rarities remain single.
+        assert point.singleton_share < 0.1
+
+    def test_sample_universe_constant(self, small_run):
+        points = noise_sweep(
+            small_run.dataset, small_run.catalog.environment, [0.0, 2.0]
+        )
+        assert points[0].n_samples == points[1].n_samples
+
+    def test_empty_multipliers_rejected(self, small_run):
+        with pytest.raises(ValidationError):
+            noise_sweep(small_run.dataset, small_run.catalog.environment, [])
+
+
+class TestLshShapeSweep:
+    @pytest.fixture(scope="class")
+    def profiles(self, small_run):
+        # A manageable slice of real profiles.
+        items = list(small_run.anubis.profiles().items())[:250]
+        return dict(items)
+
+    def test_recall_ordering(self, profiles):
+        points = lsh_shape_sweep(
+            profiles, [(10, 8), (20, 5)], threshold=0.7
+        )
+        by_shape = {(p.bands, p.rows): p for p in points}
+        # Lower rows -> sigmoid centred lower -> better recall at 0.7.
+        assert by_shape[(20, 5)].recall >= by_shape[(10, 8)].recall
+
+    def test_recall_bounds(self, profiles):
+        for point in lsh_shape_sweep(profiles, [(20, 5)]):
+            assert 0.0 <= point.recall <= 1.0
+
+    def test_true_pairs_shape_independent(self, profiles):
+        points = lsh_shape_sweep(profiles, [(10, 8), (20, 5), (25, 4)])
+        assert len({p.true_pairs for p in points}) == 1
+
+
+class TestThresholdSweep:
+    def test_monotone_cluster_count(self, small_run):
+        profiles = dict(list(small_run.anubis.profiles().items())[:300])
+        points = threshold_sweep(profiles, [0.5, 0.7, 0.9])
+        counts = [p.n_clusters for p in points]
+        assert counts == sorted(counts)  # higher threshold, more clusters
+
+    def test_largest_cluster_shrinks(self, small_run):
+        profiles = dict(list(small_run.anubis.profiles().items())[:300])
+        points = threshold_sweep(profiles, [0.5, 0.9])
+        assert points[0].largest >= points[1].largest

@@ -1,0 +1,152 @@
+"""Tests for background traffic and the oracle's filtering role."""
+
+from repro.egpm.events import InteractionType
+from repro.honeypot.deployment import DeploymentConfig, SGNetDeployment
+from repro.malware.background import BackgroundTraffic, default_probe_specs
+from repro.malware.behaviorspec import BehaviorTemplate
+from repro.malware.families import single_variant_family
+from repro.malware.landscape import LandscapeGenerator
+from repro.malware.population import ContinuousActivity, PopulationSpec
+from repro.malware.propagation import (
+    ExploitSpec,
+    PayloadSpec,
+    PropagationSpec,
+    fixed,
+    rand,
+)
+from repro.net.sampling import UniformSampler
+from repro.peformat.structures import PESpec
+from repro.util.rng import RandomSource
+from repro.util.timegrid import WEEK_SECONDS, TimeGrid
+
+GRID = TimeGrid(0, 5 * WEEK_SECONDS)
+
+
+def _deployment(seed=1):
+    return SGNetDeployment(
+        RandomSource(seed).child("dep"),
+        DeploymentConfig(n_networks=4, sensors_per_network=3),
+    )
+
+
+def _family():
+    return single_variant_family(
+        name="fam",
+        pe_spec=PESpec(),
+        behavior=BehaviorTemplate(mutexes=("m",)),
+        propagation=PropagationSpec(
+            ExploitSpec(name="e", dst_port=445, dialogue=((fixed("GO"), rand(4)),)),
+            PayloadSpec(
+                name="p",
+                protocol="ftp",
+                interaction=InteractionType.PULL,
+                filename="a.exe",
+                port=21,
+            ),
+        ),
+        population=PopulationSpec(size=12, sampler=UniformSampler()),
+        activity=ContinuousActivity(6.0),
+    )
+
+
+class TestBackgroundTraffic:
+    def test_generates_time_ordered_probes(self):
+        deployment = _deployment()
+        traffic = BackgroundTraffic(
+            deployment.sensor_addresses, GRID, RandomSource(2), rate_per_day=30.0
+        )
+        probes = list(traffic)
+        assert len(probes) > 50
+        times = [p.timestamp for p in probes]
+        assert times == sorted(times)
+
+    def test_probes_hit_monitored_sensors(self):
+        deployment = _deployment()
+        traffic = BackgroundTraffic(
+            deployment.sensor_addresses, GRID, RandomSource(2)
+        )
+        sensor_set = set(deployment.sensor_addresses)
+        assert all(p.sensor in sensor_set for p in traffic)
+
+    def test_deterministic(self):
+        deployment = _deployment()
+        a = list(BackgroundTraffic(deployment.sensor_addresses, GRID, RandomSource(2)))
+        b = list(BackgroundTraffic(deployment.sensor_addresses, GRID, RandomSource(2)))
+        assert [p.timestamp for p in a] == [p.timestamp for p in b]
+
+    def test_probe_specs_varied(self):
+        assert len(default_probe_specs()) >= 3
+
+
+class TestDeploymentFiltering:
+    def _observe_with_background(self, seed=1):
+        deployment = _deployment(seed)
+        generator = LandscapeGenerator(
+            [_family()], deployment.sensor_addresses, GRID, RandomSource(seed).child("l")
+        )
+        traffic = BackgroundTraffic(
+            deployment.sensor_addresses, GRID, RandomSource(seed).child("bg"),
+            rate_per_day=25.0,
+        )
+        dataset = deployment.observe(generator, background=traffic)
+        return deployment, dataset
+
+    def test_probes_never_become_events(self):
+        deployment, dataset = self._observe_with_background()
+        assert deployment.n_background_filtered > 50
+        assert all(e.ground_truth.family == "fam" for e in dataset)
+
+    def test_oracle_separates_injections_from_probes(self):
+        deployment, _dataset = self._observe_with_background()
+        factory = deployment.gateway.factory
+        assert factory.n_benign > 0
+        assert factory.n_injections > 0
+        assert factory.n_benign + factory.n_injections == factory.n_instantiations
+
+    def test_dataset_unchanged_by_background(self):
+        # The attack-side dataset must be identical with or without
+        # background noise (the oracle filters perfectly, as Argos'
+        # taint-based detection does for non-injections).
+        deployment_a = _deployment(7)
+        generator_a = LandscapeGenerator(
+            [_family()], deployment_a.sensor_addresses, GRID,
+            RandomSource(7).child("l"),
+        )
+        clean = deployment_a.observe(generator_a)
+
+        deployment_b = _deployment(7)
+        generator_b = LandscapeGenerator(
+            [_family()], deployment_b.sensor_addresses, GRID,
+            RandomSource(7).child("l"),
+        )
+        traffic = BackgroundTraffic(
+            deployment_b.sensor_addresses, GRID, RandomSource(7).child("bg")
+        )
+        noisy = deployment_b.observe(generator_b, background=traffic)
+
+        assert len(clean) == len(noisy)
+        assert [e.timestamp for e in clean] == [e.timestamp for e in noisy]
+        # Note: fsm path *ids* can differ (background conversations also
+        # get learned), but the partition of events must be identical.
+        import itertools
+
+        def partition(dataset):
+            groups = {}
+            for event in dataset:
+                groups.setdefault(event.exploit.fsm_path_id, []).append(
+                    event.event_id
+                )
+            return sorted(sorted(v) for v in groups.values())
+
+        assert partition(clean) == partition(noisy)
+
+    def test_background_learned_by_fsm(self):
+        deployment, _dataset = self._observe_with_background()
+        # Repeated probe shapes end up in the FSM too (ScriptGen models
+        # every recurring activity, not only injections).
+        from repro.malware.background import default_probe_specs
+        import random
+
+        spec = default_probe_specs()[1]  # banner-grab: fully fixed tokens
+        conversation = spec.generate_conversation(random.Random(0))
+        assert deployment.gateway.classify(conversation) != -1

@@ -1,0 +1,92 @@
+"""Tests for FSM model persistence and rendering."""
+
+import random
+
+from repro.honeypot.fsm import FSMLearner
+from repro.honeypot.fsm_io import (
+    load_model,
+    model_from_json,
+    model_to_json,
+    render_model,
+    save_model,
+)
+from repro.malware.propagation import ExploitSpec, choice, fixed, rand
+
+
+def _trained_learner():
+    specs = [
+        ExploitSpec(
+            name="a",
+            dst_port=445,
+            dialogue=((fixed("SMB"), rand(4)), (fixed("BOOM"), choice("u", "v"))),
+        ),
+        ExploitSpec(name="b", dst_port=139, dialogue=((fixed("NBT"), rand(4)),)),
+    ]
+    learner = FSMLearner(refine_threshold=20, min_support=4)
+    rng = random.Random(0)
+    for _ in range(60):
+        for spec in specs:
+            learner.observe(spec.generate_conversation(rng))
+    learner.flush()
+    return learner, specs, rng
+
+
+class TestJsonRoundTrip:
+    def test_structure_preserved(self):
+        learner, _specs, _rng = _trained_learner()
+        model = learner.model
+        rebuilt = model_from_json(model_to_json(model))
+        assert rebuilt.n_states == model.n_states
+        assert rebuilt.n_edges == model.n_edges
+
+    def test_classification_preserved(self):
+        learner, specs, rng = _trained_learner()
+        rebuilt = model_from_json(model_to_json(learner.model))
+        for spec in specs:
+            for _ in range(10):
+                conversation = spec.generate_conversation(rng)
+                assert rebuilt.classify(conversation) == learner.model.classify(
+                    conversation
+                )
+
+    def test_new_node_ids_fresh_after_load(self):
+        learner, _specs, _rng = _trained_learner()
+        rebuilt = model_from_json(model_to_json(learner.model))
+        fresh = rebuilt.new_node(1)
+        existing = {node.node_id for node in rebuilt.iter_nodes()}
+        assert fresh.node_id not in existing
+
+    def test_file_round_trip(self, tmp_path):
+        learner, specs, rng = _trained_learner()
+        path = tmp_path / "fsm.json"
+        save_model(learner.model, path)
+        loaded = load_model(path)
+        conversation = specs[0].generate_conversation(rng)
+        assert loaded.classify(conversation) == learner.model.classify(conversation)
+
+    def test_wildcards_survive(self):
+        learner, _specs, _rng = _trained_learner()
+        data = model_to_json(learner.model)
+        rebuilt = model_from_json(data)
+        patterns = [
+            pattern
+            for node in rebuilt.iter_nodes()
+            for pattern, _child in node.edges
+        ]
+        assert any(None in pattern for pattern in patterns)
+
+
+class TestRendering:
+    def test_render_shows_transitions(self):
+        learner, _specs, _rng = _trained_learner()
+        text = render_model(learner.model)
+        assert "states" in text
+        assert "-> state" in text
+        assert "SMB" in text
+        assert "*" in text
+
+    def test_max_depth(self):
+        learner, _specs, _rng = _trained_learner()
+        shallow = render_model(learner.model, max_depth=0)
+        deep = render_model(learner.model)
+        assert len(shallow) <= len(deep)

@@ -1,0 +1,111 @@
+"""Tests for the Nepenthes-style shellcode analyzer."""
+
+import random
+
+import pytest
+
+from repro.egpm.events import InteractionType
+from repro.honeypot.shellcode import DownloadOutcome, ShellcodeAnalyzer, ShellcodeConfig
+from repro.malware.propagation import PayloadSpec
+from repro.util.validation import ValidationError
+
+
+def _payload(port=21, filename="x.exe"):
+    return PayloadSpec(
+        name="p",
+        protocol="ftp",
+        interaction=InteractionType.PULL,
+        filename=filename,
+        port=port,
+    )
+
+
+class TestConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValidationError):
+            ShellcodeConfig(unknown_rate=1.5)
+        with pytest.raises(ValidationError):
+            ShellcodeConfig(truncation_rate=-0.1)
+
+    def test_fraction_ordering_validated(self):
+        with pytest.raises(ValidationError):
+            ShellcodeConfig(min_truncation_fraction=0.9, max_truncation_fraction=0.1)
+
+
+class TestAnalyze:
+    def test_observable_fields(self):
+        analyzer = ShellcodeAnalyzer(ShellcodeConfig(unknown_rate=0.0))
+        obs = analyzer.analyze(_payload(), "x.exe", random.Random(1))
+        assert obs.protocol == "ftp"
+        assert obs.interaction is InteractionType.PULL
+        assert obs.filename == "x.exe"
+        assert obs.port == 21
+
+    def test_unknown_shellcode_returns_none(self):
+        analyzer = ShellcodeAnalyzer(ShellcodeConfig(unknown_rate=1.0))
+        assert analyzer.analyze(_payload(), "x.exe", random.Random(1)) is None
+        assert analyzer.n_unknown == 1
+
+    def test_ephemeral_port_assigned(self):
+        analyzer = ShellcodeAnalyzer(ShellcodeConfig(unknown_rate=0.0))
+        spec = PayloadSpec(
+            name="p", protocol="blink", interaction=InteractionType.PULL
+        )
+        rng = random.Random(1)
+        ports = {analyzer.analyze(spec, None, rng).port for _ in range(20)}
+        assert all(1024 <= p <= 65535 for p in ports)
+        assert len(ports) > 10  # fresh per attack: never an invariant
+
+    def test_unknown_rate_statistics(self):
+        analyzer = ShellcodeAnalyzer(ShellcodeConfig(unknown_rate=0.3))
+        rng = random.Random(1)
+        results = [analyzer.analyze(_payload(), "x", rng) for _ in range(500)]
+        misses = sum(1 for r in results if r is None)
+        assert 100 < misses < 200
+
+
+class TestDownload:
+    def test_success_returns_full_bytes(self):
+        analyzer = ShellcodeAnalyzer(
+            ShellcodeConfig(download_fail_rate=0.0, truncation_rate=0.0)
+        )
+        data = bytes(range(256)) * 4
+        outcome = analyzer.download(data, random.Random(1))
+        assert outcome == DownloadOutcome(data=data, truncated=False)
+        assert outcome.succeeded
+
+    def test_total_failure(self):
+        analyzer = ShellcodeAnalyzer(ShellcodeConfig(download_fail_rate=1.0))
+        outcome = analyzer.download(b"abc", random.Random(1))
+        assert outcome.data is None
+        assert not outcome.succeeded
+
+    def test_truncation_shortens(self):
+        analyzer = ShellcodeAnalyzer(
+            ShellcodeConfig(download_fail_rate=0.0, truncation_rate=1.0)
+        )
+        data = bytes(1000)
+        rng = random.Random(1)
+        for _ in range(50):
+            outcome = analyzer.download(data, rng)
+            assert outcome.truncated
+            assert 1 <= len(outcome.data) < len(data)
+
+    def test_truncation_prefix_property(self):
+        analyzer = ShellcodeAnalyzer(
+            ShellcodeConfig(download_fail_rate=0.0, truncation_rate=1.0)
+        )
+        data = bytes(range(200)) * 10
+        outcome = analyzer.download(data, random.Random(2))
+        assert data.startswith(outcome.data)
+
+    def test_stats_counters(self):
+        analyzer = ShellcodeAnalyzer(
+            ShellcodeConfig(download_fail_rate=0.5, truncation_rate=0.5)
+        )
+        rng = random.Random(3)
+        for _ in range(100):
+            analyzer.download(b"\x00" * 100, rng)
+        stats = analyzer.stats()
+        assert stats["downloads"] == 100
+        assert stats["failed_downloads"] + stats["truncated"] == 100

@@ -1,0 +1,59 @@
+"""Tests for the command-line front-end."""
+
+import pytest
+
+from repro.cli import main
+
+
+COMMON = ["--scale", "0.06", "--weeks", "16", "--seed", "5"]
+
+
+class TestCli:
+    def test_headline(self, capsys):
+        assert main(["headline", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "measured" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", *COMMON]) == 0
+        assert "fsm_path_id" in capsys.readouterr().out
+
+    def test_run_with_dump(self, capsys, tmp_path):
+        out_file = tmp_path / "events.jsonl"
+        assert main(["run", *COMMON, "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "wrote" in capsys.readouterr().out
+        from repro.egpm.dataset import SGNetDataset
+
+        assert len(SGNetDataset.load_jsonl(out_file)) > 0
+
+    def test_evasion(self, capsys):
+        assert main(["evasion", "--variants", "3", "--weeks", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "per_instance" in out and "repack" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    @pytest.mark.parametrize(
+        "command", ["figure3", "figure4", "figure5", "table2", "mcluster13", "anomalies"]
+    )
+    def test_all_drivers_run(self, capsys, command):
+        assert main([command, "--scale", "0.1", "--weeks", "30", "--seed", "2010"]) == 0
+        assert capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert main(["report", "--scale", "0.08", "--weeks", "20", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Collection summary" in out
+        assert "Anomaly triage" in out
+        assert "Pattern drift" in out
+
+    def test_drift(self, capsys):
+        assert main(["drift", "--scale", "0.08", "--weeks", "20", "--seed", "4"]) == 0
+        assert "drift" in capsys.readouterr().out.lower()

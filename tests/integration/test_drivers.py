@@ -1,0 +1,90 @@
+"""Integration tests for the per-table/figure experiment drivers."""
+
+import pytest
+
+from repro.experiments.drivers import (
+    PAPER,
+    anomaly_report,
+    figure3,
+    figure4,
+    figure5,
+    headline,
+    mcluster13_report,
+    table1,
+    table2,
+)
+
+
+class TestHeadline:
+    def test_renders_and_returns(self, small_run):
+        measured, text = headline(small_run)
+        assert "paper" in text and "measured" in text
+        assert measured["events"] == len(small_run.dataset)
+
+    def test_paper_constants_recorded(self):
+        assert PAPER["samples_collected"] == 6353
+        assert PAPER["b_clusters"] == 972
+
+
+class TestTable1:
+    def test_all_features_reported(self, small_run):
+        flat, text = table1(small_run)
+        assert set(flat) == set(PAPER["table1_invariants"])
+        assert "fsm_path_id" in text
+
+    def test_counts_positive_for_core_features(self, small_run):
+        flat, _ = table1(small_run)
+        assert flat["fsm_path_id"] > 1
+        assert flat["size"] > 5
+        assert flat["machine_type"] >= 1
+
+
+class TestFigure3:
+    def test_graph_and_text(self, small_run):
+        graph, text = figure3(small_run, min_events=20)
+        assert graph.stats().m_nodes > 0
+        assert "Figure 3" in text
+
+
+class TestAnomalyReport:
+    def test_healing_reported(self, small_run):
+        result, text = anomaly_report(small_run)
+        assert result["n_rerun"] > 0
+        assert (
+            result["healed_summary"]["singleton_b_clusters"]
+            < result["summary"]["singleton_b_clusters"]
+        )
+        assert "healing" in text
+
+
+class TestFigure4:
+    def test_rahack_and_p_pattern(self, small_run):
+        result, text = figure4(small_run)
+        assert result["share"] > 0.9
+        assert "Rahack" in text
+        assert "9988" in text
+
+
+class TestFigure5:
+    def test_two_clusters_contrasted(self, small_run):
+        results, text = figure5(small_run)
+        assert len(results) == 2
+        assert "worm-like" in text
+        assert "bot-like" in text
+
+
+class TestTable2:
+    def test_correlation_rendered(self, small_run):
+        correlation, text = table2(small_run)
+        assert correlation.n_irc_m_clusters > 0
+        assert "Server address" in text
+
+
+class TestMcluster13:
+    def test_exact_pattern_found(self, small_run):
+        result, text = mcluster13_report(small_run)
+        assert result["m_cluster"] is not None
+        assert result["single_source_md5s"] == result["n_samples"]
+        assert result["multi_sensor_md5s"] > 0
+        assert len(result["b_clusters"]) >= 2
+        assert "linker_version=92" in text

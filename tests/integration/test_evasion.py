@@ -1,0 +1,44 @@
+"""Integration tests for the evasion experiment."""
+
+import pytest
+
+from repro.experiments.evasion import evasion_experiment, run_engine
+from repro.malware.polymorphism import PolymorphyMode
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return evasion_experiment(seed=11, n_variants=6, n_weeks=8)
+
+
+class TestEvasionExperiment:
+    def test_per_instance_clusters_match_variants(self, outcomes):
+        honest = outcomes[PolymorphyMode.PER_INSTANCE]
+        # One M-cluster per variant plus a small number of junk bins.
+        assert 6 <= honest.n_m_clusters <= 12
+
+    def test_per_instance_quality_high(self, outcomes):
+        quality = outcomes[PolymorphyMode.PER_INSTANCE].quality
+        assert quality.precision > 0.85
+        assert quality.recall > 0.8
+
+    def test_repack_destroys_recall(self, outcomes):
+        honest = outcomes[PolymorphyMode.PER_INSTANCE].quality
+        evaded = outcomes[PolymorphyMode.REPACK].quality
+        assert evaded.recall < honest.recall / 3
+        assert evaded.f1 < honest.f1 / 2
+
+    def test_repack_shatters_or_collapses_clusters(self, outcomes):
+        # The evasive engine leaves EPM with either one wildcard bin or
+        # hundreds of coincidental bins — never the true lineage size.
+        evaded = outcomes[PolymorphyMode.REPACK]
+        true_variants = evaded.quality.n_reference_classes
+        assert (
+            evaded.n_m_clusters < true_variants / 2
+            or evaded.n_m_clusters > true_variants * 4
+        )
+
+    def test_deterministic(self):
+        a = run_engine(PolymorphyMode.PER_INSTANCE, seed=5, n_variants=3, n_weeks=5)
+        b = run_engine(PolymorphyMode.PER_INSTANCE, seed=5, n_variants=3, n_weeks=5)
+        assert a.quality == b.quality

@@ -1,0 +1,102 @@
+"""Tests for the IPv4 address and subnet value types."""
+
+import pytest
+
+from repro.net.address import IPv4Address, Subnet, ip_from_string, ip_to_string
+from repro.util.validation import ValidationError
+
+
+class TestIpToString:
+    def test_basic(self):
+        assert ip_to_string(0x01020304) == "1.2.3.4"
+
+    def test_extremes(self):
+        assert ip_to_string(0) == "0.0.0.0"
+        assert ip_to_string((1 << 32) - 1) == "255.255.255.255"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            ip_to_string(1 << 32)
+        with pytest.raises(ValidationError):
+            ip_to_string(-1)
+
+
+class TestIpFromString:
+    def test_roundtrip(self):
+        assert ip_from_string("10.20.30.40").dotted == "10.20.30.40"
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "a.b.c.d", "1.2.3.256", ""])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValidationError):
+            ip_from_string(bad)
+
+    def test_returns_address_type(self):
+        assert isinstance(ip_from_string("1.1.1.1"), IPv4Address)
+
+
+class TestIPv4Address:
+    def test_is_int(self):
+        assert IPv4Address(5) == 5
+        assert IPv4Address(5) + 1 == 6
+
+    def test_str_is_dotted(self):
+        assert str(IPv4Address(0x7F000001)) == "127.0.0.1"
+
+    def test_prefix_accessors(self):
+        addr = ip_from_string("10.20.30.40")
+        assert addr.slash8 == 10
+        assert addr.slash16 == (10 << 8) | 20
+        assert addr.slash24 == (((10 << 8) | 20) << 8) | 30
+
+    def test_hashable_and_sortable(self):
+        addrs = [IPv4Address(3), IPv4Address(1), IPv4Address(2)]
+        assert sorted(addrs) == [1, 2, 3]
+        assert len({IPv4Address(1), IPv4Address(1)}) == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            IPv4Address(1 << 32)
+
+
+class TestSubnet:
+    def test_parse(self):
+        subnet = Subnet.parse("10.0.0.0/8")
+        assert subnet.prefix_len == 8
+        assert subnet.size == 1 << 24
+
+    def test_parse_requires_prefix(self):
+        with pytest.raises(ValidationError):
+            Subnet.parse("10.0.0.0")
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValidationError):
+            Subnet.parse("10.0.0.1/8")
+
+    def test_contains(self):
+        subnet = Subnet.parse("192.168.1.0/24")
+        assert subnet.contains(int(ip_from_string("192.168.1.77")))
+        assert not subnet.contains(int(ip_from_string("192.168.2.1")))
+
+    def test_in_operator(self):
+        subnet = Subnet.parse("192.168.1.0/24")
+        assert ip_from_string("192.168.1.1") in subnet
+
+    def test_first_last(self):
+        subnet = Subnet.parse("10.1.0.0/16")
+        assert subnet.first.dotted == "10.1.0.0"
+        assert subnet.last.dotted == "10.1.255.255"
+
+    def test_nth(self):
+        subnet = Subnet.parse("10.1.0.0/16")
+        assert subnet.nth(0) == subnet.first
+        assert subnet.nth(subnet.size - 1) == subnet.last
+        with pytest.raises(ValidationError):
+            subnet.nth(subnet.size)
+
+    def test_str(self):
+        assert str(Subnet.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_slash32(self):
+        subnet = Subnet.parse("1.2.3.4/32")
+        assert subnet.size == 1
+        assert subnet.contains(int(ip_from_string("1.2.3.4")))

@@ -1,0 +1,17 @@
+"""Tests for the port registry."""
+
+from repro.net.ports import KNOWN_SERVICE_PORTS, service_name
+
+
+class TestServiceName:
+    def test_known(self):
+        assert "SMB" in service_name(445)
+
+    def test_unknown_fallback(self):
+        assert service_name(54321) == "tcp/54321"
+
+    def test_allaple_push_port_registered(self):
+        assert 9988 in KNOWN_SERVICE_PORTS
+
+    def test_irc_registered(self):
+        assert service_name(6667) == "irc"

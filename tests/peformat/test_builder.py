@@ -1,0 +1,86 @@
+"""Tests for the PE builder."""
+
+import pytest
+
+from repro.peformat.builder import build_pe, minimum_file_size
+from repro.peformat.structures import (
+    FILE_ALIGNMENT,
+    PESpec,
+    SectionSpec,
+)
+from repro.util.validation import ValidationError
+
+
+class TestMinimumFileSize:
+    def test_positive_and_aligned_floor(self):
+        floor = minimum_file_size(PESpec())
+        assert floor > 0
+        assert floor % FILE_ALIGNMENT == 0
+
+    def test_grows_with_sections(self):
+        one = PESpec(sections=(SectionSpec(".text"),))
+        four = PESpec(
+            sections=tuple(SectionSpec(f".s{i}") for i in range(4)),
+        )
+        assert minimum_file_size(four) > minimum_file_size(one)
+
+    def test_grows_with_imports(self):
+        small = PESpec()
+        big = small.with_imports(
+            {f"LIB{i}.dll": tuple(f"Sym{j}" for j in range(40)) for i in range(8)}
+        )
+        assert minimum_file_size(big) >= minimum_file_size(small)
+
+
+class TestBuildPe:
+    def test_exact_size(self):
+        spec = PESpec()
+        assert len(build_pe(spec, 1)) == spec.file_size
+
+    def test_deterministic(self):
+        assert build_pe(PESpec(), 7) == build_pe(PESpec(), 7)
+
+    def test_seed_changes_content(self):
+        assert build_pe(PESpec(), 1) != build_pe(PESpec(), 2)
+
+    def test_mz_and_pe_signatures(self):
+        image = build_pe(PESpec(), 1)
+        assert image[:2] == b"MZ"
+        assert image[0x80:0x84] == b"PE\x00\x00"
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValidationError, match="multiple"):
+            build_pe(PESpec(file_size=59_905), 1)
+
+    def test_rejects_too_small(self):
+        spec = PESpec(file_size=FILE_ALIGNMENT)
+        with pytest.raises(ValidationError, match="below minimum"):
+            build_pe(spec, 1)
+
+    def test_minimum_size_buildable(self):
+        spec = PESpec()
+        tight = spec.with_size(minimum_file_size(spec))
+        assert len(build_pe(tight, 1)) == tight.file_size
+
+    def test_single_section_spec(self):
+        spec = PESpec(sections=(SectionSpec(".text"),), file_size=8192)
+        assert len(build_pe(spec, 3)) == 8192
+
+    def test_many_sections(self):
+        spec = PESpec(
+            sections=tuple(SectionSpec(f"s{i}") for i in range(8)),
+            file_size=65_536,
+        )
+        assert len(build_pe(spec, 3)) == 65_536
+
+    def test_header_bytes_invariant_under_seed(self):
+        # Allaple's property: polymorphic mutation never touches headers.
+        a = build_pe(PESpec(), 1)
+        b = build_pe(PESpec(), 2)
+        headers_end = 0x200
+        assert a[:headers_end] == b[:headers_end]
+
+    def test_different_specs_different_headers(self):
+        a = build_pe(PESpec(), 1)
+        b = build_pe(PESpec(linker_version=80).with_size(59_904), 1)
+        assert a[:0x200] != b[:0x200]

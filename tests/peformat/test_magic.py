@@ -1,0 +1,46 @@
+"""Tests for the libmagic-style type strings."""
+
+from repro.peformat.builder import build_pe
+from repro.peformat.magic import magic_type
+from repro.peformat.structures import (
+    MACHINE_AMD64,
+    PESpec,
+    SUBSYSTEM_CUI,
+)
+
+
+class TestMagicType:
+    def test_paper_string_for_default_pe(self):
+        image = build_pe(PESpec(), 1)
+        assert (
+            magic_type(image)
+            == "MS-DOS executable PE for MS Windows (GUI) Intel 80386 32-bit"
+        )
+
+    def test_console_subsystem(self):
+        image = build_pe(PESpec(subsystem=SUBSYSTEM_CUI), 1)
+        assert "(console)" in magic_type(image)
+
+    def test_amd64(self):
+        image = build_pe(PESpec(machine_type=MACHINE_AMD64), 1)
+        assert "x86-64" in magic_type(image)
+
+    def test_data_for_garbage(self):
+        assert magic_type(b"\x01\x02\x03") == "data"
+
+    def test_data_for_empty(self):
+        assert magic_type(b"") == "data"
+
+    def test_bare_dos_for_tiny_mz(self):
+        # Anything starting with MZ but lacking a PE header is a bare
+        # MS-DOS executable to libmagic.
+        assert magic_type(b"MZ" + b"\x00" * 10) == "MS-DOS executable"
+        assert magic_type(b"MZ" + b"\x00" * 62) == "MS-DOS executable"
+
+    def test_truncated_pe_keeps_pe_magic_if_headers_present(self):
+        image = build_pe(PESpec(), 1)
+        assert magic_type(image[:4096]).startswith("MS-DOS executable PE")
+
+    def test_truncation_before_pe_header(self):
+        image = build_pe(PESpec(), 1)
+        assert magic_type(image[:100]) == "MS-DOS executable"

@@ -1,0 +1,59 @@
+"""Tests for behavioural profiles."""
+
+from repro.sandbox.behavior import BehaviorProfile
+
+
+def profile(*features):
+    return BehaviorProfile.from_features(features)
+
+
+F1 = ("mutex", "m1", "create")
+F2 = ("file", "f1", "create")
+F3 = ("dns", "x.cn", "resolve")
+
+
+class TestBehaviorProfile:
+    def test_from_features_dedupes(self):
+        assert len(profile(F1, F1, F2)) == 2
+
+    def test_contains(self):
+        assert F1 in profile(F1)
+        assert F2 not in profile(F1)
+
+    def test_similarity_identical(self):
+        assert profile(F1, F2).similarity(profile(F1, F2)) == 1.0
+
+    def test_similarity_disjoint(self):
+        assert profile(F1).similarity(profile(F2)) == 0.0
+
+    def test_similarity_partial(self):
+        assert profile(F1, F2).similarity(profile(F2, F3)) == 1 / 3
+
+    def test_union(self):
+        merged = profile(F1).union(profile(F2))
+        assert set(merged) == {F1, F2}
+
+    def test_hashed_features_stable(self):
+        assert profile(F1, F2).hashed_features() == profile(F2, F1).hashed_features()
+
+    def test_hashed_features_distinct(self):
+        assert profile(F1).hashed_features() != profile(F2).hashed_features()
+
+    def test_by_category(self):
+        grouped = profile(F1, F2, F3).by_category()
+        assert set(grouped) == {"mutex", "file", "dns"}
+
+    def test_describe_mentions_objects(self):
+        text = profile(F1, F3).describe()
+        assert "m1" in text and "x.cn" in text
+
+    def test_describe_truncates(self):
+        big = BehaviorProfile.from_features(
+            ("file", f"f{i}", "create") for i in range(100)
+        )
+        text = big.describe(max_lines=10)
+        assert "more)" in text
+
+    def test_immutable_value_semantics(self):
+        assert profile(F1, F2) == profile(F2, F1)
+        assert hash(profile(F1)) == hash(profile(F1))

@@ -1,0 +1,70 @@
+"""Tests for the alternative-linkage clustering."""
+
+import pytest
+
+from repro.sandbox.behavior import BehaviorProfile
+from repro.sandbox.clustering import ClusteringConfig, cluster_exact
+from repro.sandbox.linkage import cluster_hierarchical
+from repro.util.validation import ValidationError
+
+
+def profile(*names):
+    return BehaviorProfile.from_features(("file", n, "create") for n in names)
+
+
+def chain_profiles():
+    """a~b and b~c at ~0.78 but a~c at ~0.6: the chaining testbed."""
+    base = [str(i) for i in range(8)]
+    return {
+        "a": profile(*base),
+        "b": profile(*base[1:], "x"),
+        "c": profile(*base[2:], "x", "y"),
+    }
+
+
+class TestSingleLinkageEquivalence:
+    def test_matches_union_find_exact(self, small_run):
+        profiles = dict(list(small_run.anubis.profiles().items())[:300])
+        config = small_run.config.clustering
+        ours = cluster_exact(profiles, config)
+        scipy_single = cluster_hierarchical(profiles, config, method="single")
+        assert scipy_single.sizes() == ours.sizes()
+        for key_a in list(profiles)[:40]:
+            for key_b in list(profiles)[:40]:
+                same_a = ours.assignment[key_a] == ours.assignment[key_b]
+                same_b = (
+                    scipy_single.assignment[key_a] == scipy_single.assignment[key_b]
+                )
+                assert same_a == same_b
+
+
+class TestLinkageBehaviour:
+    def test_single_chains_complete_does_not(self):
+        profiles = chain_profiles()
+        config = ClusteringConfig(threshold=0.7)
+        single = cluster_hierarchical(profiles, config, method="single")
+        complete = cluster_hierarchical(profiles, config, method="complete")
+        assert single.n_clusters == 1  # a-b-c chained
+        assert complete.n_clusters > 1  # a and c too far for one group
+
+    def test_average_between_extremes(self, small_run):
+        profiles = dict(list(small_run.anubis.profiles().items())[:300])
+        config = small_run.config.clustering
+        single = cluster_hierarchical(profiles, config, method="single")
+        average = cluster_hierarchical(profiles, config, method="average")
+        complete = cluster_hierarchical(profiles, config, method="complete")
+        assert single.n_clusters <= average.n_clusters <= complete.n_clusters
+
+    def test_identical_profiles_always_merge(self):
+        profiles = {f"s{i}": profile("x", "y") for i in range(5)}
+        for method in ("single", "average", "complete"):
+            result = cluster_hierarchical(profiles, method=method)
+            assert result.n_clusters == 1
+
+    def test_empty_and_singleton_inputs(self):
+        assert cluster_hierarchical({}).n_clusters == 0
+        assert cluster_hierarchical({"a": profile("x")}).n_clusters == 1
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError):
+            cluster_hierarchical({"a": profile("x")}, method="ward-ish")

@@ -1,0 +1,114 @@
+"""Tests for MinHash signatures and the LSH index."""
+
+import random
+
+import pytest
+
+from repro.sandbox.lsh import LSHIndex, MinHasher
+from repro.util.validation import ValidationError
+
+
+def random_set(rng, size):
+    return {rng.getrandbits(64) for _ in range(size)}
+
+
+class TestMinHasher:
+    def test_signature_length(self):
+        hasher = MinHasher(40)
+        assert len(hasher.signature({1, 2, 3})) == 40
+
+    def test_deterministic(self):
+        a = MinHasher(16, seed=1)
+        b = MinHasher(16, seed=1)
+        assert a.signature({5, 6}) == b.signature({5, 6})
+
+    def test_seed_changes_functions(self):
+        a = MinHasher(16, seed=1)
+        b = MinHasher(16, seed=2)
+        assert a.signature({5, 6}) != b.signature({5, 6})
+
+    def test_identical_sets_identical_signatures(self):
+        hasher = MinHasher(32)
+        assert hasher.signature({1, 2, 3}) == hasher.signature({3, 2, 1})
+
+    def test_empty_set_sentinel(self):
+        hasher = MinHasher(8)
+        sig = hasher.signature(set())
+        assert len(set(sig)) == 1
+        assert hasher.estimate_similarity(sig, hasher.signature({1})) == 0.0
+
+    def test_estimate_tracks_true_jaccard(self):
+        rng = random.Random(1)
+        hasher = MinHasher(200)
+        base = random_set(rng, 100)
+        extra = random_set(rng, 100)
+        other = set(list(base)[:50]) | set(list(extra)[:50])
+        true_j = len(base & other) / len(base | other)
+        estimate = hasher.estimate_similarity(
+            hasher.signature(base), hasher.signature(other)
+        )
+        assert abs(estimate - true_j) < 0.12
+
+    def test_estimate_arity_checked(self):
+        hasher = MinHasher(8)
+        with pytest.raises(ValidationError):
+            hasher.estimate_similarity((1, 2), (1, 2, 3))
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ValidationError):
+            MinHasher(0)
+
+
+class TestLSHIndex:
+    def test_signature_length_property(self):
+        assert LSHIndex(bands=5, rows=4).signature_length == 20
+
+    def test_add_validates_length(self):
+        index = LSHIndex(bands=2, rows=2)
+        with pytest.raises(ValidationError):
+            index.add("a", (1, 2, 3))
+
+    def test_identical_signatures_are_candidates(self):
+        index = LSHIndex(bands=2, rows=2)
+        index.add("a", (1, 2, 3, 4))
+        index.add("b", (1, 2, 3, 4))
+        assert index.candidate_pairs() == {("a", "b")}
+
+    def test_single_band_match_suffices(self):
+        index = LSHIndex(bands=2, rows=2)
+        index.add("a", (1, 2, 9, 9))
+        index.add("b", (1, 2, 7, 7))
+        assert ("a", "b") in index.candidate_pairs()
+
+    def test_disjoint_signatures_not_candidates(self):
+        index = LSHIndex(bands=2, rows=2)
+        index.add("a", (1, 2, 3, 4))
+        index.add("b", (5, 6, 7, 8))
+        assert index.candidate_pairs() == set()
+
+    def test_similar_sets_become_candidates(self):
+        # End-to-end: two 90%-similar sets should collide with b=10, r=8.
+        rng = random.Random(2)
+        hasher = MinHasher(80)
+        index = LSHIndex(bands=10, rows=8)
+        base = random_set(rng, 100)
+        similar = set(list(base)[:95]) | random_set(rng, 5)
+        index.add("x", hasher.signature(base))
+        index.add("y", hasher.signature(similar))
+        assert ("x", "y") in index.candidate_pairs()
+
+    def test_dissimilar_sets_rarely_candidates(self):
+        rng = random.Random(3)
+        hasher = MinHasher(80)
+        index = LSHIndex(bands=10, rows=8)
+        for i in range(30):
+            index.add(i, hasher.signature(random_set(rng, 30)))
+        assert len(index.candidate_pairs()) == 0
+
+    def test_stats(self):
+        index = LSHIndex(bands=2, rows=2)
+        index.add("a", (1, 2, 3, 4))
+        index.add("b", (1, 2, 3, 4))
+        stats = index.stats()
+        assert stats["items"] == 2
+        assert stats["largest_bucket"] == 2

@@ -1,0 +1,74 @@
+"""Tests for the vectorised MinHash backend."""
+
+import random
+
+import pytest
+
+from repro.sandbox.behavior import BehaviorProfile
+from repro.sandbox.clustering import ClusteringConfig, cluster_exact, cluster_lsh
+from repro.sandbox.lsh import MinHasher
+from repro.util.stats import jaccard
+from repro.util.validation import ValidationError
+
+
+def random_set(rng, size):
+    return {rng.getrandbits(64) for _ in range(size)}
+
+
+class TestNumpyBackend:
+    def test_deterministic(self):
+        a = MinHasher(32, seed=1, backend="numpy")
+        b = MinHasher(32, seed=1, backend="numpy")
+        assert a.signature({5, 6, 7}) == b.signature({5, 6, 7})
+
+    def test_permutation_invariant(self):
+        hasher = MinHasher(16, backend="numpy")
+        assert hasher.signature({1, 2, 3}) == hasher.signature({3, 1, 2})
+
+    def test_empty_sentinel(self):
+        hasher = MinHasher(8, backend="numpy")
+        sig = hasher.signature(set())
+        assert len(set(sig)) == 1
+
+    def test_estimate_tracks_jaccard(self):
+        rng = random.Random(4)
+        hasher = MinHasher(256, backend="numpy")
+        base = random_set(rng, 120)
+        other = set(list(base)[:60]) | random_set(rng, 60)
+        true = jaccard(base, other)
+        estimate = hasher.estimate_similarity(
+            hasher.signature(base), hasher.signature(other)
+        )
+        assert abs(estimate - true) < 0.12
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            MinHasher(8, backend="cuda")
+
+    def test_backends_are_distinct_families(self):
+        py = MinHasher(16, seed=1, backend="python")
+        np_ = MinHasher(16, seed=1, backend="numpy")
+        assert py.signature({1, 2, 3}) != np_.signature({1, 2, 3})
+
+
+class TestNumpyClustering:
+    def _family(self, tag, n, core=18, own=2):
+        out = {}
+        for i in range(n):
+            features = [("file", f"{tag}-core-{j}", "c") for j in range(core)]
+            features += [("mutex", f"{tag}-{i}-{j}", "c") for j in range(own)]
+            out[f"{tag}-{i}"] = BehaviorProfile.from_features(features)
+        return out
+
+    def test_same_partition_as_exact(self):
+        profiles = {}
+        profiles.update(self._family("alpha", 10))
+        profiles.update(self._family("beta", 7))
+        config = ClusteringConfig(minhash_backend="numpy")
+        lsh = cluster_lsh(profiles, config)
+        exact = cluster_exact(profiles, config)
+        assert lsh.sizes() == exact.sizes()
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ValidationError):
+            ClusteringConfig(minhash_backend="tpu")

@@ -1,0 +1,63 @@
+"""Tests for text table / histogram rendering."""
+
+import pytest
+
+from repro.util.tables import TextTable, format_histogram
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        table = TextTable(["a", "b"])
+        table.add_row([1, "xy"])
+        out = table.render()
+        assert "a" in out and "xy" in out
+        assert out.count("\n") == 2  # header, separator, one row
+
+    def test_title(self):
+        table = TextTable(["c"], title="My title")
+        assert table.render().startswith("My title")
+
+    def test_column_alignment(self):
+        table = TextTable(["name", "n"])
+        table.add_row(["longer-name", 1])
+        lines = table.render().splitlines()
+        assert len(lines[0]) == len(lines[2])
+
+    def test_row_arity_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_str_matches_render(self):
+        table = TextTable(["a"])
+        table.add_row(["x"])
+        assert str(table) == table.render()
+
+    def test_empty_table(self):
+        assert "a" in TextTable(["a"]).render()
+
+
+class TestFormatHistogram:
+    def test_empty(self):
+        assert "(empty)" in format_histogram({})
+
+    def test_bars_scale(self):
+        out = format_histogram({"a": 1, "b": 4}, width=4, sort=False)
+        lines = out.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_counts_shown(self):
+        out = format_histogram({"a": 3})
+        assert "(3)" in out
+
+    def test_sorted_by_value(self):
+        out = format_histogram({"small": 1, "big": 9})
+        assert out.index("big") < out.index("small")
+
+    def test_title(self):
+        out = format_histogram({"a": 1}, title="T")
+        assert out.startswith("T")
+
+    def test_zero_values(self):
+        out = format_histogram({"a": 0, "b": 0})
+        assert "(0)" in out

@@ -1,0 +1,68 @@
+"""Tests for the validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    require,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValidationError, match="boom"):
+            require(False, "boom")
+
+    def test_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+
+class TestRequireType:
+    def test_accepts(self):
+        require_type(3, int, "n")
+
+    def test_rejects(self):
+        with pytest.raises(ValidationError, match="must be int"):
+            require_type("3", int, "n")
+
+    def test_tuple_of_types(self):
+        require_type(3.5, (int, float), "n")
+        with pytest.raises(ValidationError):
+            require_type("x", (int, float), "n")
+
+
+class TestRequirePositive:
+    def test_positive_ok(self):
+        require_positive(0.5, "x")
+
+    def test_zero_rejected_by_default(self):
+        with pytest.raises(ValidationError):
+            require_positive(0, "x")
+
+    def test_zero_allowed_when_asked(self):
+        require_positive(0, "x", allow_zero=True)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            require_positive(-1, "x", allow_zero=True)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            require_positive("5", "x")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_valid(self, value):
+        require_probability(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 7])
+    def test_invalid(self, value):
+        with pytest.raises(ValidationError):
+            require_probability(value, "p")
