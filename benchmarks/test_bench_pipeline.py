@@ -2,7 +2,8 @@
 
 Not a paper table — these quantify the reproduction's own moving parts:
 PE emission/parsing (per collected binary), sandbox execution (per
-analysed sample), and the end-to-end event pipeline rate.
+analysed sample), the end-to-end event pipeline rate, and a
+reduced-scale end-to-end smoke run (the CI benchmark).
 """
 
 from repro.peformat.builder import build_pe
@@ -12,6 +13,7 @@ from repro.sandbox.environment import Environment
 from repro.sandbox.execution import Sandbox
 
 from repro.experiments.catalog import allaple_behavior
+from repro.experiments.scenario import small_scenario
 
 
 def test_bench_pe_build(benchmark):
@@ -37,6 +39,27 @@ def test_bench_sandbox_execution(benchmark):
         lambda: sandbox.execute(behavior, time=0, run_seed=next(seeds))
     )
     assert len(profile) > 5
+
+
+def test_bench_smoke_pipeline(benchmark):
+    """Reduced-scale end-to-end run: the fast pipeline benchmark CI runs.
+
+    One round is enough — the interesting output is the absolute wall
+    time and the per-stage split recorded on the run itself.
+    """
+    run = benchmark.pedantic(
+        lambda: small_scenario(scale=0.1, n_weeks=12), rounds=1, iterations=1
+    )
+    counts = run.headline()
+    assert counts["events"] > 0
+    assert counts["b_clusters"] > 0
+    assert run.timings.total > 0
+    assert {stage.name for stage in run.timings.stages} >= {
+        "observe",
+        "enrich",
+        "epm",
+        "bcluster",
+    }
 
 
 def test_bench_event_pipeline_rate(benchmark, paper_run):

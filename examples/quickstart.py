@@ -9,11 +9,14 @@ Usage::
 
     python examples/quickstart.py              # full scale, ~15 s
     python examples/quickstart.py --scale 0.2  # reduced, a few seconds
+    python examples/quickstart.py --cache      # reuse a cached build
+    python examples/quickstart.py --executor process   # parallel stages
 """
 
 import argparse
 
-from repro.experiments import PaperScenario, ScenarioConfig, headline
+from repro.experiments import PaperScenario, ScenarioConfig, cached_run, headline
+from repro.util.parallel import BACKENDS
 from repro.util.tables import format_histogram
 
 
@@ -21,11 +24,22 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=2010)
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--executor", choices=BACKENDS, default="serial")
+    parser.add_argument("--jobs", type=int, default=0)
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="load/store the built scenario in the artifact cache",
+    )
     args = parser.parse_args()
 
-    config = ScenarioConfig(scale=args.scale)
+    config = ScenarioConfig(scale=args.scale, executor=args.executor, jobs=args.jobs)
     print(f"Running the paper scenario (seed={args.seed}, scale={args.scale}) ...")
-    run = PaperScenario(seed=args.seed, config=config).run()
+    if args.cache:
+        run = cached_run(args.seed, config)
+    else:
+        run = PaperScenario(seed=args.seed, config=config).run()
+    print(run.timings.render())
 
     _measured, text = headline(run)
     print()

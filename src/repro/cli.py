@@ -14,7 +14,10 @@
     python -m repro run --out events.jsonl   # dump the enriched dataset
 
 All commands accept ``--seed`` (default 2010), ``--scale`` (default 1.0)
-and ``--weeks`` (default 74).
+and ``--weeks`` (default 74), plus ``--executor {serial,thread,process}``
+and ``--jobs N`` to pick the parallel backend, ``--timings`` to print
+per-stage wall times, and ``--cache`` to reuse a previously built
+scenario from the artifact cache.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro.experiments.drivers import (
     table2,
 )
 from repro.experiments.scenario import PaperScenario, ScenarioConfig, ScenarioRun
+from repro.util.parallel import BACKENDS
 
 _DRIVERS: dict[str, Callable[[ScenarioRun], tuple[object, str]]] = {
     "headline": headline,
@@ -58,6 +62,29 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=2010)
         p.add_argument("--scale", type=float, default=1.0)
         p.add_argument("--weeks", type=int, default=74)
+        p.add_argument(
+            "--executor",
+            choices=BACKENDS,
+            default="serial",
+            help="parallel backend for the pipeline's concurrent stages",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=0,
+            help="worker count for parallel backends (0 = one per core)",
+        )
+        p.add_argument(
+            "--timings",
+            action="store_true",
+            help="print per-stage wall times to stderr after the run",
+        )
+        p.add_argument(
+            "--cache",
+            action="store_true",
+            help="load/store the built scenario in the artifact cache "
+            "($REPRO_CACHE_DIR or ~/.cache/repro/scenarios)",
+        )
 
     for name in _DRIVERS:
         p = sub.add_parser(name, help=f"regenerate the '{name}' experiment")
@@ -81,13 +108,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
-    config = ScenarioConfig(n_weeks=args.weeks, scale=args.scale)
+    config = ScenarioConfig(
+        n_weeks=args.weeks,
+        scale=args.scale,
+        executor=args.executor,
+        jobs=args.jobs,
+    )
     print(
         f"running scenario (seed={args.seed}, scale={args.scale}, "
-        f"weeks={args.weeks}) ...",
+        f"weeks={args.weeks}, executor={args.executor}) ...",
         file=sys.stderr,
     )
-    return PaperScenario(seed=args.seed, config=config).run()
+    if args.cache:
+        from repro.experiments.cache import cached_run
+
+        run = cached_run(args.seed, config)
+    else:
+        run = PaperScenario(seed=args.seed, config=config).run()
+    if args.timings:
+        print(run.timings.render(), file=sys.stderr)
+    return run
 
 
 def _cmd_evasion(args: argparse.Namespace) -> str:

@@ -11,12 +11,14 @@ cross-dimension conveniences: per-sample M-cluster lookup, per-event
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.core.classifier import DimensionClustering
 from repro.core.features import Dimension, FeatureSet, default_feature_sets
 from repro.core.invariants import InvariantPolicy, Observation, discover_invariants
 from repro.core.patterns import PatternSet
 from repro.egpm.dataset import SGNetDataset
+from repro.util.parallel import Executor, SerialExecutor
 from repro.util.validation import require
 
 
@@ -100,6 +102,10 @@ class EPMClustering:
         min_pattern_support: int = 1,
     ) -> None:
         self.policy = policy or InvariantPolicy()
+        #: Whether the default feature sets are in play — they can be
+        #: rebuilt inside a worker process, while custom ones may carry
+        #: closures that cannot cross a process boundary.
+        self._default_feature_sets = feature_sets is None
         self.feature_sets = feature_sets or default_feature_sets()
         require(min_pattern_support >= 1, "min_pattern_support must be >= 1")
         self.min_pattern_support = min_pattern_support
@@ -132,11 +138,52 @@ class EPMClustering:
             instances=instances,
         )
 
-    def fit(self, dataset: SGNetDataset) -> EPMResult:
-        """Run EPM clustering over all three dimensions."""
+    def fit(self, dataset: SGNetDataset, *, executor: Executor | None = None) -> EPMResult:
+        """Run EPM clustering over all three dimensions.
+
+        The dimension fits are independent, so a parallel ``executor``
+        runs them concurrently; each fit is a pure function of
+        ``(dataset, feature_set, policy)``, so results are bit-identical
+        on every backend.  Custom feature sets (which may close over
+        local state) fall back to in-process fitting under the process
+        backend.
+        """
         require(len(dataset) > 0, "cannot cluster an empty dataset")
-        dimensions = {
-            dimension: self.fit_dimension(dataset, feature_set)
-            for dimension, feature_set in self.feature_sets.items()
-        }
-        return EPMResult(dimensions=dimensions, policy=self.policy)
+        executor = executor or SerialExecutor()
+        dimensions = list(self.feature_sets)
+        if executor.backend == "process" and self._default_feature_sets:
+            fitted = executor.map(
+                partial(
+                    _fit_default_dimension,
+                    dataset,
+                    self.policy,
+                    self.min_pattern_support,
+                ),
+                dimensions,
+            )
+        elif executor.backend in ("serial", "process"):
+            fitted = [
+                self.fit_dimension(dataset, self.feature_sets[dimension])
+                for dimension in dimensions
+            ]
+        else:
+            fitted = executor.map(
+                lambda dimension: self.fit_dimension(
+                    dataset, self.feature_sets[dimension]
+                ),
+                dimensions,
+            )
+        return EPMResult(dimensions=dict(zip(dimensions, fitted)), policy=self.policy)
+
+
+def _fit_default_dimension(
+    dataset: SGNetDataset,
+    policy: InvariantPolicy,
+    min_pattern_support: int,
+    dimension: Dimension,
+) -> DimensionClustering:
+    """Process-pool worker: rebuild the default feature set locally and fit."""
+    clustering = EPMClustering(
+        policy=policy, min_pattern_support=min_pattern_support
+    )
+    return clustering.fit_dimension(dataset, default_feature_sets()[dimension])

@@ -15,6 +15,7 @@ and figure of the paper's evaluation from a :class:`ScenarioRun`:
 ===========================  =========================================
 """
 
+from repro.experiments.cache import ScenarioCache, cached_run, scenario_fingerprint
 from repro.experiments.scenario import (
     PaperScenario,
     ScenarioConfig,
@@ -34,9 +35,12 @@ from repro.experiments.drivers import (
 
 __all__ = [
     "PaperScenario",
+    "ScenarioCache",
     "ScenarioConfig",
     "ScenarioRun",
     "anomaly_report",
+    "cached_run",
+    "scenario_fingerprint",
     "figure3",
     "figure4",
     "figure5",

@@ -1,0 +1,174 @@
+"""Content-addressed on-disk cache of scenario artifacts.
+
+Every benchmark, sweep and example starts from the same expensive
+object: a fully built :class:`~repro.experiments.scenario.ScenarioRun`.
+The cache keys a pickled run by a *fingerprint* — a SHA-256 over the
+``(seed, ScenarioConfig)`` pair in a canonical JSON form — so a warm
+load takes milliseconds instead of the multi-second rebuild, while any
+semantic config change (scale, weeks, thresholds, noise, ...) misses
+and rebuilds.
+
+Execution-only knobs (``executor``, ``jobs``) are excluded from the
+fingerprint: all backends produce bit-identical artifacts, so a run
+built with the process backend is a valid cache hit for a serial
+request of the same scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from enum import Enum
+from pathlib import Path
+from typing import Mapping
+
+from repro.experiments.scenario import PaperScenario, ScenarioConfig, ScenarioRun
+from repro.util.validation import require
+
+#: Bump when the pickled artifact layout changes incompatibly; old
+#: entries then miss instead of unpickling into stale shapes.
+CACHE_FORMAT = 1
+
+#: ScenarioConfig fields that cannot change results, only how fast they
+#: are computed; they never contribute to the fingerprint.
+EXECUTION_ONLY_FIELDS = frozenset({"executor", "jobs"})
+
+
+def _canonical(value: object) -> object:
+    """Reduce ``value`` to JSON-serialisable primitives, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, Enum):
+        return {"__enum__": type(value).__name__, "value": _canonical(value.value)}
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_canonical(v) for v in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return items
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def scenario_fingerprint(seed: int, config: ScenarioConfig | None = None) -> str:
+    """Stable content address of ``(seed, config)``.
+
+    The fingerprint is a pure function of the *semantic* configuration:
+    identical across processes and backends, different for any config
+    field that can change the artifacts.
+
+    >>> scenario_fingerprint(1) == scenario_fingerprint(1, ScenarioConfig())
+    True
+    >>> scenario_fingerprint(1) != scenario_fingerprint(2)
+    True
+    """
+    config = config or ScenarioConfig()
+    payload = _canonical(config)
+    for name in EXECUTION_ONLY_FIELDS:
+        payload.pop(name, None)
+    blob = json.dumps(
+        {"format": CACHE_FORMAT, "seed": seed, "config": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/scenarios``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "scenarios"
+
+
+class ScenarioCache:
+    """Pickle store of built runs, addressed by scenario fingerprint."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, seed: int, config: ScenarioConfig | None = None) -> Path:
+        """On-disk location of the ``(seed, config)`` artifact."""
+        return self.root / f"{scenario_fingerprint(seed, config)}.pkl"
+
+    def load(self, seed: int, config: ScenarioConfig | None = None) -> ScenarioRun | None:
+        """Return the cached run, or ``None`` on a miss.
+
+        Unreadable entries (truncated writes, artifacts pickled by an
+        incompatible code version) are treated as misses and evicted.
+        """
+        path = self.path_for(seed, config)
+        try:
+            with path.open("rb") as handle:
+                run = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, TypeError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        if not isinstance(run, ScenarioRun):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return run
+
+    def store(self, run: ScenarioRun) -> Path:
+        """Persist ``run`` under its fingerprint; returns the path.
+
+        The write goes through a same-directory temp file and an atomic
+        rename, so concurrent readers never observe a torn artifact.
+        """
+        require(isinstance(run, ScenarioRun), "can only cache ScenarioRun artifacts")
+        path = self.path_for(run.seed, run.config)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(run, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    def get_or_run(self, scenario: PaperScenario) -> ScenarioRun:
+        """Cached run for ``scenario``, building and storing on a miss."""
+        cached = self.load(scenario.seed, scenario.config)
+        if cached is not None:
+            return cached
+        run = scenario.run()
+        self.store(run)
+        return run
+
+    def clear(self) -> int:
+        """Delete every cached artifact; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def cached_run(
+    seed: int = 2010,
+    config: ScenarioConfig | None = None,
+    *,
+    cache: ScenarioCache | None = None,
+) -> ScenarioRun:
+    """One-call cached scenario build (the examples/benchmarks entry point)."""
+    cache = cache or ScenarioCache()
+    return cache.get_or_run(PaperScenario(seed=seed, config=config))

@@ -27,14 +27,23 @@ from repro.malware.landscape import LandscapeGenerator
 from repro.sandbox.anubis import AnubisService
 from repro.sandbox.clustering import BehaviorClustering, ClusteringConfig
 from repro.sandbox.execution import Sandbox, SandboxConfig
+from repro.util.parallel import BACKENDS, get_executor
 from repro.util.rng import RandomSource
 from repro.util.timegrid import WEEK_SECONDS, TimeGrid
+from repro.util.timing import StageTimer, StageTimings
 from repro.util.validation import require
 
 
 @dataclass(frozen=True)
 class ScenarioConfig:
-    """Scenario-level knobs."""
+    """Scenario-level knobs.
+
+    ``executor``/``jobs`` select the parallel backend the
+    embarrassingly-parallel stages run on.  They are *execution-only*
+    knobs: every backend produces bit-identical artifacts, so they are
+    excluded from the scenario cache fingerprint
+    (:func:`repro.experiments.cache.scenario_fingerprint`).
+    """
 
     n_weeks: int = 74
     scale: float = 1.0
@@ -42,10 +51,17 @@ class ScenarioConfig:
     invariant_policy: InvariantPolicy = field(default_factory=InvariantPolicy)
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
     sandbox: SandboxConfig = field(default_factory=SandboxConfig)
+    #: Parallel backend for sandbox execution, E/P/M fits and LSH
+    #: verification: "serial", "thread" or "process".
+    executor: str = "serial"
+    #: Worker count for parallel backends; 0 = one worker per core.
+    jobs: int = 0
 
     def __post_init__(self) -> None:
         require(self.n_weeks >= 4, "scenario needs at least 4 weeks")
         require(self.scale > 0, "scale must be positive")
+        require(self.executor in BACKENDS, f"unknown executor backend {self.executor!r}")
+        require(self.jobs >= 0, "jobs must be >= 0 (0 = one worker per core)")
 
 
 @dataclass
@@ -63,6 +79,8 @@ class ScenarioRun:
     enrichment: EnrichmentPipeline
     epm: EPMResult
     bclusters: BehaviorClustering
+    #: Per-stage wall times of the run that built these artifacts.
+    timings: StageTimings = field(default_factory=StageTimings)
 
     def headline(self) -> dict[str, int]:
         """The §4/§4.1 headline numbers of this run."""
@@ -87,32 +105,51 @@ class PaperScenario:
         self.config = config or ScenarioConfig()
 
     def run(self) -> ScenarioRun:
-        """Execute the full pipeline and return all artifacts."""
+        """Execute the full pipeline and return all artifacts.
+
+        The parallelisable stages (sandbox enrichment, E/P/M fits, LSH
+        verification) run on the backend named by
+        ``config.executor``/``config.jobs``; per-stage wall times are
+        recorded on the returned run's ``timings``.
+        """
+        timer = StageTimer()
+        executor = get_executor(self.config.executor, self.config.jobs)
         source = RandomSource(self.seed)
         grid = TimeGrid(0, self.config.n_weeks * WEEK_SECONDS)
 
-        deployment = SGNetDeployment(
-            source.child("deployment"), self.config.deployment
-        )
-        catalog = build_catalog(
-            source.child("catalog"),
-            grid,
-            deployment.sensor_networks,
-            scale=self.config.scale,
-        )
-        generator = LandscapeGenerator(
-            catalog.families, deployment.sensor_addresses, grid, source.child("landscape")
-        )
-        dataset = deployment.observe(generator)
+        with timer.stage("deployment"):
+            deployment = SGNetDeployment(
+                source.child("deployment"), self.config.deployment
+            )
+        with timer.stage("catalog"):
+            catalog = build_catalog(
+                source.child("catalog"),
+                grid,
+                deployment.sensor_networks,
+                scale=self.config.scale,
+            )
+        with timer.stage("observe"):
+            generator = LandscapeGenerator(
+                catalog.families,
+                deployment.sensor_addresses,
+                grid,
+                source.child("landscape"),
+            )
+            dataset = deployment.observe(generator)
 
         sandbox = Sandbox(catalog.environment, self.config.sandbox)
         anubis = AnubisService(sandbox)
         virustotal = VirusTotalService()
         enrichment = EnrichmentPipeline(anubis, virustotal)
-        enrichment.enrich(dataset)
+        with timer.stage("enrich"):
+            enrichment.enrich(dataset, executor=executor)
 
-        epm = EPMClustering(policy=self.config.invariant_policy).fit(dataset)
-        bclusters = anubis.cluster(self.config.clustering)
+        with timer.stage("epm"):
+            epm = EPMClustering(policy=self.config.invariant_policy).fit(
+                dataset, executor=executor
+            )
+        with timer.stage("bcluster"):
+            bclusters = anubis.cluster(self.config.clustering, executor=executor)
 
         return ScenarioRun(
             config=self.config,
@@ -126,6 +163,7 @@ class PaperScenario:
             enrichment=enrichment,
             epm=epm,
             bclusters=bclusters,
+            timings=timer.timings(),
         )
 
 

@@ -10,12 +10,14 @@ reports can later be re-generated via :meth:`rerun` — the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.malware.behaviorspec import BehaviorTemplate
 from repro.sandbox.behavior import BehaviorProfile
 from repro.sandbox.clustering import BehaviorClustering, ClusteringConfig, cluster_lsh
-from repro.sandbox.execution import Sandbox
+from repro.sandbox.execution import ExecutionTask, Sandbox
 from repro.util.hashing import stable_hash64
+from repro.util.parallel import Executor
 from repro.util.validation import require
 
 
@@ -58,6 +60,41 @@ class AnubisService:
         self._reports[md5] = report
         return report
 
+    def submit_batch(
+        self,
+        submissions: Iterable[Sequence],
+        *,
+        executor: Executor | None = None,
+    ) -> list[AnubisReport]:
+        """Submit many ``(md5, behavior, time)`` tuples, optionally in parallel.
+
+        Bit-identical to calling :meth:`submit` on each tuple in order —
+        already-analysed samples (and repeated MD5s within the batch)
+        reuse the first report, run seeds are derived from the MD5s, and
+        the report store keeps first-submission insertion order on every
+        backend.  Returns the reports aligned with the input order.
+        """
+        submissions = [tuple(item) for item in submissions]
+        pending: list[tuple[str, BehaviorTemplate, int]] = []
+        claimed: set[str] = set()
+        for md5, behavior, time in submissions:
+            if md5 in self._reports or md5 in claimed:
+                continue
+            claimed.add(md5)
+            pending.append((md5, behavior, time))
+        tasks = [
+            ExecutionTask(
+                behavior=behavior,
+                time=time,
+                run_seed=stable_hash64(md5, salt="anubis-run"),
+            )
+            for md5, behavior, time in pending
+        ]
+        profiles = self.sandbox.execute_batch(tasks, executor=executor)
+        for (md5, _behavior, time), profile in zip(pending, profiles):
+            self._reports[md5] = AnubisReport(md5=md5, submitted_at=time, profile=profile)
+        return [self._reports[md5] for md5, _behavior, _time in submissions]
+
     def rerun(
         self,
         md5: str,
@@ -98,6 +135,11 @@ class AnubisService:
         """MD5 -> current profile, for clustering."""
         return {md5: report.profile for md5, report in self._reports.items()}
 
-    def cluster(self, config: ClusteringConfig | None = None) -> BehaviorClustering:
+    def cluster(
+        self,
+        config: ClusteringConfig | None = None,
+        *,
+        executor: Executor | None = None,
+    ) -> BehaviorClustering:
         """Run the scalable B-clustering over all analysed samples."""
-        return cluster_lsh(self.profiles(), config)
+        return cluster_lsh(self.profiles(), config, executor=executor)

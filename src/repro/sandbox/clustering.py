@@ -20,10 +20,13 @@ tests and the scalability benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Hashable, Mapping, Sequence
 
 from repro.sandbox.behavior import BehaviorProfile
 from repro.sandbox.lsh import LSHIndex, MinHasher
+from repro.util.parallel import Executor
+from repro.util.stats import jaccard
 from repro.util.validation import require, require_probability
 
 
@@ -184,13 +187,7 @@ def cluster_exact(
     for i in range(len(uniques)):
         for j in range(i + 1, len(uniques)):
             comparisons += 1
-            a, b = sets[i], sets[j]
-            if not a and not b:
-                similarity = 1.0
-            else:
-                inter = len(a & b)
-                similarity = inter / (len(a) + len(b) - inter)
-            if similarity >= config.threshold:
+            if jaccard(sets[i], sets[j]) >= config.threshold:
                 uf.union(i, j)
     labels = {i: uf.find(i) for i in range(len(uniques))}
     assignment = _expand(labels, uniques, groups)
@@ -199,11 +196,29 @@ def cluster_exact(
     )
 
 
+def _pair_similar(
+    feature_sets: Sequence[set], threshold: float, pair: tuple[int, int]
+) -> bool:
+    """Exact-Jaccard check of one candidate pair (module-level: picklable)."""
+    i, j = pair
+    return jaccard(feature_sets[i], feature_sets[j]) >= threshold
+
+
 def cluster_lsh(
     profiles: Mapping[str, BehaviorProfile],
     config: ClusteringConfig | None = None,
+    *,
+    executor: Executor | None = None,
 ) -> BehaviorClustering:
-    """Scalable clustering: LSH candidates + exact verification + union-find."""
+    """Scalable clustering: LSH candidates + exact verification + union-find.
+
+    With a parallel ``executor``, exact-Jaccard verification of the LSH
+    candidate pairs runs chunked across workers.  Cluster assignments
+    are bit-identical on every backend (union order cannot change the
+    connected components); only the ``n_exact_comparisons`` counter
+    differs, because the serial path skips pairs already linked through
+    earlier unions while the parallel path verifies every candidate.
+    """
     config = config or ClusteringConfig()
     groups, uniques = _dedupe(profiles)
     hasher = MinHasher(
@@ -221,18 +236,21 @@ def cluster_lsh(
     uf = _UnionFind(list(range(len(uniques))))
     candidates = index.candidate_pairs()
     comparisons = 0
-    for i, j in candidates:
-        if uf.find(i) == uf.find(j):
-            continue  # already linked; skip the exact check
-        comparisons += 1
-        a, b = feature_sets[i], feature_sets[j]
-        if not a and not b:
-            similarity = 1.0
-        else:
-            inter = len(a & b)
-            similarity = inter / (len(a) + len(b) - inter)
-        if similarity >= config.threshold:
-            uf.union(i, j)
+    if executor is not None and executor.backend != "serial" and candidates:
+        verdicts = executor.map(
+            partial(_pair_similar, feature_sets, config.threshold), candidates
+        )
+        comparisons = len(candidates)
+        for (i, j), similar in zip(candidates, verdicts):
+            if similar:
+                uf.union(i, j)
+    else:
+        for i, j in candidates:
+            if uf.find(i) == uf.find(j):
+                continue  # already linked; skip the exact check
+            comparisons += 1
+            if jaccard(feature_sets[i], feature_sets[j]) >= config.threshold:
+                uf.union(i, j)
     labels = {i: uf.find(i) for i in range(len(uniques))}
     assignment = _expand(labels, uniques, groups)
     return BehaviorClustering.from_assignment(

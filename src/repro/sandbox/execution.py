@@ -22,10 +22,13 @@ recorded.  Three effects shape the output exactly as in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Sequence
 
 from repro.malware.behaviorspec import BehaviorTemplate
 from repro.sandbox.behavior import BehaviorProfile, Feature
 from repro.sandbox.environment import Environment
+from repro.util.parallel import Executor, SerialExecutor
 from repro.util.rng import spawn_rng
 from repro.util.validation import require, require_probability
 
@@ -67,6 +70,22 @@ class SandboxConfig:
             require(0.0 < point < 1.0, "crash points must be in (0, 1)")
 
 
+@dataclass(frozen=True)
+class ExecutionTask:
+    """One analysis request, fully determined by its fields.
+
+    The profile is a pure function of ``(environment, config, task)``,
+    which is what makes batches safe to execute on any
+    :mod:`repro.util.parallel` backend: every run draws only from the
+    substream spawned from its own ``run_seed``.
+    """
+
+    behavior: BehaviorTemplate
+    time: int
+    run_seed: int
+    allow_derail: bool = True
+
+
 class Sandbox:
     """The simulated Anubis execution engine."""
 
@@ -91,10 +110,38 @@ class Sandbox:
         procedure for misclassified samples.
         """
         self.n_executions += 1
-        rng = spawn_rng(run_seed, "sandbox-run")
-        features = self._interpret(behavior, time)
-        derail_rate = min(1.0, behavior.noise_rate * self.config.noise_multiplier)
-        if allow_derail and derail_rate > 0 and rng.random() < derail_rate:
+        return self._run(
+            ExecutionTask(
+                behavior=behavior, time=time, run_seed=run_seed, allow_derail=allow_derail
+            )
+        )
+
+    def execute_batch(
+        self,
+        tasks: Sequence[ExecutionTask],
+        *,
+        executor: Executor | None = None,
+    ) -> list[BehaviorProfile]:
+        """Run many analyses, optionally in parallel; order is preserved.
+
+        The result is bit-identical to calling :meth:`execute` on each
+        task in sequence, on every backend: each run's randomness comes
+        from its own ``run_seed`` substream and the environment is only
+        read.  The execution counter is updated once, here, so it stays
+        exact even when worker processes operate on copies of ``self``.
+        """
+        tasks = list(tasks)
+        executor = executor or SerialExecutor()
+        profiles = executor.map(partial(_execute_task, self), tasks)
+        self.n_executions += len(tasks)
+        return profiles
+
+    def _run(self, task: ExecutionTask) -> BehaviorProfile:
+        """Pure execution path (no counter update), shared by all entry points."""
+        rng = spawn_rng(task.run_seed, "sandbox-run")
+        features = self._interpret(task.behavior, task.time)
+        derail_rate = min(1.0, task.behavior.noise_rate * self.config.noise_multiplier)
+        if task.allow_derail and derail_rate > 0 and rng.random() < derail_rate:
             features = self._derail(features, rng)
         return BehaviorProfile.from_features(features)
 
@@ -166,3 +213,8 @@ class Sandbox:
         ordered = sorted(features)
         keep = max(1, int(len(ordered) * point))
         return ordered[:keep]
+
+
+def _execute_task(sandbox: Sandbox, task: ExecutionTask) -> BehaviorProfile:
+    """Module-level batch worker (process pools must be able to pickle it)."""
+    return sandbox._run(task)

@@ -28,6 +28,7 @@ from scipy.cluster.hierarchy import fcluster, linkage as scipy_linkage
 
 from repro.sandbox.behavior import BehaviorProfile
 from repro.sandbox.clustering import BehaviorClustering, ClusteringConfig
+from repro.util.stats import jaccard
 from repro.util.validation import require
 
 _LINKAGES = ("single", "complete", "average")
@@ -37,18 +38,10 @@ def _condensed_jaccard_distances(feature_sets: list[set]) -> np.ndarray:
     n = len(feature_sets)
     out = np.empty(n * (n - 1) // 2, dtype=np.float64)
     k = 0
-    sizes = [len(s) for s in feature_sets]
     for i in range(n):
         a = feature_sets[i]
-        size_a = sizes[i]
         for j in range(i + 1, n):
-            b = feature_sets[j]
-            if not a and not b:
-                similarity = 1.0
-            else:
-                inter = len(a & b)
-                similarity = inter / (size_a + sizes[j] - inter)
-            out[k] = 1.0 - similarity
+            out[k] = 1.0 - jaccard(a, feature_sets[j])
             k += 1
     return out
 

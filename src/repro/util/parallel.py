@@ -1,0 +1,145 @@
+"""Deterministic parallel execution backends.
+
+Every embarrassingly-parallel stage of the pipeline (sandbox execution,
+the three E/P/M dimension fits, exact-Jaccard verification of LSH
+candidate pairs) funnels through one tiny abstraction: an *executor*
+with an order-preserving, chunked :meth:`~Executor.map`.  Three backends
+exist:
+
+* ``serial``  — a plain loop; the reference semantics.
+* ``thread``  — a thread pool; useful for stages that release the GIL
+  and as a cheap way to exercise the concurrent code paths.
+* ``process`` — a process pool; true CPU parallelism.  Mapped functions
+  and their arguments must be picklable (module-level functions or
+  :func:`functools.partial` over them).
+
+Determinism contract: ``map`` always returns results in input order, and
+work is split into chunks by *position*, never by completion time.  A
+stage that is a pure function of its inputs therefore produces
+bit-identical output on every backend — parallelism may never perturb
+the :mod:`repro.util.rng` substream discipline, because no substream is
+ever shared across work items.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.util.validation import require
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Recognised executor backend names, in preference order.
+BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_jobs(jobs: int = 0) -> int:
+    """Worker count for a parallel backend; ``0`` means "all cores"."""
+    require(jobs >= 0, "jobs must be >= 0 (0 = one worker per core)")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def chunk_evenly(items: Sequence[T], n_chunks: int) -> list[list[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, even chunks.
+
+    Chunking is by position only, so the split is a pure function of
+    ``(len(items), n_chunks)`` — the property the determinism contract
+    rests on.  Empty chunks are never produced.
+
+    >>> chunk_evenly([1, 2, 3, 4, 5], 2)
+    [[1, 2, 3], [4, 5]]
+    """
+    require(n_chunks >= 1, "n_chunks must be >= 1")
+    items = list(items)
+    n_chunks = min(n_chunks, len(items)) or 1
+    size, extra = divmod(len(items), n_chunks)
+    chunks: list[list[T]] = []
+    start = 0
+    for index in range(n_chunks):
+        end = start + size + (1 if index < extra else 0)
+        if end > start:
+            chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+    """Apply ``fn`` to one chunk (module-level so process pools can ship it)."""
+    return [fn(item) for item in chunk]
+
+
+class SerialExecutor:
+    """The reference backend: a plain in-order loop."""
+
+    backend = "serial"
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, in order."""
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+class _PoolExecutor:
+    """Shared chunk-submit/ordered-gather logic of the pooled backends."""
+
+    backend = "pool"
+    _pool_cls: type
+
+    def __init__(self, jobs: int = 0) -> None:
+        self.jobs = resolve_jobs(jobs)
+
+    #: Chunks per worker; >1 smooths load imbalance between chunks while
+    #: keeping per-chunk submission overhead (pickling, scheduling) low.
+    _CHUNKS_PER_JOB = 4
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item; results come back in input order."""
+        items = list(items)
+        if len(items) <= 1 or self.jobs == 1:
+            return [fn(item) for item in items]
+        chunks = chunk_evenly(items, self.jobs * self._CHUNKS_PER_JOB)
+        with self._pool_cls(max_workers=min(self.jobs, len(chunks))) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            results: list[R] = []
+            for future in futures:  # gather in submission order
+                results.extend(future.result())
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend; mapped functions may be closures."""
+
+    backend = "thread"
+    _pool_cls = ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend; mapped functions and items must pickle."""
+
+    backend = "process"
+    _pool_cls = ProcessPoolExecutor
+
+
+#: Any of the three backends (they share the duck-typed ``map`` API).
+Executor = SerialExecutor | ThreadExecutor | ProcessExecutor
+
+
+def get_executor(backend: str = "serial", jobs: int = 0) -> Executor:
+    """Build the named backend; ``jobs=0`` means one worker per core."""
+    require(backend in BACKENDS, f"unknown executor backend {backend!r}")
+    if backend == "thread":
+        return ThreadExecutor(jobs)
+    if backend == "process":
+        return ProcessExecutor(jobs)
+    return SerialExecutor()

@@ -1,0 +1,83 @@
+"""Wall-clock stage profiling for the pipeline.
+
+:class:`StageTimer` wraps each stage of a run in a context manager and
+accumulates a :class:`StageTimings` record — the machine-readable
+timing artifact carried on every
+:class:`~repro.experiments.scenario.ScenarioRun` and emitted by the
+benchmark session as ``BENCH_pipeline.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One named stage and its wall-clock cost."""
+
+    name: str
+    seconds: float
+
+
+@dataclass
+class StageTimings:
+    """Ordered per-stage wall times of one pipeline run."""
+
+    stages: list[StageTiming] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded stage times."""
+        return sum(stage.seconds for stage in self.stages)
+
+    def seconds(self, name: str) -> float:
+        """Total time recorded under ``name`` (0.0 if never recorded)."""
+        return sum(stage.seconds for stage in self.stages if stage.name == name)
+
+    def as_dict(self) -> dict[str, float]:
+        """Stage name -> seconds (repeated names accumulate)."""
+        out: dict[str, float] = {}
+        for stage in self.stages:
+            out[stage.name] = out.get(stage.name, 0.0) + stage.seconds
+        return out
+
+    def render(self) -> str:
+        """Human-readable timing table with per-stage shares."""
+        if not self.stages:
+            return "no stages recorded"
+        total = self.total or 1.0
+        width = max(len(stage.name) for stage in self.stages)
+        lines = [
+            f"{stage.name:<{width}}  {stage.seconds:9.3f} s  {stage.seconds / total:6.1%}"
+            for stage in self.stages
+        ]
+        lines.append(f"{'total':<{width}}  {self.total:9.3f} s")
+        return "\n".join(lines)
+
+
+class StageTimer:
+    """Records wall time per named stage of a run."""
+
+    def __init__(self) -> None:
+        self._timings = StageTimings()
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one stage; nesting is allowed but stages may not recurse."""
+        require(bool(name), "stage name must be non-empty")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._timings.stages.append(StageTiming(name=name, seconds=elapsed))
+
+    def timings(self) -> StageTimings:
+        """The record accumulated so far (live view, not a copy)."""
+        return self._timings

@@ -132,3 +132,72 @@ class TestBehaviorClustering:
     def test_members_sorted(self):
         result = BehaviorClustering.from_assignment({"z": 1, "a": 1})
         assert result.clusters[0] == ["a", "z"]
+
+
+class TestSharedJaccardHelper:
+    """Both clustering paths go through repro.util.stats.jaccard."""
+
+    def test_empty_profiles_cluster_together_in_both_paths(self):
+        # jaccard(set(), set()) == 1.0, so two empty profiles must merge
+        # identically in the exact and LSH paths.
+        profiles = {"a": profile(), "b": profile(), "c": profile("x", "y", "z")}
+        exact = cluster_exact(profiles)
+        lsh = cluster_lsh(profiles)
+        assert exact.assignment["a"] == exact.assignment["b"]
+        assert lsh.assignment["a"] == lsh.assignment["b"]
+        assert exact.assignment["c"] != exact.assignment["a"]
+
+    def test_threshold_boundary_agrees_with_helper(self):
+        from repro.util.stats import jaccard
+
+        a, b = profile("1", "2", "3", "4", "5", "6", "7"), profile(
+            "1", "2", "3", "4", "5", "6", "8"
+        )
+        similarity = jaccard(set(a.features), set(b.features))
+        result = cluster_exact(
+            {"a": a, "b": b}, ClusteringConfig(threshold=similarity)
+        )
+        assert result.assignment["a"] == result.assignment["b"]
+        stricter = cluster_exact(
+            {"a": a, "b": b}, ClusteringConfig(threshold=similarity + 1e-9)
+        )
+        assert stricter.assignment["a"] != stricter.assignment["b"]
+
+
+class TestClusterLshParallel:
+    """Chunked candidate verification is bit-identical to the serial path."""
+
+    def _profiles(self):
+        profiles = {}
+        for tag in ("alpha", "beta", "gamma"):
+            profiles.update(family_profiles(tag, 12))
+        return profiles
+
+    def test_thread_executor_matches_serial(self):
+        from repro.util.parallel import ThreadExecutor
+
+        profiles = self._profiles()
+        serial = cluster_lsh(profiles)
+        threaded = cluster_lsh(profiles, executor=ThreadExecutor(jobs=3))
+        assert threaded.assignment == serial.assignment
+        assert threaded.clusters == serial.clusters
+        # the parallel path verifies every candidate pair
+        assert threaded.n_exact_comparisons == threaded.n_candidate_pairs
+
+    def test_process_executor_matches_serial(self):
+        from repro.util.parallel import ProcessExecutor
+
+        profiles = self._profiles()
+        serial = cluster_lsh(profiles)
+        processed = cluster_lsh(profiles, executor=ProcessExecutor(jobs=2))
+        assert processed.assignment == serial.assignment
+        assert processed.clusters == serial.clusters
+
+    def test_serial_executor_keeps_early_skip_path(self):
+        from repro.util.parallel import SerialExecutor
+
+        profiles = self._profiles()
+        baseline = cluster_lsh(profiles)
+        explicit = cluster_lsh(profiles, executor=SerialExecutor())
+        assert explicit.assignment == baseline.assignment
+        assert explicit.n_exact_comparisons == baseline.n_exact_comparisons

@@ -1,0 +1,116 @@
+"""The executor abstraction: ordering, chunking, backends, validation."""
+
+import os
+
+import pytest
+
+from repro.util.parallel import (
+    BACKENDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunk_evenly,
+    get_executor,
+    resolve_jobs,
+)
+from repro.util.validation import ValidationError
+
+
+def _square(x: int) -> int:
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+def _maybe_fail(x: int) -> int:
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestResolveJobs:
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_jobs(-1)
+
+
+class TestChunkEvenly:
+    def test_even_split(self):
+        assert chunk_evenly([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_remainder_spread_over_leading_chunks(self):
+        assert chunk_evenly([1, 2, 3, 4, 5], 3) == [[1, 2], [3, 4], [5]]
+
+    def test_more_chunks_than_items(self):
+        assert chunk_evenly([1, 2], 5) == [[1], [2]]
+
+    def test_empty_input(self):
+        assert chunk_evenly([], 4) == []
+
+    def test_concatenation_preserves_order(self):
+        chunks = chunk_evenly(list(range(103)), 8)
+        assert [x for chunk in chunks for x in chunk] == list(range(103))
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValidationError):
+            chunk_evenly([1], 0)
+
+
+class TestGetExecutor:
+    def test_all_backends_constructible(self):
+        for backend in BACKENDS:
+            executor = get_executor(backend, jobs=2)
+            assert executor.backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            get_executor("gpu")
+
+    def test_serial_is_singleton_shape(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread"), ThreadExecutor)
+        assert isinstance(get_executor("process"), ProcessExecutor)
+
+
+class TestMapSemantics:
+    ITEMS = list(range(57))
+
+    def test_serial_map_in_order(self):
+        assert SerialExecutor().map(_square, self.ITEMS) == [x * x for x in self.ITEMS]
+
+    def test_thread_map_matches_serial(self):
+        executor = ThreadExecutor(jobs=4)
+        assert executor.map(_square, self.ITEMS) == [x * x for x in self.ITEMS]
+
+    def test_thread_map_accepts_closures(self):
+        offset = 7
+        executor = ThreadExecutor(jobs=3)
+        assert executor.map(lambda x: x + offset, self.ITEMS) == [
+            x + offset for x in self.ITEMS
+        ]
+
+    def test_process_map_matches_serial(self):
+        executor = ProcessExecutor(jobs=2)
+        assert executor.map(_square, self.ITEMS) == [x * x for x in self.ITEMS]
+
+    def test_empty_input(self):
+        for backend in BACKENDS:
+            assert get_executor(backend, jobs=2).map(_square, []) == []
+
+    def test_single_item_short_circuits(self):
+        assert ThreadExecutor(jobs=4).map(_square, [9]) == [81]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            ThreadExecutor(jobs=2).map(_maybe_fail, self.ITEMS)
+        with pytest.raises(ValueError, match="boom"):
+            SerialExecutor().map(_maybe_fail, self.ITEMS)
+
+    def test_jobs_one_falls_back_to_plain_loop(self):
+        executor = ThreadExecutor(jobs=1)
+        assert executor.map(_square, self.ITEMS) == [x * x for x in self.ITEMS]

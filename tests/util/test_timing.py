@@ -1,0 +1,68 @@
+"""The stage profiler: recording, aggregation, rendering."""
+
+import time
+
+import pytest
+
+from repro.util.timing import StageTimer, StageTimings, StageTiming
+from repro.util.validation import ValidationError
+
+
+class TestStageTimer:
+    def test_records_stages_in_order(self):
+        timer = StageTimer()
+        with timer.stage("first"):
+            pass
+        with timer.stage("second"):
+            pass
+        names = [stage.name for stage in timer.timings().stages]
+        assert names == ["first", "second"]
+
+    def test_measures_elapsed_time(self):
+        timer = StageTimer()
+        with timer.stage("sleepy"):
+            time.sleep(0.02)
+        assert timer.timings().seconds("sleepy") >= 0.015
+
+    def test_records_stage_even_when_body_raises(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("doomed"):
+                raise RuntimeError("nope")
+        assert [stage.name for stage in timer.timings().stages] == ["doomed"]
+
+    def test_empty_name_rejected(self):
+        timer = StageTimer()
+        with pytest.raises(ValidationError):
+            with timer.stage(""):
+                pass
+
+
+class TestStageTimings:
+    def _sample(self) -> StageTimings:
+        return StageTimings(
+            stages=[
+                StageTiming("observe", 2.0),
+                StageTiming("enrich", 1.0),
+                StageTiming("enrich", 0.5),
+            ]
+        )
+
+    def test_total_sums_all_stages(self):
+        assert self._sample().total == pytest.approx(3.5)
+
+    def test_repeated_names_accumulate(self):
+        timings = self._sample()
+        assert timings.seconds("enrich") == pytest.approx(1.5)
+        assert timings.as_dict() == pytest.approx({"observe": 2.0, "enrich": 1.5})
+
+    def test_unknown_stage_is_zero(self):
+        assert self._sample().seconds("nope") == 0.0
+
+    def test_render_mentions_every_stage_and_total(self):
+        text = self._sample().render()
+        for token in ("observe", "enrich", "total"):
+            assert token in text
+
+    def test_render_empty(self):
+        assert "no stages" in StageTimings().render()
