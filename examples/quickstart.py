@@ -16,6 +16,7 @@ Usage::
 import argparse
 
 from repro.experiments import PaperScenario, ScenarioConfig, cached_run, headline
+from repro.obs import configure_logging, get_logger
 from repro.util.parallel import BACKENDS
 from repro.util.tables import format_histogram
 
@@ -31,15 +32,23 @@ def main() -> None:
         action="store_true",
         help="load/store the built scenario in the artifact cache",
     )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"), default="info"
+    )
     args = parser.parse_args()
 
+    configure_logging(args.log_level)
+    log = get_logger("examples.quickstart")
     config = ScenarioConfig(scale=args.scale, executor=args.executor, jobs=args.jobs)
-    print(f"Running the paper scenario (seed={args.seed}, scale={args.scale}) ...")
     if args.cache:
         run = cached_run(args.seed, config)
     else:
         run = PaperScenario(seed=args.seed, config=config).run()
-    print(run.timings.render())
+    log.info(
+        "pipeline built",
+        extra={"events": len(run.dataset), "b_clusters": run.bclusters.n_clusters},
+    )
+    print(run.trace.render() if run.trace else run.timings.render())
 
     _measured, text = headline(run)
     print()

@@ -16,14 +16,21 @@
 All commands accept ``--seed`` (default 2010), ``--scale`` (default 1.0)
 and ``--weeks`` (default 74), plus ``--executor {serial,thread,process}``
 and ``--jobs N`` to pick the parallel backend, ``--timings`` to print
-per-stage wall times, and ``--cache`` to reuse a previously built
+the per-stage trace tree, and ``--cache`` to reuse a previously built
 scenario from the artifact cache.
+
+Observability flags: ``--log-level {debug,info,warning,error}`` and
+``--log-json PATH`` control the structured logger, ``--metrics-out
+PATH`` writes the session's metric snapshot as JSON, and ``--manifest``
+writes the run's manifest (fingerprint, span tree, artifact digests) to
+``manifest.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.experiments.drivers import (
@@ -37,7 +44,12 @@ from repro.experiments.drivers import (
     table2,
 )
 from repro.experiments.scenario import PaperScenario, ScenarioConfig, ScenarioRun
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.util.parallel import BACKENDS
+
+log = get_logger("cli")
 
 _DRIVERS: dict[str, Callable[[ScenarioRun], tuple[object, str]]] = {
     "headline": headline,
@@ -77,13 +89,38 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--timings",
             action="store_true",
-            help="print per-stage wall times to stderr after the run",
+            help="print the per-stage trace tree to stderr after the run",
         )
         p.add_argument(
             "--cache",
             action="store_true",
             help="load/store the built scenario in the artifact cache "
             "($REPRO_CACHE_DIR or ~/.cache/repro/scenarios)",
+        )
+        p.add_argument(
+            "--log-level",
+            choices=("debug", "info", "warning", "error"),
+            default="info",
+            help="console log verbosity (structured logger on stderr)",
+        )
+        p.add_argument(
+            "--log-json",
+            metavar="PATH",
+            default=None,
+            help="also append one JSON log record per line to PATH",
+        )
+        p.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            default=None,
+            help="write the session's metrics snapshot as JSON to PATH",
+        )
+        p.add_argument(
+            "--manifest",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help="write the run manifest (fingerprint, span tree, "
+            "artifact digests) to manifest.json",
         )
 
     for name in _DRIVERS:
@@ -108,25 +145,36 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
+    configure_logging(args.log_level, json_path=args.log_json)
     config = ScenarioConfig(
         n_weeks=args.weeks,
         scale=args.scale,
         executor=args.executor,
         jobs=args.jobs,
     )
-    print(
-        f"running scenario (seed={args.seed}, scale={args.scale}, "
-        f"weeks={args.weeks}, executor={args.executor}) ...",
-        file=sys.stderr,
-    )
-    if args.cache:
-        from repro.experiments.cache import cached_run
+    # One registry for the whole session: the scenario build records
+    # into it, and so do the cache load/store paths around the build.
+    registry = MetricsRegistry()
+    with obs_metrics.use(registry):
+        if args.cache:
+            from repro.experiments.cache import cached_run
 
-        run = cached_run(args.seed, config)
-    else:
-        run = PaperScenario(seed=args.seed, config=config).run()
+            run = cached_run(args.seed, config)
+        else:
+            run = PaperScenario(seed=args.seed, config=config).run()
     if args.timings:
-        print(run.timings.render(), file=sys.stderr)
+        rendered = run.trace.render() if run.trace else run.timings.render()
+        print(rendered, file=sys.stderr)
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        path.write_text(registry.snapshot().to_json() + "\n", encoding="utf-8")
+        log.info("metrics written", extra={"path": str(path)})
+    if args.manifest:
+        if run.manifest is None:
+            log.warning("run carries no manifest; nothing written")
+        else:
+            path = run.manifest.write("manifest.json")
+            log.info("manifest written", extra={"path": str(path)})
     return run
 
 

@@ -18,6 +18,7 @@ from repro.core.features import Dimension, FeatureSet, default_feature_sets
 from repro.core.invariants import InvariantPolicy, Observation, discover_invariants
 from repro.core.patterns import PatternSet
 from repro.egpm.dataset import SGNetDataset
+from repro.obs import metrics as obs_metrics
 from repro.util.parallel import Executor, SerialExecutor
 from repro.util.validation import require
 
@@ -173,7 +174,24 @@ class EPMClustering:
                 ),
                 dimensions,
             )
-        return EPMResult(dimensions=dict(zip(dimensions, fitted)), policy=self.policy)
+        result = EPMResult(dimensions=dict(zip(dimensions, fitted)), policy=self.policy)
+        # Recorded post-gather from the fitted artifacts, so the counts
+        # are identical on every backend (worker processes only see the
+        # no-op default registry).
+        registry = obs_metrics.active()
+        for dimension, clustering in result.dimensions.items():
+            label = dimension.value
+            registry.counter("epm.observations", dimension=label).inc(
+                clustering.n_instances
+            )
+            registry.counter("epm.invariants_discovered", dimension=label).inc(
+                clustering.invariants.total_invariants
+            )
+            registry.counter("epm.patterns_discovered", dimension=label).inc(
+                len(clustering.pattern_set)
+            )
+            registry.gauge("epm.clusters", dimension=label).set(clustering.n_clusters)
+        return result
 
 
 def _fit_default_dimension(

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from repro.egpm.dataset import SGNetDataset
 from repro.enrich.virustotal import VirusTotalService
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import current_tracer
 from repro.sandbox.anubis import AnubisService
 from repro.util.parallel import Executor
 
@@ -37,24 +39,40 @@ class EnrichmentPipeline:
         and record bookkeeping stay serial, preserving the exact report
         insertion order and counters of a sequential run.
         """
+        before = self.stats()
+        tracer = current_tracer()
         executable = []
-        for record in dataset.samples.values():
-            if record.ground_truth is not None:
-                record.enrichment["av_labels"] = self.virustotal.scan(
-                    record.md5, record.ground_truth
-                )
-            if record.observable.corrupted or record.behavior_handle is None:
-                self.n_not_executable += 1
-            else:
-                executable.append(record)
-            self.n_enriched += 1
-        reports = self.anubis.submit_batch(
-            [(r.md5, r.behavior_handle, r.first_seen) for r in executable],
-            executor=executor,
+        with tracer.span("enrich.av_scan"):
+            for record in dataset.samples.values():
+                if record.ground_truth is not None:
+                    record.enrichment["av_labels"] = self.virustotal.scan(
+                        record.md5, record.ground_truth
+                    )
+                if record.observable.corrupted or record.behavior_handle is None:
+                    self.n_not_executable += 1
+                else:
+                    executable.append(record)
+                self.n_enriched += 1
+        with tracer.span("enrich.sandbox_batch") as span:
+            reports = self.anubis.submit_batch(
+                [(r.md5, r.behavior_handle, r.first_seen) for r in executable],
+                executor=executor,
+            )
+            for record, report in zip(executable, reports):
+                record.enrichment["anubis"] = report
+                self.n_executed += 1
+            span.set(submitted=len(executable))
+        registry = obs_metrics.active()
+        after = self.stats()
+        registry.counter("enrich.samples_enriched").inc(
+            after["enriched"] - before["enriched"]
         )
-        for record, report in zip(executable, reports):
-            record.enrichment["anubis"] = report
-            self.n_executed += 1
+        registry.counter("enrich.samples_executed").inc(
+            after["executed"] - before["executed"]
+        )
+        registry.counter("enrich.samples_not_executable").inc(
+            after["not_executable"] - before["not_executable"]
+        )
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot for reporting."""

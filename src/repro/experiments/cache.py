@@ -16,49 +16,31 @@ request of the same scenario.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
 import pickle
-from enum import Enum
 from pathlib import Path
-from typing import Mapping
 
 from repro.experiments.scenario import PaperScenario, ScenarioConfig, ScenarioRun
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.util.canonical import canonicalize
 from repro.util.validation import require
+
+log = get_logger("experiments.cache")
 
 #: Bump when the pickled artifact layout changes incompatibly; old
 #: entries then miss instead of unpickling into stale shapes.
-CACHE_FORMAT = 1
+#: 2: ScenarioRun grew trace/metrics/manifest observability fields.
+CACHE_FORMAT = 2
 
 #: ScenarioConfig fields that cannot change results, only how fast they
 #: are computed; they never contribute to the fingerprint.
 EXECUTION_ONLY_FIELDS = frozenset({"executor", "jobs"})
 
-
-def _canonical(value: object) -> object:
-    """Reduce ``value`` to JSON-serialisable primitives, deterministically."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            "__type__": type(value).__name__,
-            **{
-                f.name: _canonical(getattr(value, f.name))
-                for f in dataclasses.fields(value)
-            },
-        }
-    if isinstance(value, Enum):
-        return {"__enum__": type(value).__name__, "value": _canonical(value.value)}
-    if isinstance(value, Mapping):
-        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        items = [_canonical(v) for v in value]
-        if isinstance(value, (set, frozenset)):
-            items = sorted(items, key=repr)
-        return items
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
+#: Canonical-JSON reduction (shared with the run manifest's digests).
+_canonical = canonicalize
 
 
 def scenario_fingerprint(seed: int, config: ScenarioConfig | None = None) -> str:
@@ -111,22 +93,33 @@ class ScenarioCache:
         Unreadable entries (truncated writes, artifacts pickled by an
         incompatible code version) are treated as misses and evicted.
         """
+        registry = obs_metrics.active()
         path = self.path_for(seed, config)
         try:
             with path.open("rb") as handle:
                 run = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            registry.counter("cache.miss").inc()
+            log.debug("cache miss", extra={"path": str(path)})
             return None
         except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, TypeError):
             path.unlink(missing_ok=True)
             self.misses += 1
+            registry.counter("cache.miss").inc()
+            registry.counter("cache.evict").inc()
+            log.warning("evicted unreadable cache entry", extra={"path": str(path)})
             return None
         if not isinstance(run, ScenarioRun):
             path.unlink(missing_ok=True)
             self.misses += 1
+            registry.counter("cache.miss").inc()
+            registry.counter("cache.evict").inc()
+            log.warning("evicted non-run cache entry", extra={"path": str(path)})
             return None
         self.hits += 1
+        registry.counter("cache.hit").inc()
+        log.debug("cache hit", extra={"path": str(path)})
         return run
 
     def store(self, run: ScenarioRun) -> Path:
@@ -142,6 +135,8 @@ class ScenarioCache:
         with tmp.open("wb") as handle:
             pickle.dump(run, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
+        obs_metrics.active().counter("cache.store").inc()
+        log.debug("cache store", extra={"path": str(path)})
         return path
 
     def get_or_run(self, scenario: PaperScenario) -> ScenarioRun:

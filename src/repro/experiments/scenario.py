@@ -24,14 +24,21 @@ from repro.enrich.virustotal import VirusTotalService
 from repro.experiments.catalog import Catalog, build_catalog
 from repro.honeypot.deployment import DeploymentConfig, SGNetDeployment
 from repro.malware.landscape import LandscapeGenerator
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.trace import Tracer, TraceSpan, use_tracer
 from repro.sandbox.anubis import AnubisService
 from repro.sandbox.clustering import BehaviorClustering, ClusteringConfig
 from repro.sandbox.execution import Sandbox, SandboxConfig
 from repro.util.parallel import BACKENDS, get_executor
 from repro.util.rng import RandomSource
 from repro.util.timegrid import WEEK_SECONDS, TimeGrid
-from repro.util.timing import StageTimer, StageTimings
+from repro.util.timing import StageTimings
 from repro.util.validation import require
+
+log = get_logger("experiments.scenario")
 
 
 @dataclass(frozen=True)
@@ -79,8 +86,16 @@ class ScenarioRun:
     enrichment: EnrichmentPipeline
     epm: EPMResult
     bclusters: BehaviorClustering
-    #: Per-stage wall times of the run that built these artifacts.
+    #: Per-stage wall times of the run that built these artifacts — a
+    #: flat view derived from ``trace``'s direct children, kept for
+    #: backward compatibility.
     timings: StageTimings = field(default_factory=StageTimings)
+    #: Root of the hierarchical span tree recorded while building.
+    trace: TraceSpan | None = None
+    #: Frozen metric snapshot of the build (counters/gauges/histograms).
+    metrics: MetricsSnapshot | None = None
+    #: The run's receipt: fingerprint, span tree, metrics, digests.
+    manifest: RunManifest | None = None
 
     def headline(self) -> dict[str, int]:
         """The §4/§4.1 headline numbers of this run."""
@@ -109,49 +124,78 @@ class PaperScenario:
 
         The parallelisable stages (sandbox enrichment, E/P/M fits, LSH
         verification) run on the backend named by
-        ``config.executor``/``config.jobs``; per-stage wall times are
-        recorded on the returned run's ``timings``.
+        ``config.executor``/``config.jobs``.  The whole build is traced:
+        every stage becomes a span in ``run.trace`` (with nested spans
+        from the LSH and enrichment layers), metrics from every
+        instrumented layer land in ``run.metrics``, and ``run.manifest``
+        records the config fingerprint and artifact digests.  If the
+        caller already activated a metrics registry, counters accumulate
+        there; otherwise the run records into its own fresh registry.
         """
-        timer = StageTimer()
-        executor = get_executor(self.config.executor, self.config.jobs)
-        source = RandomSource(self.seed)
-        grid = TimeGrid(0, self.config.n_weeks * WEEK_SECONDS)
+        registry = obs_metrics.active()
+        if not registry.recording:
+            registry = MetricsRegistry()
+        tracer = Tracer("scenario")
+        log.info(
+            "scenario starting",
+            extra={
+                "seed": self.seed,
+                "weeks": self.config.n_weeks,
+                "scale": self.config.scale,
+                "executor": self.config.executor,
+            },
+        )
+        with obs_metrics.use(registry), use_tracer(tracer):
+            executor = get_executor(self.config.executor, self.config.jobs)
+            source = RandomSource(self.seed)
+            grid = TimeGrid(0, self.config.n_weeks * WEEK_SECONDS)
 
-        with timer.stage("deployment"):
-            deployment = SGNetDeployment(
-                source.child("deployment"), self.config.deployment
-            )
-        with timer.stage("catalog"):
-            catalog = build_catalog(
-                source.child("catalog"),
-                grid,
-                deployment.sensor_networks,
-                scale=self.config.scale,
-            )
-        with timer.stage("observe"):
-            generator = LandscapeGenerator(
-                catalog.families,
-                deployment.sensor_addresses,
-                grid,
-                source.child("landscape"),
-            )
-            dataset = deployment.observe(generator)
+            with tracer.span("deployment") as span:
+                deployment = SGNetDeployment(
+                    source.child("deployment"), self.config.deployment
+                )
+                span.set(sensors=len(deployment.sensors))
+            with tracer.span("catalog") as span:
+                catalog = build_catalog(
+                    source.child("catalog"),
+                    grid,
+                    deployment.sensor_networks,
+                    scale=self.config.scale,
+                )
+                span.set(families=len(catalog.families))
+            with tracer.span("observe") as span:
+                generator = LandscapeGenerator(
+                    catalog.families,
+                    deployment.sensor_addresses,
+                    grid,
+                    source.child("landscape"),
+                )
+                dataset = deployment.observe(generator)
+                span.set(events=len(dataset), samples=dataset.n_samples)
+                log.debug("observation done", extra={"events": len(dataset)})
 
-        sandbox = Sandbox(catalog.environment, self.config.sandbox)
-        anubis = AnubisService(sandbox)
-        virustotal = VirusTotalService()
-        enrichment = EnrichmentPipeline(anubis, virustotal)
-        with timer.stage("enrich"):
-            enrichment.enrich(dataset, executor=executor)
+            sandbox = Sandbox(catalog.environment, self.config.sandbox)
+            anubis = AnubisService(sandbox)
+            virustotal = VirusTotalService()
+            enrichment = EnrichmentPipeline(anubis, virustotal)
+            with tracer.span("enrich") as span:
+                enrichment.enrich(dataset, executor=executor)
+                span.set(**enrichment.stats())
 
-        with timer.stage("epm"):
-            epm = EPMClustering(policy=self.config.invariant_policy).fit(
-                dataset, executor=executor
-            )
-        with timer.stage("bcluster"):
-            bclusters = anubis.cluster(self.config.clustering, executor=executor)
+            with tracer.span("epm") as span:
+                epm = EPMClustering(policy=self.config.invariant_policy).fit(
+                    dataset, executor=executor
+                )
+                span.set(**epm.counts())
+            with tracer.span("bcluster") as span:
+                bclusters = anubis.cluster(self.config.clustering, executor=executor)
+                span.set(
+                    clusters=bclusters.n_clusters,
+                    candidate_pairs=bclusters.n_candidate_pairs,
+                )
 
-        return ScenarioRun(
+        root = tracer.finish()
+        run = ScenarioRun(
             config=self.config,
             seed=self.seed,
             grid=grid,
@@ -163,8 +207,21 @@ class PaperScenario:
             enrichment=enrichment,
             epm=epm,
             bclusters=bclusters,
-            timings=timer.timings(),
+            timings=root.stage_timings(),
+            trace=root,
+            metrics=registry.snapshot(),
         )
+        # Deferred import: cache imports this module at top level.
+        from repro.experiments.cache import scenario_fingerprint
+
+        run.manifest = build_manifest(
+            run, fingerprint=scenario_fingerprint(self.seed, self.config)
+        )
+        log.info(
+            "scenario finished",
+            extra={"seconds": round(root.seconds, 3), **run.headline()},
+        )
+        return run
 
 
 def small_scenario(seed: int = 2010, *, scale: float = 0.15, n_weeks: int = 30) -> ScenarioRun:

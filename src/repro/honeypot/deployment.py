@@ -26,6 +26,7 @@ from repro.honeypot.sensor import HoneypotSensor
 from repro.honeypot.shellcode import ShellcodeAnalyzer, ShellcodeConfig
 from repro.malware.background import BackgroundProbe
 from repro.malware.landscape import AttackAttempt
+from repro.obs import metrics as obs_metrics
 from repro.net.address import IPv4Address
 from repro.net.sampling import UniformSampler
 from repro.peformat.magic import magic_type
@@ -84,6 +85,7 @@ class SGNetDeployment:
                 address = IPv4Address((network << 8) | offset)
                 self.sensors[int(address)] = HoneypotSensor(address, self.gateway)
                 self.sensor_addresses.append(address)
+        obs_metrics.active().gauge("honeypot.sensors_deployed").set(len(self.sensors))
 
     @property
     def sensor_networks(self) -> list[int]:
@@ -156,6 +158,10 @@ class SGNetDeployment:
                 ground_truth=attempt.truth,
             )
             dataset.add_event(event, behavior_handle=attempt.behavior)
+        registry = obs_metrics.active()
+        registry.counter("honeypot.events_observed").inc(len(dataset))
+        registry.counter("honeypot.samples_collected").inc(dataset.n_samples)
+        registry.counter("honeypot.background_filtered").inc(self.n_background_filtered)
         return dataset
 
     @staticmethod

@@ -1,0 +1,54 @@
+"""repro.obs - the observability layer: metrics, traces, logs, manifests.
+
+Zero-dependency instrumentation for the pipeline, off by default and
+near-free when off:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in a
+  :class:`MetricsRegistry`, exported as deterministic JSON snapshots;
+* :mod:`repro.obs.trace` — hierarchical :class:`TraceSpan`s (the
+  generalisation of the flat ``StageTimer``), with per-span attributes;
+* :mod:`repro.obs.log` — structured logging under the ``repro`` logger
+  namespace, console + JSON-lines formatters;
+* :mod:`repro.obs.manifest` — the :class:`RunManifest` receipt of a
+  scenario run (config fingerprint, span tree, metric snapshot,
+  artifact digests);
+* :mod:`repro.obs.validate` — the metric-name catalogue and the JSON
+  validators CI runs against emitted files.
+
+Instrumented layers read the ambient registry/tracer
+(:func:`repro.obs.metrics.active`,
+:func:`repro.obs.trace.current_tracer`); orchestrators install real
+ones per run.  ``repro.obs`` depends only on :mod:`repro.util`.
+"""
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.trace import NULL_TRACER, Tracer, TraceSpan, current_tracer, use_tracer
+
+# repro.obs.validate is deliberately NOT imported here: it doubles as the
+# ``python -m repro.obs.validate`` CI entry point, and importing it from
+# the package __init__ would make runpy warn about the double import.
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "RunManifest",
+    "SIZE_BUCKETS",
+    "TraceSpan",
+    "Tracer",
+    "build_manifest",
+    "configure_logging",
+    "current_tracer",
+    "get_logger",
+    "use_tracer",
+]

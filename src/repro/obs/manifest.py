@@ -1,0 +1,132 @@
+"""Per-run manifests: what was run, what came out, how to compare runs.
+
+A :class:`RunManifest` is the machine-readable receipt of one scenario
+run: the semantic config fingerprint (the same content address the
+scenario cache keys on), the seed, the library version, the full trace
+span tree, a metrics snapshot, and SHA-256 digests of the run's key
+artifacts.  Two runs of the same ``(seed, config)`` must agree on
+``fingerprint`` and ``artifact_digests`` byte-for-byte on any backend;
+only the span durations and latency histograms may differ.  That makes
+the manifest the cheap cross-machine regression check: diff the digest
+block, not the gigabyte of artifacts.
+
+The builder only reads public run attributes (duck-typed), keeping
+``repro.obs`` dependent on :mod:`repro.util` alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.util.canonical import canonical_digest, canonicalize
+from repro.util.validation import require
+
+#: Manifest schema version; bump on incompatible layout changes.
+MANIFEST_SCHEMA = 1
+
+
+@dataclass
+class RunManifest:
+    """The JSON-exportable record of one scenario run."""
+
+    fingerprint: str
+    seed: int
+    config: dict
+    library_version: str
+    span_tree: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    artifact_digests: dict[str, str] = field(default_factory=dict)
+    schema: int = MANIFEST_SCHEMA
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (the JSON layout)."""
+        return {
+            "schema": self.schema,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "config": self.config,
+            "library_version": self.library_version,
+            "span_tree": self.span_tree,
+            "metrics": self.metrics,
+            "artifact_digests": dict(sorted(self.artifact_digests.items())),
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON encoding (sorted keys)."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2)
+
+    def write(self, path: str | Path) -> Path:
+        """Persist the manifest as JSON; returns the path written."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunManifest":
+        """Rebuild a manifest from its :meth:`as_dict` form."""
+        require(
+            payload.get("schema") == MANIFEST_SCHEMA,
+            f"unsupported manifest schema {payload.get('schema')!r}",
+        )
+        return cls(
+            fingerprint=payload["fingerprint"],
+            seed=payload["seed"],
+            config=dict(payload["config"]),
+            library_version=payload["library_version"],
+            span_tree=dict(payload.get("span_tree", {})),
+            metrics=dict(payload.get("metrics", {})),
+            artifact_digests=dict(payload.get("artifact_digests", {})),
+        )
+
+
+def artifact_digests(run) -> dict[str, str]:
+    """SHA-256 digests of the run's key artifacts, deterministic per seed.
+
+    Digested content is reduced through
+    :func:`repro.util.canonical.canonicalize`, so the digests are pure
+    functions of the artifacts — never of wall-clock state, dict
+    iteration order or the executor backend.
+    """
+    events = [
+        [
+            event.event_id,
+            event.timestamp,
+            int(event.source),
+            int(event.sensor),
+            event.malware.md5 if event.malware is not None else None,
+        ]
+        for event in run.dataset.events
+    ]
+    epm_clusters = {
+        dimension.value: clustering.sizes()
+        for dimension, clustering in run.epm.dimensions.items()
+    }
+    return {
+        "dataset.events": canonical_digest(events),
+        "epm.clusters": canonical_digest(epm_clusters),
+        "bclusters.assignment": canonical_digest(run.bclusters.assignment),
+        "headline": canonical_digest(run.headline()),
+    }
+
+
+def build_manifest(run, *, fingerprint: str) -> RunManifest:
+    """Assemble the manifest of a finished scenario run.
+
+    ``fingerprint`` is supplied by the caller (the scenario layer owns
+    the fingerprint function) so this module stays independent of
+    :mod:`repro.experiments`.
+    """
+    import repro
+
+    return RunManifest(
+        fingerprint=fingerprint,
+        seed=run.seed,
+        config=canonicalize(run.config),
+        library_version=repro.__version__,
+        span_tree=run.trace.export() if run.trace is not None else {},
+        metrics=run.metrics.as_dict() if run.metrics is not None else {},
+        artifact_digests=artifact_digests(run),
+    )

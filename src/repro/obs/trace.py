@@ -1,0 +1,186 @@
+"""Hierarchical trace spans: the generalisation of ``StageTimer``.
+
+A :class:`Tracer` maintains a stack of open :class:`TraceSpan`s; every
+``tracer.span(name)`` block becomes a child of the innermost open span,
+so nested instrumentation (a scenario stage opening LSH sub-phases)
+yields a tree rather than a flat stage list.  Spans carry arbitrary
+attributes (sample counts, cache status, candidate-pair counts) set via
+:meth:`TraceSpan.set`.
+
+Like the metrics registry, the tracer is ambient: library code opens
+spans on the *current* tracer (:func:`current_tracer`), which defaults
+to a shared no-op, so un-orchestrated calls cost almost nothing.  The
+scenario runner installs a real tracer via :func:`use_tracer`, exports
+the finished root with :meth:`TraceSpan.export`, and derives the
+backward-compatible flat :class:`~repro.util.timing.StageTimings` view
+from the root's direct children (:meth:`TraceSpan.stage_timings`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.util.timing import StageTiming, StageTimings
+from repro.util.validation import require
+
+
+@dataclass
+class TraceSpan:
+    """One named span of work: duration, attributes, child spans."""
+
+    name: str
+    seconds: float = 0.0
+    attributes: dict[str, object] = field(default_factory=dict)
+    children: list["TraceSpan"] = field(default_factory=list)
+
+    def set(self, **attributes: object) -> None:
+        """Attach/overwrite attributes on this span."""
+        self.attributes.update(attributes)
+
+    def child(self, name: str) -> "TraceSpan":
+        """Create and append a child span (untimed; the tracer times it)."""
+        require(bool(name), "span name must be non-empty")
+        span = TraceSpan(name)
+        self.children.append(span)
+        return span
+
+    def find(self, name: str) -> "TraceSpan | None":
+        """First span named ``name`` in this subtree (depth-first)."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator[tuple[int, "TraceSpan"]]:
+        """Yield ``(depth, span)`` over the subtree, pre-order."""
+        stack: list[tuple[int, TraceSpan]] = [(0, self)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(span.children):
+                stack.append((depth + 1, child))
+
+    def export(self) -> dict:
+        """The JSON-ready span tree (used by run manifests)."""
+        payload: dict = {"name": self.name, "seconds": round(self.seconds, 6)}
+        if self.attributes:
+            payload["attributes"] = {
+                key: self.attributes[key] for key in sorted(self.attributes)
+            }
+        if self.children:
+            payload["children"] = [child.export() for child in self.children]
+        return payload
+
+    def stage_timings(self) -> StageTimings:
+        """Flat per-stage view over the direct children (legacy shape)."""
+        return StageTimings(
+            stages=[StageTiming(child.name, child.seconds) for child in self.children]
+        )
+
+    def render(self) -> str:
+        """Human-readable tree with durations, shares and attributes."""
+        rows: list[tuple[str, float, float, str]] = []
+        total = self.seconds or sum(c.seconds for c in self.children) or 1.0
+        for depth, span in self.walk():
+            label = "  " * depth + span.name
+            attrs = " ".join(
+                f"{key}={span.attributes[key]}" for key in sorted(span.attributes)
+            )
+            rows.append((label, span.seconds, span.seconds / total, attrs))
+        width = max(len(label) for label, _s, _f, _a in rows)
+        lines = []
+        for label, seconds, share, attrs in rows:
+            line = f"{label:<{width}}  {seconds:9.3f} s  {share:6.1%}"
+            if attrs:
+                line += f"  {attrs}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Stack-shaped span recorder; the root span is the whole run."""
+
+    def __init__(self, name: str = "run") -> None:
+        self.root = TraceSpan(name)
+        self._stack: list[TraceSpan] = [self.root]
+
+    @property
+    def current(self) -> TraceSpan:
+        """The innermost open span."""
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[TraceSpan]:
+        """Open a child of the current span for the duration of the block."""
+        span = self.current.child(name)
+        if attributes:
+            span.set(**attributes)
+        self._stack.append(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.seconds += time.perf_counter() - started
+            self._stack.pop()
+
+    def finish(self) -> TraceSpan:
+        """Close out: the root's duration becomes the sum of its children."""
+        require(len(self._stack) == 1, "cannot finish a tracer with open spans")
+        if not self.root.seconds:
+            self.root.seconds = sum(child.seconds for child in self.root.children)
+        return self.root
+
+
+class _NullSpan:
+    """Shared throwaway span handed out by the null tracer."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: spans are free and record nothing."""
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[_NullSpan]:
+        yield _NULL_SPAN
+
+
+#: The process-wide default: tracing off.
+NULL_TRACER = NullTracer()
+
+_active: Tracer | NullTracer = NULL_TRACER
+
+
+def current_tracer() -> Tracer | NullTracer:
+    """The tracer instrumentation sites currently open spans on."""
+    return _active
+
+
+def activate_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` as the current one; returns the previous."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
+    """Activate ``tracer`` for the duration of the block."""
+    previous = activate_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        activate_tracer(previous)

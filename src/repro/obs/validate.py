@@ -1,0 +1,196 @@
+"""The metric-name catalogue and emitted-JSON validators.
+
+Every metric the pipeline emits is declared here, name -> kind; the
+catalogue is mirrored in ``docs/ARCHITECTURE.md``.  CI runs this module
+against the smoke scenario's ``--metrics-out``/``--manifest`` output,
+so renaming or adding a metric without updating the catalogue (and the
+docs) fails the build — the catalogue stays honest by construction.
+
+Usage::
+
+    python -m repro.obs.validate --metrics m.json --manifest manifest.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.obs.metrics import SNAPSHOT_SCHEMA, base_name
+
+#: Every documented metric name and its kind.  One entry per name in
+#: ``docs/ARCHITECTURE.md``'s catalogue table — keep the two in sync.
+METRIC_CATALOGUE: dict[str, str] = {
+    # honeypot layer
+    "honeypot.events_observed": "counter",
+    "honeypot.samples_collected": "counter",
+    "honeypot.background_filtered": "counter",
+    "honeypot.sensors_deployed": "gauge",
+    # enrichment layer
+    "enrich.samples_enriched": "counter",
+    "enrich.samples_executed": "counter",
+    "enrich.samples_not_executable": "counter",
+    # EPM clustering (labelled by dimension=epsilon|pi|mu)
+    "epm.observations": "counter",
+    "epm.invariants_discovered": "counter",
+    "epm.patterns_discovered": "counter",
+    "epm.clusters": "gauge",
+    # sandbox execution + LSH behaviour clustering
+    "sandbox.executions": "counter",
+    "sandbox.batch_size": "histogram",
+    "lsh.unique_profiles": "gauge",
+    "lsh.candidate_pairs": "counter",
+    "lsh.pairs_verified": "counter",
+    "lsh.clusters": "gauge",
+    # scenario artifact cache
+    "cache.hit": "counter",
+    "cache.miss": "counter",
+    "cache.evict": "counter",
+    "cache.store": "counter",
+    # parallel executors (labelled by backend=serial|thread|process)
+    "executor.chunks": "counter",
+    "executor.items": "counter",
+    "executor.chunk_seconds": "histogram",
+    "executor.jobs": "gauge",
+}
+
+#: Metrics every scenario run must emit, regardless of scale.
+REQUIRED_SCENARIO_METRICS = frozenset(
+    {
+        "honeypot.events_observed",
+        "honeypot.samples_collected",
+        "honeypot.sensors_deployed",
+        "enrich.samples_enriched",
+        "enrich.samples_executed",
+        "epm.observations",
+        "epm.invariants_discovered",
+        "epm.patterns_discovered",
+        "epm.clusters",
+        "sandbox.executions",
+        "sandbox.batch_size",
+        "lsh.unique_profiles",
+        "lsh.candidate_pairs",
+        "lsh.pairs_verified",
+        "lsh.clusters",
+        "executor.chunks",
+        "executor.items",
+        "executor.chunk_seconds",
+        "executor.jobs",
+    }
+)
+
+_KIND_SECTIONS = (
+    ("counters", "counter"),
+    ("gauges", "gauge"),
+    ("histograms", "histogram"),
+)
+
+
+def validate_metrics(
+    payload: Mapping, *, require_scenario: bool = False
+) -> list[str]:
+    """Errors in a metrics-snapshot dict; empty list means valid.
+
+    Checks the schema version, that every emitted name is in
+    :data:`METRIC_CATALOGUE` under the right kind, and (with
+    ``require_scenario``) that every name in
+    :data:`REQUIRED_SCENARIO_METRICS` actually appears.
+    """
+    errors: list[str] = []
+    if payload.get("schema") != SNAPSHOT_SCHEMA:
+        errors.append(
+            f"metrics: schema is {payload.get('schema')!r}, expected {SNAPSHOT_SCHEMA}"
+        )
+    seen: set[str] = set()
+    for section, kind in _KIND_SECTIONS:
+        for key in payload.get(section, {}):
+            name = base_name(key)
+            seen.add(name)
+            documented = METRIC_CATALOGUE.get(name)
+            if documented is None:
+                errors.append(f"metrics: undocumented metric {name!r} (from {key!r})")
+            elif documented != kind:
+                errors.append(
+                    f"metrics: {name!r} emitted as {kind}, documented as {documented}"
+                )
+    if require_scenario:
+        for name in sorted(REQUIRED_SCENARIO_METRICS - seen):
+            errors.append(f"metrics: required scenario metric {name!r} missing")
+    return errors
+
+
+def validate_manifest(payload: Mapping) -> list[str]:
+    """Errors in a run-manifest dict; empty list means valid."""
+    errors: list[str] = []
+    if payload.get("schema") != MANIFEST_SCHEMA:
+        errors.append(
+            f"manifest: schema is {payload.get('schema')!r}, expected {MANIFEST_SCHEMA}"
+        )
+    fingerprint = payload.get("fingerprint")
+    if not (isinstance(fingerprint, str) and len(fingerprint) == 64):
+        errors.append("manifest: fingerprint must be a 64-hex-char string")
+    if not isinstance(payload.get("seed"), int):
+        errors.append("manifest: seed must be an integer")
+    for key in ("config", "span_tree", "metrics", "artifact_digests"):
+        if not isinstance(payload.get(key), Mapping):
+            errors.append(f"manifest: {key} must be a mapping")
+    if not isinstance(payload.get("library_version"), str):
+        errors.append("manifest: library_version must be a string")
+    span_tree = payload.get("span_tree")
+    if isinstance(span_tree, Mapping) and "name" not in span_tree:
+        errors.append("manifest: span_tree root has no name")
+    digests = payload.get("artifact_digests")
+    if isinstance(digests, Mapping):
+        if not digests:
+            errors.append("manifest: artifact_digests is empty")
+        for artifact, digest in digests.items():
+            if not (isinstance(digest, str) and len(digest) == 64):
+                errors.append(
+                    f"manifest: digest of {artifact!r} is not a 64-hex-char string"
+                )
+    metrics = payload.get("metrics")
+    if isinstance(metrics, Mapping) and metrics:
+        errors.extend(validate_metrics(metrics))
+    return errors
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Validate emitted observability JSON files; exit 1 on any error."""
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.validate",
+        description="validate --metrics-out / --manifest output against the catalogue",
+    )
+    parser.add_argument("--metrics", default=None, help="metrics snapshot JSON path")
+    parser.add_argument("--manifest", default=None, help="run manifest JSON path")
+    parser.add_argument(
+        "--no-require-scenario",
+        dest="require_scenario",
+        action="store_false",
+        help="skip the required-scenario-metrics completeness check",
+    )
+    args = parser.parse_args(argv)
+    if not args.metrics and not args.manifest:
+        parser.error("nothing to validate: pass --metrics and/or --manifest")
+    errors: list[str] = []
+    if args.metrics:
+        payload = json.loads(Path(args.metrics).read_text(encoding="utf-8"))
+        errors.extend(
+            validate_metrics(payload, require_scenario=args.require_scenario)
+        )
+    if args.manifest:
+        payload = json.loads(Path(args.manifest).read_text(encoding="utf-8"))
+        errors.extend(validate_manifest(payload))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        checked = [p for p in (args.metrics, args.manifest) if p]
+        print(f"ok: {', '.join(checked)} conform to the documented schema")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Hashable, Mapping, Sequence
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import current_tracer
 from repro.sandbox.behavior import BehaviorProfile
 from repro.sandbox.lsh import LSHIndex, MinHasher
 from repro.util.parallel import Executor
@@ -220,41 +222,54 @@ def cluster_lsh(
     earlier unions while the parallel path verifies every candidate.
     """
     config = config or ClusteringConfig()
-    groups, uniques = _dedupe(profiles)
-    hasher = MinHasher(
-        config.n_hashes, seed=config.minhash_seed, backend=config.minhash_backend
-    )
-    index = LSHIndex(bands=config.bands, rows=config.rows)
-    hashed_sets: list[set[int]] = []
-    feature_sets: list[set] = []
-    for i, features in enumerate(uniques):
-        profile = BehaviorProfile(features)
-        hashed = profile.hashed_features()
-        hashed_sets.append(hashed)
-        feature_sets.append(set(features))
-        index.add(i, hasher.signature(hashed))
-    uf = _UnionFind(list(range(len(uniques))))
-    candidates = index.candidate_pairs()
-    comparisons = 0
-    if executor is not None and executor.backend != "serial" and candidates:
-        verdicts = executor.map(
-            partial(_pair_similar, feature_sets, config.threshold), candidates
+    tracer = current_tracer()
+    registry = obs_metrics.active()
+    with tracer.span("lsh.dedupe") as span:
+        groups, uniques = _dedupe(profiles)
+        span.set(profiles=len(profiles), unique_profiles=len(uniques))
+    with tracer.span("lsh.index") as span:
+        hasher = MinHasher(
+            config.n_hashes, seed=config.minhash_seed, backend=config.minhash_backend
         )
-        comparisons = len(candidates)
-        for (i, j), similar in zip(candidates, verdicts):
-            if similar:
-                uf.union(i, j)
-    else:
-        for i, j in candidates:
-            if uf.find(i) == uf.find(j):
-                continue  # already linked; skip the exact check
-            comparisons += 1
-            if jaccard(feature_sets[i], feature_sets[j]) >= config.threshold:
-                uf.union(i, j)
+        index = LSHIndex(bands=config.bands, rows=config.rows)
+        hashed_sets: list[set[int]] = []
+        feature_sets: list[set] = []
+        for i, features in enumerate(uniques):
+            profile = BehaviorProfile(features)
+            hashed = profile.hashed_features()
+            hashed_sets.append(hashed)
+            feature_sets.append(set(features))
+            index.add(i, hasher.signature(hashed))
+        candidates = index.candidate_pairs()
+        span.set(candidate_pairs=len(candidates))
+    uf = _UnionFind(list(range(len(uniques))))
+    comparisons = 0
+    with tracer.span("lsh.verify") as span:
+        if executor is not None and executor.backend != "serial" and candidates:
+            verdicts = executor.map(
+                partial(_pair_similar, feature_sets, config.threshold), candidates
+            )
+            comparisons = len(candidates)
+            for (i, j), similar in zip(candidates, verdicts):
+                if similar:
+                    uf.union(i, j)
+        else:
+            for i, j in candidates:
+                if uf.find(i) == uf.find(j):
+                    continue  # already linked; skip the exact check
+                comparisons += 1
+                if jaccard(feature_sets[i], feature_sets[j]) >= config.threshold:
+                    uf.union(i, j)
+        span.set(pairs_verified=comparisons)
     labels = {i: uf.find(i) for i in range(len(uniques))}
     assignment = _expand(labels, uniques, groups)
-    return BehaviorClustering.from_assignment(
+    result = BehaviorClustering.from_assignment(
         assignment,
         n_exact_comparisons=comparisons,
         n_candidate_pairs=len(candidates),
     )
+    registry.gauge("lsh.unique_profiles").set(len(uniques))
+    registry.counter("lsh.candidate_pairs").inc(len(candidates))
+    registry.counter("lsh.pairs_verified").inc(comparisons)
+    registry.gauge("lsh.clusters").set(result.n_clusters)
+    return result

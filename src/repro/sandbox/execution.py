@@ -26,6 +26,7 @@ from functools import partial
 from typing import Sequence
 
 from repro.malware.behaviorspec import BehaviorTemplate
+from repro.obs import metrics as obs_metrics
 from repro.sandbox.behavior import BehaviorProfile, Feature
 from repro.sandbox.environment import Environment
 from repro.util.parallel import Executor, SerialExecutor
@@ -110,6 +111,7 @@ class Sandbox:
         procedure for misclassified samples.
         """
         self.n_executions += 1
+        obs_metrics.active().counter("sandbox.executions").inc()
         return self._run(
             ExecutionTask(
                 behavior=behavior, time=time, run_seed=run_seed, allow_derail=allow_derail
@@ -132,6 +134,11 @@ class Sandbox:
         """
         tasks = list(tasks)
         executor = executor or SerialExecutor()
+        registry = obs_metrics.active()
+        registry.counter("sandbox.executions").inc(len(tasks))
+        registry.histogram(
+            "sandbox.batch_size", buckets=obs_metrics.SIZE_BUCKETS
+        ).observe(len(tasks))
         profiles = executor.map(partial(_execute_task, self), tasks)
         self.n_executions += len(tasks)
         return profiles

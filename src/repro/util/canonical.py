@@ -1,0 +1,61 @@
+"""Canonical JSON reduction of arbitrary config/artifact values.
+
+:func:`canonicalize` deterministically reduces dataclasses, enums,
+mappings and collections to JSON-serialisable primitives.  It is the
+shared substrate of every content address in the repo: the scenario
+cache fingerprint (:mod:`repro.experiments.cache`) and the per-run
+manifest's artifact digests (:mod:`repro.obs.manifest`) both hash its
+output, so its mapping must never depend on iteration order, process
+identity or wall-clock state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Mapping
+
+
+def canonicalize(value: object) -> object:
+    """Reduce ``value`` to JSON-serialisable primitives, deterministically.
+
+    Dataclasses become ``{"__type__": name, **fields}`` maps, enums
+    become ``{"__enum__": name, "value": ...}``, mappings are key-sorted,
+    sets are element-sorted; anything unrecognised falls back to
+    ``repr``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: canonicalize(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, Enum):
+        return {"__enum__": type(value).__name__, "value": canonicalize(value.value)}
+    if isinstance(value, Mapping):
+        return {
+            str(k): canonicalize(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [canonicalize(v) for v in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return items
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def canonical_json(value: object) -> str:
+    """The compact, key-sorted JSON encoding of ``canonicalize(value)``."""
+    return json.dumps(canonicalize(value), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_digest(value: object) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

@@ -24,9 +24,11 @@ ever shared across work items.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import metrics as obs_metrics
 from repro.util.validation import require
 
 T = TypeVar("T")
@@ -68,9 +70,24 @@ def chunk_evenly(items: Sequence[T], n_chunks: int) -> list[list[T]]:
     return chunks
 
 
-def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
-    """Apply ``fn`` to one chunk (module-level so process pools can ship it)."""
-    return [fn(item) for item in chunk]
+def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> tuple[float, list[R]]:
+    """Apply ``fn`` to one chunk (module-level so process pools can ship it).
+
+    Returns ``(elapsed_seconds, results)`` so the coordinating thread
+    can record per-chunk latency on its own metrics registry — worker
+    processes see only the (no-op) default registry.
+    """
+    started = time.perf_counter()
+    results = [fn(item) for item in chunk]
+    return time.perf_counter() - started, results
+
+
+def _record_chunk(backend: str, elapsed: float, n_items: int) -> None:
+    """Feed one executed chunk into the active metrics registry."""
+    registry = obs_metrics.active()
+    registry.counter("executor.chunks", backend=backend).inc()
+    registry.counter("executor.items", backend=backend).inc(n_items)
+    registry.histogram("executor.chunk_seconds", backend=backend).observe(elapsed)
 
 
 class SerialExecutor:
@@ -80,8 +97,11 @@ class SerialExecutor:
     jobs = 1
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        """Apply ``fn`` to every item, in order."""
-        return [fn(item) for item in items]
+        """Apply ``fn`` to every item, in order (recorded as one chunk)."""
+        items = list(items)
+        elapsed, results = _run_chunk(fn, items)
+        _record_chunk(self.backend, elapsed, len(items))
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
@@ -104,13 +124,17 @@ class _PoolExecutor:
         """Apply ``fn`` to every item; results come back in input order."""
         items = list(items)
         if len(items) <= 1 or self.jobs == 1:
-            return [fn(item) for item in items]
+            elapsed, results = _run_chunk(fn, items)
+            _record_chunk(self.backend, elapsed, len(items))
+            return results
         chunks = chunk_evenly(items, self.jobs * self._CHUNKS_PER_JOB)
         with self._pool_cls(max_workers=min(self.jobs, len(chunks))) as pool:
             futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
             results: list[R] = []
-            for future in futures:  # gather in submission order
-                results.extend(future.result())
+            for chunk, future in zip(chunks, futures):  # gather in submission order
+                elapsed, chunk_results = future.result()
+                _record_chunk(self.backend, elapsed, len(chunk))
+                results.extend(chunk_results)
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -139,7 +163,10 @@ def get_executor(backend: str = "serial", jobs: int = 0) -> Executor:
     """Build the named backend; ``jobs=0`` means one worker per core."""
     require(backend in BACKENDS, f"unknown executor backend {backend!r}")
     if backend == "thread":
-        return ThreadExecutor(jobs)
-    if backend == "process":
-        return ProcessExecutor(jobs)
-    return SerialExecutor()
+        executor: Executor = ThreadExecutor(jobs)
+    elif backend == "process":
+        executor = ProcessExecutor(jobs)
+    else:
+        executor = SerialExecutor()
+    obs_metrics.active().gauge("executor.jobs", backend=backend).set(executor.jobs)
+    return executor

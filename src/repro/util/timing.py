@@ -37,8 +37,23 @@ class StageTimings:
         return sum(stage.seconds for stage in self.stages)
 
     def seconds(self, name: str) -> float:
-        """Total time recorded under ``name`` (0.0 if never recorded)."""
-        return sum(stage.seconds for stage in self.stages if stage.name == name)
+        """Total time recorded under ``name``.
+
+        Raises :class:`KeyError` for a stage that was never recorded —
+        a silent 0.0 made typos in stage names unobservable.  Use
+        :meth:`get` when absence is an expected answer.
+        """
+        matched = [stage.seconds for stage in self.stages if stage.name == name]
+        if not matched:
+            raise KeyError(name)
+        return sum(matched)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Total time recorded under ``name``, or ``default`` if absent."""
+        try:
+            return self.seconds(name)
+        except KeyError:
+            return default
 
     def as_dict(self) -> dict[str, float]:
         """Stage name -> seconds (repeated names accumulate)."""

@@ -57,3 +57,47 @@ class TestCli:
     def test_drift(self, capsys):
         assert main(["drift", "--scale", "0.08", "--weeks", "20", "--seed", "4"]) == 0
         assert "drift" in capsys.readouterr().out.lower()
+
+
+class TestObservabilityFlags:
+    def test_metrics_out_writes_a_valid_snapshot(self, tmp_path):
+        import json
+
+        from repro.obs.validate import validate_metrics
+
+        path = tmp_path / "metrics.json"
+        assert main(["headline", *COMMON, "--metrics-out", str(path)]) == 0
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_metrics(payload, require_scenario=True) == []
+
+    def test_manifest_writes_to_cwd(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.obs.validate import validate_manifest
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["headline", *COMMON, "--manifest"]) == 0
+        payload = json.loads(
+            (tmp_path / "manifest.json").read_text(encoding="utf-8")
+        )
+        assert validate_manifest(payload) == []
+        assert payload["seed"] == 5
+
+    def test_timings_renders_the_trace_tree(self, capsys):
+        assert main(["headline", *COMMON, "--timings"]) == 0
+        err = capsys.readouterr().err
+        for stage in ("scenario", "observe", "enrich", "epm", "bcluster"):
+            assert stage in err
+        assert "lsh.index" in err  # nested spans show in the tree
+
+    def test_log_json_sink(self, tmp_path):
+        import json
+
+        path = tmp_path / "log.jsonl"
+        assert main(["headline", *COMMON, "--log-json", str(path)]) == 0
+        records = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+            if line
+        ]
+        assert any(r["message"] == "scenario finished" for r in records)

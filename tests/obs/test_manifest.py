@@ -1,0 +1,101 @@
+"""Run manifests: schema stability, round-trips, digest determinism."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest, artifact_digests
+from repro.obs.validate import validate_manifest
+from repro.util.validation import ValidationError
+
+
+def _sample() -> RunManifest:
+    return RunManifest(
+        fingerprint="ab" * 32,
+        seed=2010,
+        config={"n_weeks": 74, "scale": 1.0},
+        library_version="0.1.0",
+        span_tree={"name": "scenario", "seconds": 1.0},
+        metrics={"schema": 1, "counters": {}, "gauges": {}, "histograms": {}},
+        artifact_digests={"headline": "cd" * 32},
+    )
+
+
+class TestRunManifest:
+    def test_as_dict_is_the_stable_documented_layout(self):
+        payload = _sample().as_dict()
+        assert set(payload) == {
+            "schema",
+            "fingerprint",
+            "seed",
+            "config",
+            "library_version",
+            "span_tree",
+            "metrics",
+            "artifact_digests",
+        }
+        assert payload["schema"] == MANIFEST_SCHEMA
+
+    def test_json_round_trip(self):
+        manifest = _sample()
+        rebuilt = RunManifest.from_dict(json.loads(manifest.to_json()))
+        assert rebuilt == manifest
+
+    def test_unknown_schema_rejected(self):
+        payload = _sample().as_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValidationError):
+            RunManifest.from_dict(payload)
+
+    def test_write_persists_valid_json(self, tmp_path):
+        path = _sample().write(tmp_path / "manifest.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_manifest(payload) == []
+
+    def test_validator_flags_broken_manifests(self):
+        payload = _sample().as_dict()
+        payload["fingerprint"] = "short"
+        payload["artifact_digests"] = {}
+        errors = validate_manifest(payload)
+        assert any("fingerprint" in error for error in errors)
+        assert any("artifact_digests" in error for error in errors)
+
+
+class TestScenarioManifest:
+    def test_run_carries_a_valid_manifest(self, small_run):
+        manifest = small_run.manifest
+        assert manifest is not None
+        assert validate_manifest(manifest.as_dict()) == []
+
+    def test_fingerprint_matches_the_cache_key(self, small_run):
+        from repro.experiments.cache import scenario_fingerprint
+
+        assert small_run.manifest.fingerprint == scenario_fingerprint(
+            small_run.seed, small_run.config
+        )
+
+    def test_span_tree_mirrors_the_trace(self, small_run):
+        span_tree = small_run.manifest.span_tree
+        assert span_tree["name"] == "scenario"
+        stages = {child["name"] for child in span_tree["children"]}
+        assert stages == {
+            "deployment",
+            "catalog",
+            "observe",
+            "enrich",
+            "epm",
+            "bcluster",
+        }
+
+    def test_artifact_digests_are_deterministic_per_run(self, small_run):
+        assert artifact_digests(small_run) == artifact_digests(small_run)
+
+    def test_artifact_digests_track_the_artifacts(self, small_run):
+        digests = small_run.manifest.artifact_digests
+        assert set(digests) == {
+            "dataset.events",
+            "epm.clusters",
+            "bclusters.assignment",
+            "headline",
+        }
+        assert digests == artifact_digests(small_run)

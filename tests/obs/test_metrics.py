@@ -1,0 +1,177 @@
+"""The metrics registry: instruments, labels, snapshots, activation."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    MetricsSnapshot,
+    active,
+    base_name,
+    metric_key,
+    use,
+)
+from repro.util.validation import ValidationError
+
+
+class TestMetricKey:
+    def test_bare_name_without_labels(self):
+        assert metric_key("cache.hit", {}) == "cache.hit"
+
+    def test_labels_render_sorted(self):
+        key = metric_key("executor.items", {"jobs": 4, "backend": "thread"})
+        assert key == "executor.items{backend=thread,jobs=4}"
+
+    def test_base_name_strips_labels(self):
+        assert base_name("epm.clusters{dimension=mu}") == "epm.clusters"
+        assert base_name("cache.hit") == "cache.hit"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            metric_key("", {})
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hit").inc()
+        registry.counter("cache.hit").inc(3)
+        assert registry.snapshot().counter("cache.hit") == 4
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.counter("cache.hit").inc(-1)
+
+    def test_label_combinations_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("epm.observations", dimension="mu").inc(5)
+        registry.counter("epm.observations", dimension="pi").inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot.counter("epm.observations", dimension="mu") == 5
+        assert snapshot.counter("epm.observations", dimension="pi") == 2
+        assert snapshot.total("epm.observations") == 7
+
+    def test_same_labels_merge_across_call_sites(self):
+        registry = MetricsRegistry()
+        registry.counter("executor.items", backend="serial").inc(10)
+        registry.counter("executor.items", backend="serial").inc(10)
+        assert registry.snapshot().counter("executor.items", backend="serial") == 20
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("lsh.clusters").set(3)
+        registry.gauge("lsh.clusters").set(7)
+        assert registry.snapshot().gauge("lsh.clusters") == 7
+
+
+class TestHistogram:
+    def test_values_land_in_inclusive_upper_bound_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 100.0):
+            hist.observe(value)
+        exported = registry.snapshot().histograms["t"]
+        assert exported["buckets"] == {"1.0": 2, "10.0": 2, "+inf": 1}
+        assert exported["count"] == 5
+        assert exported["sum"] == pytest.approx(116.5)
+
+    def test_default_buckets_are_latency_shaped(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("executor.chunk_seconds")
+        assert hist.buckets == LATENCY_BUCKETS
+
+    def test_bucket_shape_fixed_at_creation(self):
+        registry = MetricsRegistry()
+        registry.histogram("t", buckets=(1.0, 2.0))
+        registry.histogram("t", buckets=(1.0, 2.0))  # same shape: fine
+        with pytest.raises(ValidationError):
+            registry.histogram("t", buckets=(5.0,))
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.histogram("t", buckets=(2.0, 1.0))
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsSnapshot:
+        registry = MetricsRegistry()
+        registry.counter("cache.hit").inc(2)
+        registry.counter("epm.clusters_found", dimension="mu").inc(4)
+        registry.gauge("lsh.clusters").set(6)
+        registry.histogram("sandbox.batch_size", buckets=(1.0, 10.0)).observe(3)
+        return registry.snapshot()
+
+    def test_json_round_trip(self):
+        snapshot = self._populated()
+        import json
+
+        rebuilt = MetricsSnapshot.from_dict(json.loads(snapshot.to_json()))
+        assert rebuilt == snapshot
+
+    def test_json_encoding_is_deterministic(self):
+        assert self._populated().to_json() == self._populated().to_json()
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricsSnapshot.from_dict({"schema": 99})
+
+    def test_names_strip_labels_across_sections(self):
+        assert self._populated().names() == {
+            "cache.hit",
+            "epm.clusters_found",
+            "lsh.clusters",
+            "sandbox.batch_size",
+        }
+
+    def test_untouched_instruments_read_zero(self):
+        snapshot = self._populated()
+        assert snapshot.counter("never.recorded") == 0
+        assert snapshot.gauge("never.recorded") == 0
+
+    def test_snapshot_is_picklable(self):
+        snapshot = self._populated()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+    def test_snapshot_is_frozen_in_time(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cache.hit")
+        counter.inc()
+        snapshot = registry.snapshot()
+        counter.inc(10)
+        assert snapshot.counter("cache.hit") == 1
+
+
+class TestActivation:
+    def test_default_is_the_null_registry(self):
+        assert active() is NULL_REGISTRY
+        assert active().recording is False
+
+    def test_use_installs_and_restores(self):
+        registry = MetricsRegistry()
+        with use(registry):
+            assert active() is registry
+            active().counter("cache.hit").inc()
+        assert active() is NULL_REGISTRY
+        assert registry.snapshot().counter("cache.hit") == 1
+
+    def test_use_restores_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with use(registry):
+                raise RuntimeError("boom")
+        assert active() is NULL_REGISTRY
+
+    def test_null_registry_swallows_everything(self):
+        NULL_REGISTRY.counter("x", a=1).inc(5)
+        NULL_REGISTRY.gauge("y").set(2)
+        NULL_REGISTRY.histogram("z").observe(0.1)
+        snapshot = NULL_REGISTRY.snapshot()
+        assert snapshot.counters == {} and snapshot.gauges == {}
+        assert snapshot.histograms == {}

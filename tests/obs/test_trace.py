@@ -1,0 +1,137 @@
+"""Hierarchical trace spans: nesting, export, the legacy timings view."""
+
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    TraceSpan,
+    current_tracer,
+    use_tracer,
+)
+from repro.util.timing import StageTimings
+from repro.util.validation import ValidationError
+
+
+class TestTracer:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer("scenario")
+        with tracer.span("enrich"):
+            with tracer.span("av_scan"):
+                pass
+            with tracer.span("sandbox_batch"):
+                pass
+        root = tracer.finish()
+        assert [child.name for child in root.children] == ["enrich"]
+        assert [g.name for g in root.children[0].children] == [
+            "av_scan",
+            "sandbox_batch",
+        ]
+
+    def test_spans_measure_elapsed_time(self):
+        tracer = Tracer()
+        with tracer.span("sleepy"):
+            time.sleep(0.02)
+        root = tracer.finish()
+        assert root.find("sleepy").seconds >= 0.015
+        assert root.seconds == pytest.approx(root.children[0].seconds)
+
+    def test_attributes_attach_at_open_and_inside(self):
+        tracer = Tracer()
+        with tracer.span("observe", sensors=30) as span:
+            span.set(events=346)
+        observed = tracer.finish().find("observe")
+        assert observed.attributes == {"sensors": 30, "events": 346}
+
+    def test_span_closes_even_when_body_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("nope")
+        root = tracer.finish()
+        assert root.find("doomed") is not None
+        assert tracer.current is root
+
+    def test_finish_rejects_open_spans(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with pytest.raises(ValidationError):
+                tracer.finish()
+
+    def test_empty_span_name_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValidationError):
+            with tracer.span(""):
+                pass
+
+
+class TestTraceSpan:
+    def _tree(self) -> TraceSpan:
+        root = TraceSpan("scenario", seconds=3.0)
+        stage = root.child("bcluster")
+        stage.seconds = 2.0
+        stage.set(clusters=6)
+        sub = stage.child("lsh.index")
+        sub.seconds = 1.5
+        other = root.child("observe")
+        other.seconds = 1.0
+        return root
+
+    def test_walk_is_preorder_with_depths(self):
+        visits = [(depth, span.name) for depth, span in self._tree().walk()]
+        assert visits == [
+            (0, "scenario"),
+            (1, "bcluster"),
+            (2, "lsh.index"),
+            (1, "observe"),
+        ]
+
+    def test_find_searches_depth_first(self):
+        root = self._tree()
+        assert root.find("lsh.index").seconds == 1.5
+        assert root.find("nope") is None
+
+    def test_export_shape(self):
+        exported = self._tree().export()
+        assert exported["name"] == "scenario"
+        assert exported["seconds"] == 3.0
+        stage = exported["children"][0]
+        assert stage["attributes"] == {"clusters": 6}
+        assert stage["children"][0]["name"] == "lsh.index"
+        # Leaves without attributes/children omit those keys entirely.
+        leaf = exported["children"][1]
+        assert set(leaf) == {"name", "seconds"}
+
+    def test_stage_timings_views_direct_children_only(self):
+        timings = self._tree().stage_timings()
+        assert isinstance(timings, StageTimings)
+        assert timings.as_dict() == pytest.approx({"bcluster": 2.0, "observe": 1.0})
+        with pytest.raises(KeyError):
+            timings.seconds("lsh.index")  # nested spans stay out of the flat view
+
+    def test_render_shows_nesting_shares_and_attributes(self):
+        text = self._tree().render()
+        assert "scenario" in text and "  bcluster" in text
+        assert "    lsh.index" in text
+        assert "clusters=6" in text
+        assert "100.0%" in text
+
+
+class TestActivation:
+    def test_default_is_the_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with current_tracer().span("stage"):
+                pass
+        assert current_tracer() is NULL_TRACER
+        assert tracer.finish().find("stage") is not None
+
+    def test_null_tracer_spans_are_free_no_ops(self):
+        with NULL_TRACER.span("anything", attr=1) as span:
+            span.set(more=2)  # must not raise; records nothing

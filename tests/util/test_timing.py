@@ -56,8 +56,15 @@ class TestStageTimings:
         assert timings.seconds("enrich") == pytest.approx(1.5)
         assert timings.as_dict() == pytest.approx({"observe": 2.0, "enrich": 1.5})
 
-    def test_unknown_stage_is_zero(self):
-        assert self._sample().seconds("nope") == 0.0
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError):
+            self._sample().seconds("nope")
+
+    def test_get_returns_default_for_unknown_stage(self):
+        timings = self._sample()
+        assert timings.get("nope") == 0.0
+        assert timings.get("nope", -1.0) == -1.0
+        assert timings.get("enrich") == pytest.approx(1.5)
 
     def test_render_mentions_every_stage_and_total(self):
         text = self._sample().render()
