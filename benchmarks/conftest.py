@@ -35,6 +35,7 @@ import pytest
 
 from repro.experiments.cache import ScenarioCache
 from repro.experiments.scenario import PaperScenario, ScenarioConfig, ScenarioRun
+from repro.util.clock import timestamp
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -54,7 +55,9 @@ def _write_bench_json(run: ScenarioRun, wall_seconds: float, cache_hit: bool) ->
     build_seconds = run.timings.total
     record = {
         "schema": 2,
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        # Injectable clock (repro.util.clock): pin with REPRO_FIXED_TIME
+        # for byte-stable records under tests/CI.
+        "generated_at": timestamp(),
         "seed": run.seed,
         "backend": run.config.executor,
         "jobs": run.config.jobs,

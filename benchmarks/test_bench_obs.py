@@ -1,0 +1,65 @@
+"""Observability-cost benchmarks: span profiling must stay near-free.
+
+Profiling (`ScenarioConfig.profile`) attaches CPU/RSS/GC probes around
+every span.  The acceptance bar is that enabling it costs < 2% wall
+time on the pipeline; this bench measures the ratio on the reduced
+smoke scenario and records it in ``results/BENCH_obs_profile.json`` so
+the overhead has a longitudinal record of its own.  The assertion bound
+is deliberately looser than the 2% target — a shared CI box can eat a
+scheduler hiccup — while the recorded number tracks the true cost.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.experiments.scenario import PaperScenario, ScenarioConfig
+from repro.honeypot.deployment import DeploymentConfig
+from repro.obs.profile import PROFILE_ATTRS, chrome_trace
+from repro.util.clock import timestamp
+
+SMOKE = dict(
+    n_weeks=12,
+    scale=0.1,
+    deployment=DeploymentConfig(n_networks=8, sensors_per_network=3),
+)
+
+
+def _timed_run(profile: bool) -> tuple[float, object]:
+    config = ScenarioConfig(profile=profile, **SMOKE)
+    started = time.perf_counter()
+    run = PaperScenario(seed=2010, config=config).run()
+    return time.perf_counter() - started, run
+
+
+def test_bench_profiling_overhead(results_dir):
+    # Warm-up build so imports/allocator state don't bill the first arm.
+    _timed_run(False)
+    plain_seconds, plain = _timed_run(False)
+    profiled_seconds, profiled = _timed_run(True)
+
+    # The probes really ran: every stage span carries the profile attrs.
+    for depth, span in profiled.trace.walk():
+        if depth == 1:
+            assert set(PROFILE_ATTRS) <= set(span.attributes), span.name
+            assert span.attributes["cpu_seconds"] >= 0
+    # ... and they cannot change any artifact.
+    assert profiled.headline() == plain.headline()
+
+    overhead = profiled_seconds / plain_seconds - 1.0
+    record = {
+        "schema": 1,
+        "generated_at": timestamp(),
+        "plain_seconds": round(plain_seconds, 4),
+        "profiled_seconds": round(profiled_seconds, 4),
+        "overhead_fraction": round(overhead, 4),
+        "chrome_trace_events": len(
+            chrome_trace(profiled.trace.export())["traceEvents"]
+        ),
+    }
+    (results_dir / "BENCH_obs_profile.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    # Target < 2%; assert with headroom for noisy shared runners.
+    assert overhead < 0.25, f"profiling overhead {overhead:.1%} is not near-free"

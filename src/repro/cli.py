@@ -21,9 +21,19 @@ scenario from the artifact cache.
 
 Observability flags: ``--log-level {debug,info,warning,error}`` and
 ``--log-json PATH`` control the structured logger, ``--metrics-out
-PATH`` writes the session's metric snapshot as JSON, and ``--manifest``
+PATH`` writes the session's metric snapshot as JSON, ``--manifest``
 writes the run's manifest (fingerprint, span tree, artifact digests) to
-``manifest.json``.
+``manifest.json``, ``--store-run`` appends the manifest to the
+longitudinal run store (``results/runs`` or ``$REPRO_RUNS_DIR``), and
+``--profile`` attaches per-span CPU/RSS/GC probes to the trace.
+
+The longitudinal toolkit lives under ``repro obs``::
+
+    python -m repro obs list                    # stored runs
+    python -m repro obs diff A B                # cross-run regression diff
+    python -m repro obs history lsh.clusters    # drift time series
+    python -m repro obs trace RUN --chrome t.json   # Perfetto export
+    python -m repro obs validate --runs results/runs
 """
 
 from __future__ import annotations
@@ -122,6 +132,18 @@ def _build_parser() -> argparse.ArgumentParser:
             help="write the run manifest (fingerprint, span tree, "
             "artifact digests) to manifest.json",
         )
+        p.add_argument(
+            "--store-run",
+            action="store_true",
+            help="append the run manifest to the longitudinal run store "
+            "(results/runs or $REPRO_RUNS_DIR)",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="attach per-span CPU time, peak RSS and GC counts to "
+            "the trace (opt-in; artifacts are unaffected)",
+        )
 
     for name in _DRIVERS:
         p = sub.add_parser(name, help=f"regenerate the '{name}' experiment")
@@ -141,6 +163,87 @@ def _build_parser() -> argparse.ArgumentParser:
     evasion_p.add_argument("--seed", type=int, default=2010)
     evasion_p.add_argument("--variants", type=int, default=10)
     evasion_p.add_argument("--weeks", type=int, default=12)
+
+    obs_p = sub.add_parser(
+        "obs", help="longitudinal observability: run store, diffs, profiles"
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+
+    def add_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--runs",
+            metavar="DIR",
+            default=None,
+            help="run store root (default results/runs or $REPRO_RUNS_DIR)",
+        )
+
+    list_p = obs_sub.add_parser("list", help="stored runs, newest last")
+    add_store(list_p)
+    list_p.add_argument(
+        "--fingerprint", default=None, help="only runs of this config fingerprint"
+    )
+
+    diff_p = obs_sub.add_parser(
+        "diff", help="compare two runs: digests, metrics, timings"
+    )
+    add_store(diff_p)
+    diff_p.add_argument("ref_a", help="reference run: id, id prefix or manifest path")
+    diff_p.add_argument("ref_b", help="candidate run: id, id prefix or manifest path")
+    diff_p.add_argument(
+        "--timing-tolerance",
+        type=float,
+        default=None,
+        help="stage wall-time ratio treated as a regression (default 1.5)",
+    )
+    diff_p.add_argument(
+        "--fail-on-timing",
+        action="store_true",
+        help="non-zero exit also on timing regressions (off by default: "
+        "wall times are machine-dependent)",
+    )
+
+    history_p = obs_sub.add_parser(
+        "history", help="time series of one metric over stored runs"
+    )
+    add_store(history_p)
+    history_p.add_argument(
+        "metric",
+        help="snapshot key (lsh.clusters, epm.clusters{dimension=mu}), "
+        "bare name (sums labels), or stage:<span> for wall seconds",
+    )
+    history_p.add_argument(
+        "--fingerprint", default=None, help="only runs of this config fingerprint"
+    )
+    history_p.add_argument(
+        "--timing-tolerance",
+        type=float,
+        default=None,
+        help="drift band around the trailing median (default 1.5)",
+    )
+
+    trace_p = obs_sub.add_parser(
+        "trace", help="export a stored run's span tree (Chrome trace / flame)"
+    )
+    add_store(trace_p)
+    trace_p.add_argument("ref", help="run id, id prefix or manifest path")
+    trace_p.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help="write Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    trace_p.add_argument(
+        "--flame",
+        action="store_true",
+        help="print the flamegraph-style text view (default when no --chrome)",
+    )
+
+    validate_p = obs_sub.add_parser(
+        "validate", help="validate emitted JSON and/or every stored run"
+    )
+    add_store(validate_p)
+    validate_p.add_argument("--metrics", default=None, help="metrics snapshot path")
+    validate_p.add_argument("--manifest", default=None, help="run manifest path")
     return parser
 
 
@@ -151,6 +254,7 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
         scale=args.scale,
         executor=args.executor,
         jobs=args.jobs,
+        profile=args.profile,
     )
     # One registry for the whole session: the scenario build records
     # into it, and so do the cache load/store paths around the build.
@@ -175,6 +279,17 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
         else:
             path = run.manifest.write("manifest.json")
             log.info("manifest written", extra={"path": str(path)})
+    if args.store_run:
+        if run.manifest is None:
+            log.warning("run carries no manifest; nothing stored")
+        else:
+            from repro.obs.history import RunStore
+
+            store = RunStore()
+            run_id = store.add(run.manifest)
+            log.info(
+                "run stored", extra={"run_id": run_id, "store": str(store.root)}
+            )
     return run
 
 
@@ -204,6 +319,73 @@ def _cmd_evasion(args: argparse.Namespace) -> str:
     return table.render()
 
 
+def _load_manifest_payload(store, ref: str) -> dict:
+    import json
+
+    return json.loads(store.resolve(ref).read_text(encoding="utf-8"))
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.diff import (
+        DEFAULT_TIMING_TOLERANCE,
+        diff_manifests,
+        render_history,
+    )
+    from repro.obs.history import RunStore
+
+    store = RunStore(args.runs)
+    tolerance = (
+        getattr(args, "timing_tolerance", None) or DEFAULT_TIMING_TOLERANCE
+    )
+
+    if args.obs_command == "list":
+        print(store.render_listing(store.entries(args.fingerprint)))
+        return 0
+    if args.obs_command == "diff":
+        diff = diff_manifests(
+            _load_manifest_payload(store, args.ref_a),
+            _load_manifest_payload(store, args.ref_b),
+            timing_tolerance=tolerance,
+        )
+        print(diff.render())
+        return 1 if diff.failed(fail_on_timing=args.fail_on_timing) else 0
+    if args.obs_command == "history":
+        print(
+            render_history(
+                store,
+                args.metric,
+                fingerprint=args.fingerprint,
+                timing_tolerance=tolerance,
+            )
+        )
+        return 0
+    if args.obs_command == "trace":
+        from repro.obs.profile import flame_view, write_chrome_trace
+
+        tree = _load_manifest_payload(store, args.ref).get("span_tree", {})
+        if args.chrome:
+            path = write_chrome_trace(tree, args.chrome)
+            print(f"wrote Chrome trace of {args.ref} to {path}")
+        if args.flame or not args.chrome:
+            print(flame_view(tree))
+        return 0
+    if args.obs_command == "validate":
+        from repro.obs.validate import main as validate_main
+
+        forwarded: list[str] = []
+        if args.metrics:
+            forwarded += ["--metrics", args.metrics]
+        if args.manifest:
+            forwarded += ["--manifest", args.manifest]
+        # Validate the store when asked for explicitly, when it exists,
+        # or when there is nothing else to validate (then a missing
+        # store is a loud per-file error, not a silent pass).
+        if args.runs or store.index_path.is_file() or not forwarded:
+            forwarded += ["--runs", str(store.root)]
+        return validate_main(forwarded)
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -211,6 +393,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "evasion":
         print(_cmd_evasion(args))
         return 0
+    if args.command == "obs":
+        return _cmd_obs(args)
 
     run = _run_scenario(args)
     if args.command == "run":

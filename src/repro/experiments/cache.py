@@ -33,11 +33,13 @@ log = get_logger("experiments.cache")
 #: Bump when the pickled artifact layout changes incompatibly; old
 #: entries then miss instead of unpickling into stale shapes.
 #: 2: ScenarioRun grew trace/metrics/manifest observability fields.
-CACHE_FORMAT = 2
+#: 3: TraceSpan grew start offsets; RunManifest grew created_at and
+#:    golden_deviations (schema 2).
+CACHE_FORMAT = 3
 
 #: ScenarioConfig fields that cannot change results, only how fast they
 #: are computed; they never contribute to the fingerprint.
-EXECUTION_ONLY_FIELDS = frozenset({"executor", "jobs"})
+EXECUTION_ONLY_FIELDS = frozenset({"executor", "jobs", "profile"})
 
 #: Canonical-JSON reduction (shared with the run manifest's digests).
 _canonical = canonicalize

@@ -63,6 +63,10 @@ class ScenarioConfig:
     executor: str = "serial"
     #: Worker count for parallel backends; 0 = one worker per core.
     jobs: int = 0
+    #: Opt-in span profiling: per-span CPU time, peak RSS and GC
+    #: collections attached as span attributes.  Execution-only like
+    #: ``executor``/``jobs`` — it cannot change any artifact.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         require(self.n_weeks >= 4, "scenario needs at least 4 weeks")
@@ -135,7 +139,7 @@ class PaperScenario:
         registry = obs_metrics.active()
         if not registry.recording:
             registry = MetricsRegistry()
-        tracer = Tracer("scenario")
+        tracer = Tracer("scenario", profile=self.config.profile)
         log.info(
             "scenario starting",
             extra={

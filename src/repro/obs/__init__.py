@@ -13,7 +13,16 @@ near-free when off:
   scenario run (config fingerprint, span tree, metric snapshot,
   artifact digests);
 * :mod:`repro.obs.validate` — the metric-name catalogue and the JSON
-  validators CI runs against emitted files.
+  validators CI runs against emitted files and stored runs;
+* :mod:`repro.obs.history` — the append-only, content-addressed run
+  store (``results/runs``) that turns per-run manifests into a
+  longitudinal record;
+* :mod:`repro.obs.diff` — cross-run manifest diffs (metric deltas,
+  timing bands, digest walks naming the first diverging stage) and the
+  ``repro obs history`` drift time series;
+* :mod:`repro.obs.profile` — opt-in per-span CPU/RSS/GC probes plus
+  span-tree exporters: Chrome trace-event JSON and a flamegraph-style
+  text view.
 
 Instrumented layers read the ambient registry/tracer
 (:func:`repro.obs.metrics.active`,
@@ -21,6 +30,8 @@ Instrumented layers read the ambient registry/tracer
 ones per run.  ``repro.obs`` depends only on :mod:`repro.util`.
 """
 
+from repro.obs.diff import ManifestDiff, diff_manifests, render_history
+from repro.obs.history import RunStore
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.metrics import (
@@ -30,6 +41,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.obs.profile import chrome_trace, flame_view, write_chrome_trace
 from repro.obs.trace import NULL_TRACER, Tracer, TraceSpan, current_tracer, use_tracer
 
 # repro.obs.validate is deliberately NOT imported here: it doubles as the
@@ -38,17 +50,24 @@ from repro.obs.trace import NULL_TRACER, Tracer, TraceSpan, current_tracer, use_
 
 __all__ = [
     "LATENCY_BUCKETS",
+    "ManifestDiff",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "RunManifest",
+    "RunStore",
     "SIZE_BUCKETS",
     "TraceSpan",
     "Tracer",
     "build_manifest",
+    "chrome_trace",
     "configure_logging",
     "current_tracer",
+    "diff_manifests",
+    "flame_view",
     "get_logger",
+    "render_history",
     "use_tracer",
+    "write_chrome_trace",
 ]

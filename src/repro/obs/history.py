@@ -1,0 +1,188 @@
+"""The longitudinal run store: append-only, content-addressed manifests.
+
+One scenario run leaves one :class:`~repro.obs.manifest.RunManifest`;
+this module is where they accumulate so drift *across* runs becomes
+observable.  Layout under the store root (default ``results/runs``,
+overridable via ``$REPRO_RUNS_DIR``)::
+
+    results/runs/
+      index.json                       # append-only entry list
+      <fingerprint>/<run_id>.json      # one manifest per stored run
+
+``run_id`` is the first 16 hex chars of the manifest's canonical
+content digest (:meth:`RunManifest.content_id`), so the store is
+content-addressed: storing the identical manifest twice is a no-op,
+and an entry can never be silently overwritten with different content
+(:meth:`RunStore.add` refuses).  ``fingerprint`` is the semantic
+``(seed, config)`` address the scenario cache also keys on — all runs
+of one configuration land in one directory, which is what the
+``repro obs history`` time series iterates over.
+
+The index is the only mutable file and is rewritten atomically on each
+add; entries are never removed, so the history it records is
+append-only by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.obs.log import get_logger
+from repro.obs.manifest import RunManifest
+from repro.util.validation import require
+
+log = get_logger("obs.history")
+
+#: Environment variable overriding the store root.
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+#: Index file name under the store root.
+INDEX_NAME = "index.json"
+
+#: Index schema version.
+INDEX_SCHEMA = 1
+
+#: Hex chars of the manifest content digest used as the run id.
+RUN_ID_LENGTH = 16
+
+
+def default_store_root() -> Path:
+    """``$REPRO_RUNS_DIR`` if set, else ``results/runs``."""
+    env = os.environ.get(RUNS_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path("results") / "runs"
+
+
+class RunStore:
+    """Append-only store of run manifests, content-addressed by run id."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_NAME
+
+    def entries(self, fingerprint: str | None = None) -> list[dict]:
+        """Index entries in insertion (i.e. storage) order."""
+        if not self.index_path.is_file():
+            return []
+        payload = json.loads(self.index_path.read_text(encoding="utf-8"))
+        entries = list(payload.get("entries", []))
+        if fingerprint is not None:
+            entries = [e for e in entries if e.get("fingerprint") == fingerprint]
+        return entries
+
+    def path_for(self, fingerprint: str, run_id: str) -> Path:
+        return self.root / fingerprint / f"{run_id}.json"
+
+    def add(self, manifest: RunManifest) -> str:
+        """Store ``manifest``; returns its run id.
+
+        Content-addressed and append-only: re-adding identical content
+        is a no-op, while a run-id collision with *different* content
+        (practically impossible, but the guard keeps the store honest)
+        is refused rather than overwritten.
+        """
+        require(isinstance(manifest, RunManifest), "can only store RunManifest")
+        run_id = manifest.content_id()[:RUN_ID_LENGTH]
+        path = self.path_for(manifest.fingerprint, run_id)
+        if path.is_file():
+            existing = path.read_text(encoding="utf-8")
+            require(
+                existing == manifest.to_json() + "\n",
+                f"run id collision at {path}: existing content differs",
+            )
+            log.debug("run already stored", extra={"run_id": run_id})
+            return run_id
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(manifest.to_json() + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        self._append_index(
+            {
+                "run_id": run_id,
+                "fingerprint": manifest.fingerprint,
+                "seed": manifest.seed,
+                "created_at": manifest.created_at,
+                "library_version": manifest.library_version,
+                "golden_deviations": len(manifest.golden_deviations),
+                "path": str(path.relative_to(self.root)),
+            }
+        )
+        log.info(
+            "run stored",
+            extra={"run_id": run_id, "fingerprint": manifest.fingerprint[:12]},
+        )
+        return run_id
+
+    def _append_index(self, entry: dict) -> None:
+        entries = self.entries()
+        entries.append(entry)
+        payload = {"schema": INDEX_SCHEMA, "entries": entries}
+        tmp = self.index_path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.index_path)
+
+    def resolve(self, ref: str) -> Path:
+        """Path of the manifest named by ``ref``.
+
+        ``ref`` may be a filesystem path to a manifest JSON file, a full
+        run id, or an unambiguous run-id prefix (>= 4 chars).
+        """
+        as_path = Path(ref)
+        if as_path.is_file():
+            return as_path
+        require(len(ref) >= 4, f"run id prefix {ref!r} too short (need >= 4 chars)")
+        matches = [
+            entry
+            for entry in self.entries()
+            if entry.get("run_id", "").startswith(ref)
+        ]
+        require(bool(matches), f"no stored run matches {ref!r} under {self.root}")
+        require(
+            len(matches) == 1,
+            f"ambiguous run ref {ref!r}: matches "
+            + ", ".join(sorted(e["run_id"] for e in matches)),
+        )
+        return self.root / matches[0]["path"]
+
+    def load(self, ref: str) -> RunManifest:
+        """The stored manifest named by ``ref`` (see :meth:`resolve`)."""
+        payload = json.loads(self.resolve(ref).read_text(encoding="utf-8"))
+        return RunManifest.from_dict(payload)
+
+    def load_payload(self, ref: str) -> dict:
+        """Raw dict form of the stored manifest named by ``ref``."""
+        return json.loads(self.resolve(ref).read_text(encoding="utf-8"))
+
+    def manifests(self, fingerprint: str | None = None) -> list[RunManifest]:
+        """All stored manifests (optionally one configuration), in order."""
+        return [self.load(entry["run_id"]) for entry in self.entries(fingerprint)]
+
+    def render_listing(self, entries: Sequence[Mapping] | None = None) -> str:
+        """Human-readable table of stored runs."""
+        entries = self.entries() if entries is None else list(entries)
+        if not entries:
+            return f"run store {self.root}: empty"
+        lines = [
+            f"run store {self.root}: {len(entries)} run(s)",
+            f"{'run_id':<18} {'fingerprint':<14} {'seed':>6} "
+            f"{'created_at':<22} {'golden':>6}",
+        ]
+        for entry in entries:
+            deviations = entry.get("golden_deviations", 0)
+            lines.append(
+                f"{entry.get('run_id', '?'):<18} "
+                f"{entry.get('fingerprint', '?')[:12] + '..':<14} "
+                f"{entry.get('seed', '?'):>6} "
+                f"{entry.get('created_at') or '-':<22} "
+                f"{'ok' if not deviations else f'{deviations} dev':>6}"
+            )
+        return "\n".join(lines)

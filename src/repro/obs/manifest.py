@@ -3,15 +3,25 @@
 A :class:`RunManifest` is the machine-readable receipt of one scenario
 run: the semantic config fingerprint (the same content address the
 scenario cache keys on), the seed, the library version, the full trace
-span tree, a metrics snapshot, and SHA-256 digests of the run's key
-artifacts.  Two runs of the same ``(seed, config)`` must agree on
-``fingerprint`` and ``artifact_digests`` byte-for-byte on any backend;
-only the span durations and latency histograms may differ.  That makes
-the manifest the cheap cross-machine regression check: diff the digest
-block, not the gigabyte of artifacts.
+span tree, a metrics snapshot, SHA-256 digests of the run's key
+artifacts, the wall-clock ``created_at`` stamp (from the injectable
+:mod:`repro.util.clock`, so tests pin it) and the run's own
+golden-headline deviations.  Two runs of the same ``(seed, config)``
+must agree on ``fingerprint`` and ``artifact_digests`` byte-for-byte on
+any backend; only the span durations, latency histograms and
+``created_at`` may differ.  That makes the manifest the cheap
+cross-machine regression check: diff the digest block, not the gigabyte
+of artifacts.
+
+Stage-producing spans in the tree additionally carry an
+``output_digest`` attribute (:data:`STAGE_ARTIFACTS` names the mapping)
+so a cross-run diff can *walk the span trees* and name the first stage
+whose output diverged — see :mod:`repro.obs.diff`.
 
 The builder only reads public run attributes (duck-typed), keeping
-``repro.obs`` dependent on :mod:`repro.util` alone.
+``repro.obs`` dependent on :mod:`repro.util` alone; the one sanctioned
+exception is the deferred import of the golden-headline check from
+:mod:`repro.experiments.regression` inside :func:`build_manifest`.
 """
 
 from __future__ import annotations
@@ -22,10 +32,25 @@ from pathlib import Path
 from typing import Mapping
 
 from repro.util.canonical import canonical_digest, canonicalize
+from repro.util.clock import timestamp
 from repro.util.validation import require
 
 #: Manifest schema version; bump on incompatible layout changes.
-MANIFEST_SCHEMA = 1
+#: 2: added ``created_at`` (injectable clock) and ``golden_deviations``.
+MANIFEST_SCHEMA = 2
+
+#: Schemas :meth:`RunManifest.from_dict` still reads (stored runs from
+#: earlier layouts stay loadable; missing fields take their defaults).
+SUPPORTED_MANIFEST_SCHEMAS = (1, 2)
+
+#: Which span (by name) produced which digested artifact — the walk
+#: order of the cross-run digest diff.  ``headline`` summarises the
+#: whole run and is attributed to the root span.
+STAGE_ARTIFACTS: dict[str, str] = {
+    "observe": "dataset.events",
+    "epm": "epm.clusters",
+    "bcluster": "bclusters.assignment",
+}
 
 
 @dataclass
@@ -39,6 +64,8 @@ class RunManifest:
     span_tree: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
     artifact_digests: dict[str, str] = field(default_factory=dict)
+    created_at: str = ""
+    golden_deviations: list[str] = field(default_factory=list)
     schema: int = MANIFEST_SCHEMA
 
     def as_dict(self) -> dict:
@@ -49,14 +76,20 @@ class RunManifest:
             "seed": self.seed,
             "config": self.config,
             "library_version": self.library_version,
+            "created_at": self.created_at,
             "span_tree": self.span_tree,
             "metrics": self.metrics,
             "artifact_digests": dict(sorted(self.artifact_digests.items())),
+            "golden_deviations": list(self.golden_deviations),
         }
 
     def to_json(self) -> str:
         """Deterministic JSON encoding (sorted keys)."""
         return json.dumps(self.as_dict(), sort_keys=True, indent=2)
+
+    def content_id(self) -> str:
+        """Content address of this manifest (what the run store keys on)."""
+        return canonical_digest(self.as_dict())
 
     def write(self, path: str | Path) -> Path:
         """Persist the manifest as JSON; returns the path written."""
@@ -68,7 +101,7 @@ class RunManifest:
     def from_dict(cls, payload: Mapping) -> "RunManifest":
         """Rebuild a manifest from its :meth:`as_dict` form."""
         require(
-            payload.get("schema") == MANIFEST_SCHEMA,
+            payload.get("schema") in SUPPORTED_MANIFEST_SCHEMAS,
             f"unsupported manifest schema {payload.get('schema')!r}",
         )
         return cls(
@@ -79,6 +112,9 @@ class RunManifest:
             span_tree=dict(payload.get("span_tree", {})),
             metrics=dict(payload.get("metrics", {})),
             artifact_digests=dict(payload.get("artifact_digests", {})),
+            created_at=str(payload.get("created_at", "")),
+            golden_deviations=[str(d) for d in payload.get("golden_deviations", [])],
+            schema=int(payload["schema"]),
         )
 
 
@@ -112,15 +148,45 @@ def artifact_digests(run) -> dict[str, str]:
     }
 
 
+def annotate_stage_digests(trace, digests: Mapping[str, str]) -> None:
+    """Attach each artifact digest to the span that produced it.
+
+    Mutates the live :class:`~repro.obs.trace.TraceSpan` tree per
+    :data:`STAGE_ARTIFACTS` (the root span gets the ``headline``
+    digest), so the exported ``span_tree`` carries enough information
+    for a cross-run diff to name the first diverging stage.
+    """
+    if trace is None:
+        return
+    if "headline" in digests:
+        trace.set(output_digest=digests["headline"])
+    for stage, artifact in STAGE_ARTIFACTS.items():
+        if artifact not in digests:
+            continue
+        span = trace.find(stage)
+        if span is not None:
+            span.set(output_digest=digests[artifact])
+
+
 def build_manifest(run, *, fingerprint: str) -> RunManifest:
     """Assemble the manifest of a finished scenario run.
 
     ``fingerprint`` is supplied by the caller (the scenario layer owns
     the fingerprint function) so this module stays independent of
-    :mod:`repro.experiments`.
+    :mod:`repro.experiments`.  The golden-headline check is the one
+    deliberate upward reference — deferred and optional, so the obs
+    layer still imports standalone.
     """
     import repro
 
+    digests = artifact_digests(run)
+    annotate_stage_digests(run.trace, digests)
+    try:
+        from repro.experiments.regression import check_headline
+    except ImportError:  # pragma: no cover - experiments layer absent
+        golden_deviations: list[str] = []
+    else:
+        golden_deviations = check_headline(run.headline())
     return RunManifest(
         fingerprint=fingerprint,
         seed=run.seed,
@@ -128,5 +194,7 @@ def build_manifest(run, *, fingerprint: str) -> RunManifest:
         library_version=repro.__version__,
         span_tree=run.trace.export() if run.trace is not None else {},
         metrics=run.metrics.as_dict() if run.metrics is not None else {},
-        artifact_digests=artifact_digests(run),
+        artifact_digests=digests,
+        created_at=timestamp(),
+        golden_deviations=golden_deviations,
     )

@@ -35,6 +35,11 @@ class TraceSpan:
     seconds: float = 0.0
     attributes: dict[str, object] = field(default_factory=dict)
     children: list["TraceSpan"] = field(default_factory=list)
+    #: Offset of the span's open relative to the tracer's epoch, in
+    #: seconds.  ``None`` on hand-built trees; the tracer always sets
+    #: it, which is what gives the Chrome-trace exporter real
+    #: timestamps instead of a synthesized sequential layout.
+    start: float | None = None
 
     def set(self, **attributes: object) -> None:
         """Attach/overwrite attributes on this span."""
@@ -69,6 +74,8 @@ class TraceSpan:
     def export(self) -> dict:
         """The JSON-ready span tree (used by run manifests)."""
         payload: dict = {"name": self.name, "seconds": round(self.seconds, 6)}
+        if self.start is not None:
+            payload["start"] = round(self.start, 6)
         if self.attributes:
             payload["attributes"] = {
                 key: self.attributes[key] for key in sorted(self.attributes)
@@ -104,11 +111,32 @@ class TraceSpan:
 
 
 class Tracer:
-    """Stack-shaped span recorder; the root span is the whole run."""
+    """Stack-shaped span recorder; the root span is the whole run.
 
-    def __init__(self, name: str = "run") -> None:
-        self.root = TraceSpan(name)
+    With ``profile=True`` every span additionally records per-span CPU
+    time, peak RSS and GC collections as span attributes (see
+    :class:`repro.obs.profile.SpanProbe`).  Profiling is opt-in because
+    the probes cost a few syscalls per span; plain wall-clock tracing
+    stays the near-free default.
+    """
+
+    def __init__(self, name: str = "run", *, profile: bool = False) -> None:
+        self.root = TraceSpan(name, start=0.0)
         self._stack: list[TraceSpan] = [self.root]
+        self._epoch = time.perf_counter()
+        self._probe = None
+        if profile:
+            # Deferred import: repro.obs.profile also hosts the span-tree
+            # exporters, which operate on exported trees and never import
+            # this module back.
+            from repro.obs.profile import SpanProbe
+
+            self._probe = SpanProbe()
+
+    @property
+    def profiling(self) -> bool:
+        """Whether spans record CPU/RSS/GC probes."""
+        return self._probe is not None
 
     @property
     def current(self) -> TraceSpan:
@@ -122,11 +150,15 @@ class Tracer:
         if attributes:
             span.set(**attributes)
         self._stack.append(span)
+        token = self._probe.begin() if self._probe is not None else None
         started = time.perf_counter()
+        span.start = started - self._epoch
         try:
             yield span
         finally:
             span.seconds += time.perf_counter() - started
+            if self._probe is not None:
+                span.set(**self._probe.end(token))
             self._stack.pop()
 
     def finish(self) -> TraceSpan:

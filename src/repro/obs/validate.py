@@ -19,7 +19,7 @@ import sys
 from pathlib import Path
 from typing import Mapping, Sequence
 
-from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.obs.manifest import MANIFEST_SCHEMA, SUPPORTED_MANIFEST_SCHEMAS
 from repro.obs.metrics import SNAPSHOT_SCHEMA, base_name
 
 #: Every documented metric name and its kind.  One entry per name in
@@ -124,11 +124,20 @@ def validate_metrics(
 
 
 def validate_manifest(payload: Mapping) -> list[str]:
-    """Errors in a run-manifest dict; empty list means valid."""
+    """Errors in a run-manifest dict; empty list means valid.
+
+    Accepts every schema in
+    :data:`~repro.obs.manifest.SUPPORTED_MANIFEST_SCHEMAS` (stored runs
+    from earlier layouts stay valid); the schema-2 fields
+    (``created_at``, ``golden_deviations``) are only required from
+    schema 2 on.
+    """
     errors: list[str] = []
-    if payload.get("schema") != MANIFEST_SCHEMA:
+    schema = payload.get("schema")
+    if schema not in SUPPORTED_MANIFEST_SCHEMAS:
         errors.append(
-            f"manifest: schema is {payload.get('schema')!r}, expected {MANIFEST_SCHEMA}"
+            f"manifest: schema is {schema!r}, expected one of "
+            f"{SUPPORTED_MANIFEST_SCHEMAS} (current: {MANIFEST_SCHEMA})"
         )
     fingerprint = payload.get("fingerprint")
     if not (isinstance(fingerprint, str) and len(fingerprint) == 64):
@@ -155,7 +164,87 @@ def validate_manifest(payload: Mapping) -> list[str]:
     metrics = payload.get("metrics")
     if isinstance(metrics, Mapping) and metrics:
         errors.extend(validate_metrics(metrics))
+    if isinstance(schema, int) and schema >= 2:
+        if not isinstance(payload.get("created_at"), str):
+            errors.append("manifest: created_at must be a string (schema >= 2)")
+        deviations = payload.get("golden_deviations")
+        if not isinstance(deviations, list) or not all(
+            isinstance(d, str) for d in deviations
+        ):
+            errors.append(
+                "manifest: golden_deviations must be a list of strings (schema >= 2)"
+            )
     return errors
+
+
+def validate_run_store(root: str | Path) -> dict[str, list[str]]:
+    """Per-file errors across a run store; empty dict means valid.
+
+    Checks the index parses, every indexed file exists, every stored
+    manifest validates, the file lives under its manifest's fingerprint
+    directory, and the run id matches the manifest's content address
+    (the store's append-only guarantee rests on that address).
+    """
+    from repro.obs.history import RUN_ID_LENGTH, RunStore
+    from repro.obs.manifest import RunManifest
+
+    store = RunStore(root)
+    failures: dict[str, list[str]] = {}
+    index_key = str(store.index_path)
+    if not store.index_path.is_file():
+        # An empty (or not-yet-created) store is valid; stored runs
+        # without an index are not.  Top-level files (e.g. a committed
+        # reference manifest) are not stored runs.
+        stray = sorted(store.root.glob("*/*.json"))
+        if stray:
+            return {
+                index_key: [
+                    "run store has stored runs but no index.json: "
+                    + ", ".join(str(p) for p in stray[:5])
+                ]
+            }
+        return {}
+    try:
+        entries = store.entries()
+    except (json.JSONDecodeError, ValueError) as error:
+        return {index_key: [f"index does not parse: {error}"]}
+    for entry in entries:
+        run_id = entry.get("run_id", "?")
+        path = store.root / entry.get("path", f"{run_id}.json")
+        errors: list[str] = []
+        if not path.is_file():
+            failures[str(path)] = ["indexed run file is missing"]
+            continue
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            failures[str(path)] = [f"run file does not parse: {error}"]
+            continue
+        errors.extend(validate_manifest(payload))
+        fingerprint = payload.get("fingerprint")
+        if entry.get("fingerprint") != fingerprint:
+            errors.append(
+                f"index fingerprint {entry.get('fingerprint')!r} "
+                f"does not match manifest {fingerprint!r}"
+            )
+        if path.parent.name != fingerprint:
+            errors.append(
+                f"stored under directory {path.parent.name!r}, "
+                f"manifest fingerprint is {fingerprint!r}"
+            )
+        try:
+            content_id = RunManifest.from_dict(payload).content_id()
+        except Exception as error:  # broken payloads already reported above
+            errors.append(f"content address not computable: {error}")
+        else:
+            if content_id[:RUN_ID_LENGTH] != run_id:
+                errors.append(
+                    f"run id {run_id!r} does not match content address "
+                    f"{content_id[:RUN_ID_LENGTH]!r} (file edited in place?)"
+                )
+        if errors:
+            failures[str(path)] = errors
+    return failures
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -167,14 +256,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--metrics", default=None, help="metrics snapshot JSON path")
     parser.add_argument("--manifest", default=None, help="run manifest JSON path")
     parser.add_argument(
+        "--runs",
+        default=None,
+        metavar="DIR",
+        help="also validate every stored run under this run-store root",
+    )
+    parser.add_argument(
         "--no-require-scenario",
         dest="require_scenario",
         action="store_false",
         help="skip the required-scenario-metrics completeness check",
     )
     args = parser.parse_args(argv)
-    if not args.metrics and not args.manifest:
-        parser.error("nothing to validate: pass --metrics and/or --manifest")
+    if not args.metrics and not args.manifest and not args.runs:
+        parser.error("nothing to validate: pass --metrics, --manifest and/or --runs")
     errors: list[str] = []
     if args.metrics:
         payload = json.loads(Path(args.metrics).read_text(encoding="utf-8"))
@@ -184,10 +279,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.manifest:
         payload = json.loads(Path(args.manifest).read_text(encoding="utf-8"))
         errors.extend(validate_manifest(payload))
+    if args.runs:
+        for path, file_errors in sorted(validate_run_store(args.runs).items()):
+            errors.extend(f"{path}: {error}" for error in file_errors)
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
-        checked = [p for p in (args.metrics, args.manifest) if p]
+        checked = [p for p in (args.metrics, args.manifest, args.runs) if p]
         print(f"ok: {', '.join(checked)} conform to the documented schema")
     return 1 if errors else 0
 

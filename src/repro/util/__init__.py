@@ -6,6 +6,7 @@ single master seed (see :mod:`repro.util.rng`), so every experiment is a
 pure function of its seed.
 """
 
+from repro.util.clock import fixed_timestamp, timestamp
 from repro.util.rng import RandomSource, derive_seed, spawn_rng
 from repro.util.stats import (
     burstiness,
@@ -39,6 +40,8 @@ from repro.util.validation import (
 
 __all__ = [
     "burstiness",
+    "fixed_timestamp",
+    "timestamp",
     "entropy",
     "frequency",
     "gini",

@@ -1,0 +1,60 @@
+"""The one injectable wall clock for emitted timestamps.
+
+Every human-readable timestamp that lands in an emitted record — run
+manifests (``created_at``), benchmark records (``generated_at``), run
+store index entries — comes from :func:`timestamp` here, never from a
+raw ``datetime.now()``/``time.strftime()`` at the call site.  That
+keeps wall-clock state in exactly one seam, so tests (and reproducible
+CI runs) can pin it:
+
+* :func:`fixed_timestamp` freezes the clock for a block of code;
+* the ``REPRO_FIXED_TIME`` environment variable freezes it for a whole
+  process (what CI uses to produce byte-stable reference artifacts).
+
+Simulation time never goes through this module — in-simulation
+timestamps are integer seconds on :mod:`repro.util.timegrid` and carry
+no wall-clock state at all.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Environment variable that freezes :func:`timestamp` process-wide.
+FIXED_TIME_ENV = "REPRO_FIXED_TIME"
+
+#: The ISO-8601 layout every emitted timestamp uses (UTC, second
+#: precision — deterministic across locales and timezones).
+TIMESTAMP_FORMAT = "%Y-%m-%dT%H:%M:%SZ"
+
+_fixed: str | None = None
+
+
+def timestamp() -> str:
+    """The current wall-clock timestamp, unless the clock is pinned.
+
+    Resolution order: a :func:`fixed_timestamp` override, then
+    ``$REPRO_FIXED_TIME``, then the real UTC clock rendered as
+    :data:`TIMESTAMP_FORMAT`.
+    """
+    if _fixed is not None:
+        return _fixed
+    env = os.environ.get(FIXED_TIME_ENV)
+    if env:
+        return env
+    return time.strftime(TIMESTAMP_FORMAT, time.gmtime())
+
+
+@contextmanager
+def fixed_timestamp(value: str) -> Iterator[str]:
+    """Pin :func:`timestamp` to ``value`` for the duration of the block."""
+    global _fixed
+    previous = _fixed
+    _fixed = value
+    try:
+        yield value
+    finally:
+        _fixed = previous

@@ -101,3 +101,123 @@ class TestObservabilityFlags:
             if line
         ]
         assert any(r["message"] == "scenario finished" for r in records)
+
+
+class TestObsSuite:
+    """The longitudinal toolkit: --store-run, obs {list,diff,history,...}."""
+
+    @pytest.fixture()
+    def store_dir(self, tmp_path, monkeypatch):
+        runs = tmp_path / "runs"
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(runs))
+        monkeypatch.setenv("REPRO_FIXED_TIME", "2026-08-06T00:00:00Z")
+        return runs
+
+    def _stored_ids(self, store_dir):
+        from repro.obs.history import RunStore
+
+        return [e["run_id"] for e in RunStore(store_dir).entries()]
+
+    def test_store_run_appends_to_the_run_store(self, capsys, store_dir):
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        (run_id,) = self._stored_ids(store_dir)
+        assert main(["obs", "list"]) == 0
+        assert run_id in capsys.readouterr().out
+
+    def test_store_run_twice_same_seed_appends_two_runs(self, store_dir):
+        # Wall times differ between builds, so content ids differ: the
+        # store keeps both — that IS the longitudinal record.
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        assert len(self._stored_ids(store_dir)) == 2
+
+    def test_diff_identical_runs_passes(self, capsys, store_dir):
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        (run_id,) = self._stored_ids(store_dir)
+        assert main(["obs", "diff", run_id, run_id]) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+
+    def test_diff_perturbed_lsh_threshold_names_bcluster(
+        self, capsys, store_dir, tmp_path
+    ):
+        """The acceptance scenario: an LSH-threshold change must be
+        pinned to the bcluster stage by the digest walk."""
+        import json
+
+        from repro.experiments.scenario import PaperScenario, ScenarioConfig
+        from repro.obs.history import RunStore
+        from repro.sandbox.clustering import ClusteringConfig
+
+        base = dict(n_weeks=16, scale=0.06)
+        run_a = PaperScenario(seed=5, config=ScenarioConfig(**base)).run()
+        run_b = PaperScenario(
+            seed=5,
+            config=ScenarioConfig(
+                clustering=ClusteringConfig(threshold=0.5), **base
+            ),
+        ).run()
+        store = RunStore(store_dir)
+        id_a = store.add(run_a.manifest)
+        id_b = store.add(run_b.manifest)
+        assert main(["obs", "diff", id_a, id_b]) == 1
+        out = capsys.readouterr().out
+        assert "first diverging stage: bcluster" in out
+        # Upstream stages agreed: only the bcluster digest moved.
+        assert "dataset.events" not in out
+
+    def test_history_renders_a_time_series(self, capsys, store_dir):
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        assert main(["obs", "history", "lsh.clusters"]) == 0
+        out = capsys.readouterr().out
+        assert "lsh.clusters over 2 stored run(s)" in out
+        assert main(["obs", "history", "stage:observe"]) == 0
+
+    def test_trace_chrome_export_and_flame(self, capsys, store_dir, tmp_path):
+        import json
+
+        assert main(["headline", *COMMON, "--store-run", "--profile"]) == 0
+        (run_id,) = self._stored_ids(store_dir)
+        out_path = tmp_path / "trace.json"
+        assert main(["obs", "trace", run_id, "--chrome", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        names = [e["name"] for e in payload["traceEvents"]]
+        assert "scenario" in names and "bcluster" in names and "lsh.index" in names
+        assert all(e["dur"] >= 0 for e in payload["traceEvents"])
+        capsys.readouterr()
+        assert main(["obs", "trace", run_id, "--flame"]) == 0
+        flame = capsys.readouterr().out
+        assert "cpu=" in flame  # --profile attrs surface in the view
+
+    def test_obs_validate_checks_the_store(self, capsys, store_dir):
+        import json
+
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        assert main(["obs", "validate"]) == 0
+        capsys.readouterr()
+        # Corrupt the stored run in place: per-file error, exit 1.
+        from repro.obs.history import RunStore
+
+        store = RunStore(store_dir)
+        (entry,) = store.entries()
+        path = store.root / entry["path"]
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["seed"] = 999_999
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert main(["obs", "validate"]) == 1
+        err = capsys.readouterr().err
+        assert str(path) in err and "content address" in err
+
+    def test_profile_flag_attaches_span_resources(self, store_dir):
+        from repro.obs.history import RunStore
+
+        assert main(["headline", *COMMON, "--store-run", "--profile"]) == 0
+        store = RunStore(store_dir)
+        (entry,) = store.entries()
+        tree = store.load(entry["run_id"]).span_tree
+        observe = next(
+            c for c in tree["children"] if c["name"] == "observe"
+        )
+        assert "cpu_seconds" in observe["attributes"]
+        assert "max_rss_kb" in observe["attributes"]

@@ -1,0 +1,301 @@
+"""The run store, cross-run diffs and the drift time series."""
+
+import json
+
+import pytest
+
+from repro.obs.diff import (
+    diff_manifests,
+    first_diverging_stage,
+    metric_value,
+    render_history,
+)
+from repro.obs.history import RUN_ID_LENGTH, RunStore
+from repro.obs.manifest import RunManifest
+from repro.obs.validate import validate_run_store
+from repro.util.validation import ValidationError
+
+
+def _manifest(
+    *,
+    seed: int = 7,
+    fingerprint: str = "ab" * 32,
+    observe_digest: str = "11" * 32,
+    epm_digest: str = "22" * 32,
+    bcluster_digest: str = "33" * 32,
+    clusters: float = 9.0,
+    observe_seconds: float = 1.0,
+    created_at: str = "2026-01-01T00:00:00Z",
+    golden_deviations: list | None = None,
+) -> RunManifest:
+    span_tree = {
+        "name": "scenario",
+        "seconds": observe_seconds + 0.5,
+        "attributes": {"output_digest": "44" * 32},
+        "children": [
+            {
+                "name": "observe",
+                "seconds": observe_seconds,
+                "attributes": {"output_digest": observe_digest},
+            },
+            {
+                "name": "epm",
+                "seconds": 0.3,
+                "attributes": {"output_digest": epm_digest},
+            },
+            {
+                "name": "bcluster",
+                "seconds": 0.2,
+                "attributes": {"output_digest": bcluster_digest},
+            },
+        ],
+    }
+    return RunManifest(
+        fingerprint=fingerprint,
+        seed=seed,
+        config={"n_weeks": 10},
+        library_version="1.0.0",
+        span_tree=span_tree,
+        metrics={
+            "schema": 1,
+            "counters": {"lsh.candidate_pairs": 100.0},
+            "gauges": {"lsh.clusters": clusters},
+            "histograms": {},
+        },
+        artifact_digests={
+            "dataset.events": observe_digest,
+            "epm.clusters": epm_digest,
+            "bclusters.assignment": bcluster_digest,
+            "headline": "44" * 32,
+        },
+        created_at=created_at,
+        golden_deviations=golden_deviations or [],
+    )
+
+
+class TestRunStore:
+    def test_add_stores_under_fingerprint_and_indexes(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = _manifest()
+        run_id = store.add(manifest)
+        assert len(run_id) == RUN_ID_LENGTH
+        path = store.path_for(manifest.fingerprint, run_id)
+        assert path.is_file()
+        (entry,) = store.entries()
+        assert entry["run_id"] == run_id
+        assert entry["fingerprint"] == manifest.fingerprint
+        assert entry["created_at"] == manifest.created_at
+
+    def test_re_adding_identical_content_is_a_noop(self, tmp_path):
+        store = RunStore(tmp_path)
+        first = store.add(_manifest())
+        second = store.add(_manifest())
+        assert first == second
+        assert len(store.entries()) == 1
+
+    def test_store_is_append_only_across_different_runs(self, tmp_path):
+        store = RunStore(tmp_path)
+        ids = [
+            store.add(_manifest(created_at=f"2026-01-0{day}T00:00:00Z"))
+            for day in (1, 2, 3)
+        ]
+        assert len(set(ids)) == 3
+        assert [e["run_id"] for e in store.entries()] == ids
+
+    def test_content_collision_with_different_payload_refused(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = _manifest()
+        run_id = store.add(manifest)
+        path = store.path_for(manifest.fingerprint, run_id)
+        path.write_text(
+            path.read_text(encoding="utf-8").replace('"seed": 7', '"seed": 8'),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValidationError):
+            store.add(manifest)
+
+    def test_load_and_prefix_resolution(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.add(_manifest())
+        assert store.load(run_id) == store.load(run_id[:6])
+        assert store.load(run_id).seed == 7
+        with pytest.raises(ValidationError):
+            store.resolve("zz")  # too short
+        with pytest.raises(ValidationError):
+            store.resolve("feedbeefcafe")  # no match
+
+    def test_entries_filter_by_fingerprint(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.add(_manifest())
+        store.add(_manifest(fingerprint="cd" * 32, created_at="x"))
+        assert len(store.entries()) == 2
+        assert len(store.entries("cd" * 32)) == 1
+
+    def test_render_listing(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert "empty" in store.render_listing()
+        run_id = store.add(_manifest(golden_deviations=["events: off"]))
+        listing = store.render_listing()
+        assert run_id in listing
+        assert "1 dev" in listing
+
+
+class TestStoreValidation:
+    def test_valid_store_has_no_errors(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.add(_manifest())
+        store.add(_manifest(seed=8))
+        assert validate_run_store(tmp_path) == {}
+
+    def test_empty_or_absent_store_is_valid(self, tmp_path):
+        assert validate_run_store(tmp_path) == {}
+        assert validate_run_store(tmp_path / "never-created") == {}
+        # A committed top-level reference manifest is not a stored run.
+        (tmp_path / "reference.json").write_text("{}", encoding="utf-8")
+        assert validate_run_store(tmp_path) == {}
+
+    def test_stored_runs_without_an_index_are_reported(self, tmp_path):
+        rundir = tmp_path / ("ab" * 32)
+        rundir.mkdir()
+        (rundir / "deadbeefdeadbeef.json").write_text("{}", encoding="utf-8")
+        failures = validate_run_store(tmp_path)
+        (errors,) = failures.values()
+        assert "no index.json" in errors[0]
+
+    def test_edited_run_file_fails_the_content_address(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = _manifest()
+        run_id = store.add(manifest)
+        path = store.path_for(manifest.fingerprint, run_id)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["seed"] = 1234
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        failures = validate_run_store(tmp_path)
+        assert any("content address" in e for e in failures[str(path)])
+
+    def test_missing_run_file_is_reported(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = _manifest()
+        run_id = store.add(manifest)
+        store.path_for(manifest.fingerprint, run_id).unlink()
+        failures = validate_run_store(tmp_path)
+        assert any("missing" in e for errors in failures.values() for e in errors)
+
+
+class TestDiff:
+    def test_identical_manifests_pass(self):
+        diff = diff_manifests(_manifest(), _manifest())
+        assert not diff.failed()
+        assert diff.digest_divergence == {}
+        assert diff.first_diverging_stage is None
+        assert "identical" in diff.render()
+
+    def test_digest_walk_names_the_first_diverging_stage(self):
+        # epm and bcluster both diverge; epm finishes first, so the
+        # walk must name epm, not bcluster and not the root.
+        diff = diff_manifests(
+            _manifest(),
+            _manifest(epm_digest="aa" * 32, bcluster_digest="bb" * 32),
+        )
+        assert diff.failed()
+        assert diff.first_diverging_stage == "epm"
+        assert "first diverging stage: epm" in diff.render()
+
+    def test_downstream_only_divergence_names_bcluster(self):
+        diff = diff_manifests(_manifest(), _manifest(bcluster_digest="bb" * 32))
+        assert diff.first_diverging_stage == "bcluster"
+
+    def test_metric_deltas_reported(self):
+        diff = diff_manifests(_manifest(clusters=9.0), _manifest(clusters=12.0))
+        assert diff.metric_deltas == {"lsh.clusters": (9.0, 12.0)}
+
+    def test_timing_regression_beyond_band(self):
+        diff = diff_manifests(
+            _manifest(observe_seconds=1.0),
+            _manifest(observe_seconds=2.0),
+            timing_tolerance=1.5,
+        )
+        regressed = {d.stage for d in diff.timing_regressions}
+        assert regressed == {"observe"}
+        # Timing alone never fails the gate unless opted in.
+        assert not diff.failed()
+        assert diff.failed(fail_on_timing=True)
+
+    def test_sub_noise_floor_timing_is_never_a_regression(self):
+        diff = diff_manifests(
+            _manifest(observe_seconds=0.001), _manifest(observe_seconds=0.01)
+        )
+        assert diff.timing_regressions == []
+
+    def test_new_golden_deviations_fail(self):
+        reference = _manifest(golden_deviations=["events: expected 1, measured 2"])
+        same = diff_manifests(reference, reference)
+        assert not same.failed()  # identical deviations are not *new*
+        diff = diff_manifests(
+            reference,
+            _manifest(
+                golden_deviations=[
+                    "events: expected 1, measured 2",
+                    "b_clusters: expected 961, measured 900",
+                ]
+            ),
+        )
+        assert diff.new_golden_deviations == [
+            "b_clusters: expected 961, measured 900"
+        ]
+        assert diff.failed()
+
+    def test_cross_config_diff_is_labelled(self):
+        diff = diff_manifests(_manifest(), _manifest(fingerprint="cd" * 32))
+        assert not diff.same_config
+        assert "fingerprints differ" in diff.render()
+
+
+class TestHistory:
+    def _store(self, tmp_path) -> RunStore:
+        store = RunStore(tmp_path)
+        for day, clusters in enumerate((9.0, 9.0, 10.0, 30.0), start=1):
+            store.add(
+                _manifest(
+                    clusters=clusters,
+                    created_at=f"2026-01-{day:02d}T00:00:00Z",
+                    golden_deviations=["b: off"] if clusters == 30.0 else [],
+                )
+            )
+        return store
+
+    def test_metric_value_lookup_modes(self):
+        payload = _manifest().as_dict()
+        assert metric_value(payload, "lsh.clusters") == 9.0
+        assert metric_value(payload, "stage:observe") == 1.0
+        assert metric_value(payload, "no.such.metric") is None
+
+    def test_metric_value_sums_labelled_keys(self):
+        manifest = _manifest()
+        manifest.metrics["gauges"] = {
+            "epm.clusters{dimension=mu}": 4.0,
+            "epm.clusters{dimension=pi}": 2.0,
+        }
+        assert metric_value(manifest.as_dict(), "epm.clusters") == 6.0
+
+    def test_history_flags_drift_and_golden_deviation(self, tmp_path):
+        text = render_history(self._store(tmp_path), "lsh.clusters")
+        assert "4 stored run(s)" in text
+        assert "G!" in text  # the deviating run is flagged
+        assert "T!" in text  # 30.0 is far outside the 9-ish band
+        lines = [
+            l
+            for l in text.splitlines()
+            if "G!" in l and not l.startswith("drift:")
+        ]
+        assert len(lines) == 1 and "30.0" in lines[0]
+
+    def test_history_handles_absent_metric(self, tmp_path):
+        text = render_history(self._store(tmp_path), "no.such.metric")
+        assert "not present" in text
+
+    def test_empty_store_history(self, tmp_path):
+        assert "no stored runs" in render_history(RunStore(tmp_path), "x")
+
+    def test_first_diverging_stage_helper_handles_empty_trees(self):
+        assert first_diverging_stage({}, {}) is None

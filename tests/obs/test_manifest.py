@@ -9,8 +9,8 @@ from repro.obs.validate import validate_manifest
 from repro.util.validation import ValidationError
 
 
-def _sample() -> RunManifest:
-    return RunManifest(
+def _sample(**overrides) -> RunManifest:
+    fields = dict(
         fingerprint="ab" * 32,
         seed=2010,
         config={"n_weeks": 74, "scale": 1.0},
@@ -18,7 +18,11 @@ def _sample() -> RunManifest:
         span_tree={"name": "scenario", "seconds": 1.0},
         metrics={"schema": 1, "counters": {}, "gauges": {}, "histograms": {}},
         artifact_digests={"headline": "cd" * 32},
+        created_at="2026-01-01T00:00:00Z",
+        golden_deviations=[],
     )
+    fields.update(overrides)
+    return RunManifest(**fields)
 
 
 class TestRunManifest:
@@ -30,9 +34,11 @@ class TestRunManifest:
             "seed",
             "config",
             "library_version",
+            "created_at",
             "span_tree",
             "metrics",
             "artifact_digests",
+            "golden_deviations",
         }
         assert payload["schema"] == MANIFEST_SCHEMA
 
@@ -41,11 +47,59 @@ class TestRunManifest:
         rebuilt = RunManifest.from_dict(json.loads(manifest.to_json()))
         assert rebuilt == manifest
 
+    def test_round_trip_with_empty_artifact_set(self):
+        manifest = _sample(artifact_digests={})
+        rebuilt = RunManifest.from_dict(json.loads(manifest.to_json()))
+        assert rebuilt == manifest
+        assert rebuilt.artifact_digests == {}
+
+    def test_round_trip_with_labelled_metric_keys(self):
+        manifest = _sample(
+            metrics={
+                "schema": 1,
+                "counters": {"epm.observations{dimension=mu}": 12.0},
+                "gauges": {"epm.clusters{dimension=epsilon,policy=strict}": 3.0},
+                "histograms": {},
+            }
+        )
+        rebuilt = RunManifest.from_dict(json.loads(manifest.to_json()))
+        assert rebuilt == manifest
+        assert (
+            rebuilt.metrics["counters"]["epm.observations{dimension=mu}"] == 12.0
+        )
+
+    def test_round_trip_with_unicode_attribute_values(self):
+        manifest = _sample(
+            span_tree={
+                "name": "scenario",
+                "seconds": 1.0,
+                "attributes": {"note": "拡張 — ünïcode ✓"},
+            },
+            golden_deviations=["events: expected 14687, measured ∅"],
+        )
+        rebuilt = RunManifest.from_dict(json.loads(manifest.to_json()))
+        assert rebuilt == manifest
+        assert rebuilt.span_tree["attributes"]["note"] == "拡張 — ünïcode ✓"
+
+    def test_schema_1_payload_still_loads(self):
+        payload = _sample().as_dict()
+        payload["schema"] = 1
+        del payload["created_at"]
+        del payload["golden_deviations"]
+        rebuilt = RunManifest.from_dict(payload)
+        assert rebuilt.schema == 1
+        assert rebuilt.created_at == ""
+        assert rebuilt.golden_deviations == []
+
     def test_unknown_schema_rejected(self):
         payload = _sample().as_dict()
         payload["schema"] = 99
         with pytest.raises(ValidationError):
             RunManifest.from_dict(payload)
+
+    def test_content_id_is_stable_and_content_sensitive(self):
+        assert _sample().content_id() == _sample().content_id()
+        assert _sample().content_id() != _sample(seed=11).content_id()
 
     def test_write_persists_valid_json(self, tmp_path):
         path = _sample().write(tmp_path / "manifest.json")
@@ -99,3 +153,34 @@ class TestScenarioManifest:
             "headline",
         }
         assert digests == artifact_digests(small_run)
+
+    def test_stage_spans_carry_their_output_digests(self, small_run):
+        tree = small_run.manifest.span_tree
+        digests = small_run.manifest.artifact_digests
+        by_name = {child["name"]: child for child in tree["children"]}
+        assert tree["attributes"]["output_digest"] == digests["headline"]
+        assert (
+            by_name["observe"]["attributes"]["output_digest"]
+            == digests["dataset.events"]
+        )
+        assert (
+            by_name["epm"]["attributes"]["output_digest"]
+            == digests["epm.clusters"]
+        )
+        assert (
+            by_name["bcluster"]["attributes"]["output_digest"]
+            == digests["bclusters.assignment"]
+        )
+
+    def test_manifest_self_reports_golden_deviations(self, small_run):
+        # The reduced run deviates from the full-scale golden headline
+        # on every key — the manifest must say so itself.
+        from repro.experiments.regression import check_headline
+
+        assert small_run.manifest.golden_deviations == check_headline(
+            small_run.headline()
+        )
+        assert small_run.manifest.golden_deviations  # reduced scale deviates
+
+    def test_manifest_created_at_uses_the_injectable_clock(self, small_run):
+        assert small_run.manifest.created_at  # stamped at build time

@@ -66,6 +66,26 @@ class TestTracer:
             with tracer.span(""):
                 pass
 
+    def test_spans_record_start_offsets_from_the_epoch(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        root = tracer.finish()
+        first, second = root.children
+        assert root.start == 0.0
+        assert first.start is not None and first.start >= 0.0
+        assert second.start >= first.start + first.seconds
+        exported = root.export()
+        assert exported["start"] == 0.0
+        assert "start" in exported["children"][0]
+
+    def test_hand_built_spans_have_no_start(self):
+        span = TraceSpan("loose", seconds=1.0)
+        assert span.start is None
+        assert "start" not in span.export()
+
 
 class TestTraceSpan:
     def _tree(self) -> TraceSpan:

@@ -1,0 +1,28 @@
+"""The injectable wall clock behind every emitted timestamp."""
+
+import re
+
+from repro.util.clock import FIXED_TIME_ENV, fixed_timestamp, timestamp
+
+
+class TestTimestamp:
+    def test_real_clock_renders_utc_iso(self):
+        assert re.fullmatch(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", timestamp())
+
+    def test_fixed_timestamp_pins_and_restores(self):
+        with fixed_timestamp("2026-01-02T03:04:05Z") as pinned:
+            assert timestamp() == pinned == "2026-01-02T03:04:05Z"
+        assert timestamp() != "2026-01-02T03:04:05Z"
+
+    def test_fixed_timestamp_nests(self):
+        with fixed_timestamp("2026-01-01T00:00:00Z"):
+            with fixed_timestamp("2027-01-01T00:00:00Z"):
+                assert timestamp() == "2027-01-01T00:00:00Z"
+            assert timestamp() == "2026-01-01T00:00:00Z"
+
+    def test_environment_pin(self, monkeypatch):
+        monkeypatch.setenv(FIXED_TIME_ENV, "1999-12-31T23:59:59Z")
+        assert timestamp() == "1999-12-31T23:59:59Z"
+        # An explicit code-level pin outranks the environment.
+        with fixed_timestamp("2000-01-01T00:00:00Z"):
+            assert timestamp() == "2000-01-01T00:00:00Z"
