@@ -63,3 +63,55 @@ def test_bench_profiling_overhead(results_dir):
     )
     # Target < 2%; assert with headroom for noisy shared runners.
     assert overhead < 0.25, f"profiling overhead {overhead:.1%} is not near-free"
+
+
+def _timed_event_run(tmp_dir, seed: int, events: bool) -> tuple[float, object]:
+    config = ScenarioConfig(
+        events=str(tmp_dir / f"events-{seed}-{int(events)}.jsonl") if events else None,
+        **SMOKE,
+    )
+    started = time.perf_counter()
+    run = PaperScenario(seed=seed, config=config).run()
+    return time.perf_counter() - started, run
+
+
+def test_bench_event_stream_overhead(results_dir, tmp_path):
+    """The live event stream must stay near-free (< 2% target).
+
+    The expensive part is the per-event flushed write of the file sink;
+    this times the smoke scenario with and without ``events=`` and
+    records the ratio in ``results/BENCH_obs_events.json``.
+    """
+    from repro.obs.events import read_events
+
+    _timed_event_run(tmp_path, 2010, False)  # warm-up
+    plain_seconds, plain = _timed_event_run(tmp_path, 2010, False)
+    events_seconds, streamed = _timed_event_run(tmp_path, 2010, True)
+
+    # The stream really recorded: the log replays and matches the
+    # manifest's own per-kind accounting.
+    log = read_events(tmp_path / "events-2010-1.jsonl")
+    assert log and log[0].kind == "run.start" and log[-1].kind == "run.finish"
+    assert streamed.manifest.event_summary == {
+        kind: sum(1 for event in log if event.kind == kind)
+        for kind in {event.kind for event in log}
+    }
+    # ... and it cannot change any artifact.
+    assert streamed.headline() == plain.headline()
+    assert streamed.manifest.artifact_digests == plain.manifest.artifact_digests
+
+    overhead = events_seconds / plain_seconds - 1.0
+    record = {
+        "schema": 1,
+        "generated_at": timestamp(),
+        "plain_seconds": round(plain_seconds, 4),
+        "events_seconds": round(events_seconds, 4),
+        "overhead_fraction": round(overhead, 4),
+        "n_events": len(log),
+        "event_summary": dict(streamed.manifest.event_summary),
+    }
+    (results_dir / "BENCH_obs_events.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    # Target < 2%; assert with headroom for noisy shared runners.
+    assert overhead < 0.25, f"event-stream overhead {overhead:.1%} is not near-free"

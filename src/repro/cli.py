@@ -24,14 +24,20 @@ Observability flags: ``--log-level {debug,info,warning,error}`` and
 PATH`` writes the session's metric snapshot as JSON, ``--manifest``
 writes the run's manifest (fingerprint, span tree, artifact digests) to
 ``manifest.json``, ``--store-run`` appends the manifest to the
-longitudinal run store (``results/runs`` or ``$REPRO_RUNS_DIR``), and
-``--profile`` attaches per-span CPU/RSS/GC probes to the trace.
+longitudinal run store (``results/runs`` or ``$REPRO_RUNS_DIR``),
+``--profile`` attaches per-span CPU/RSS/GC probes to the trace,
+``--events PATH`` streams live pipeline events (stage opens/closes,
+chunk completions, cache interactions, cluster milestones) to a
+tailable JSON-lines file, and ``--progress`` renders live per-stage
+progress with an ETA to stderr.
 
 The longitudinal toolkit lives under ``repro obs``::
 
     python -m repro obs list                    # stored runs
     python -m repro obs diff A B                # cross-run regression diff
     python -m repro obs history lsh.clusters    # drift time series
+    python -m repro obs tail events.jsonl --follow  # live event stream
+    python -m repro obs export RUN --format prometheus
     python -m repro obs trace RUN --chrome t.json   # Perfetto export
     python -m repro obs validate --runs results/runs
 """
@@ -54,6 +60,7 @@ from repro.experiments.drivers import (
     table2,
 )
 from repro.experiments.scenario import PaperScenario, ScenarioConfig, ScenarioRun
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry
@@ -144,6 +151,19 @@ def _build_parser() -> argparse.ArgumentParser:
             help="attach per-span CPU time, peak RSS and GC counts to "
             "the trace (opt-in; artifacts are unaffected)",
         )
+        p.add_argument(
+            "--events",
+            metavar="PATH",
+            default=None,
+            help="stream live pipeline events (JSON lines) to PATH; "
+            "tail it with 'repro obs tail PATH --follow'",
+        )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="render live per-stage progress (chunk/item counts, "
+            "ETA) to stderr while the pipeline runs",
+        )
 
     for name in _DRIVERS:
         p = sub.add_parser(name, help=f"regenerate the '{name}' experiment")
@@ -202,6 +222,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "wall times are machine-dependent)",
     )
 
+    tail_p = obs_sub.add_parser(
+        "tail", help="replay or follow a pipeline event stream (JSON lines)"
+    )
+    tail_p.add_argument("path", help="event log written by --events")
+    tail_p.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep polling for new events until interrupted",
+    )
+    tail_p.add_argument(
+        "--filter",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="only show matching events; 'kind=stage.*' prefix-matches "
+        "the kind, any other key matches an event field (repeatable, "
+        "AND semantics)",
+    )
+
+    export_p = obs_sub.add_parser(
+        "export", help="export recorded telemetry for external tooling"
+    )
+    add_store(export_p)
+    export_p.add_argument(
+        "ref",
+        help="metrics snapshot path, manifest path, or stored run id/prefix",
+    )
+    export_p.add_argument(
+        "--format",
+        choices=("prometheus", "chrome", "jsonl"),
+        default="prometheus",
+        help="prometheus: text exposition format; chrome: trace-event "
+        "JSON of the span tree; jsonl: one JSON object per sample",
+    )
+    export_p.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write to PATH instead of stdout",
+    )
+
     history_p = obs_sub.add_parser(
         "history", help="time series of one metric over stored runs"
     )
@@ -209,7 +271,8 @@ def _build_parser() -> argparse.ArgumentParser:
     history_p.add_argument(
         "metric",
         help="snapshot key (lsh.clusters, epm.clusters{dimension=mu}), "
-        "bare name (sums labels), or stage:<span> for wall seconds",
+        "bare name (sums labels), histogram quantile "
+        "(executor.chunk_seconds:p50), or stage:<span> for wall seconds",
     )
     history_p.add_argument(
         "--fingerprint", default=None, help="only runs of this config fingerprint"
@@ -244,6 +307,19 @@ def _build_parser() -> argparse.ArgumentParser:
     add_store(validate_p)
     validate_p.add_argument("--metrics", default=None, help="metrics snapshot path")
     validate_p.add_argument("--manifest", default=None, help="run manifest path")
+    validate_p.add_argument(
+        "--events",
+        default=None,
+        metavar="JSONL",
+        help="event log to validate (sequence gaps, unknown kinds); "
+        "with --manifest it is also cross-checked against the span tree",
+    )
+    validate_p.add_argument(
+        "--no-require-scenario",
+        dest="require_scenario",
+        action="store_false",
+        help="skip the required-scenario-metrics completeness check",
+    )
     return parser
 
 
@@ -255,17 +331,32 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
         executor=args.executor,
         jobs=args.jobs,
         profile=args.profile,
+        events=args.events,
+        progress=args.progress,
     )
     # One registry for the whole session: the scenario build records
     # into it, and so do the cache load/store paths around the build.
+    # Same for the event bus: the CLI owns a session-scoped bus so
+    # cache hits/misses around the build land on the stream too.
     registry = MetricsRegistry()
-    with obs_metrics.use(registry):
-        if args.cache:
-            from repro.experiments.cache import cached_run
+    bus: obs_events.EventBus | obs_events.NullEventBus = obs_events.NULL_BUS
+    if args.events or args.progress:
+        transports: list = []
+        if args.events:
+            transports.append(obs_events.FileTransport(args.events))
+        if args.progress:
+            transports.append(obs_events.ProgressRenderer(sys.stderr))
+        bus = obs_events.EventBus(transports)
+    try:
+        with obs_metrics.use(registry), obs_events.use_bus(bus):
+            if args.cache:
+                from repro.experiments.cache import cached_run
 
-            run = cached_run(args.seed, config)
-        else:
-            run = PaperScenario(seed=args.seed, config=config).run()
+                run = cached_run(args.seed, config)
+            else:
+                run = PaperScenario(seed=args.seed, config=config).run()
+    finally:
+        bus.close()
     if args.timings:
         rendered = run.trace.render() if run.trace else run.timings.render()
         print(rendered, file=sys.stderr)
@@ -286,7 +377,12 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
             from repro.obs.history import RunStore
 
             store = RunStore()
-            run_id = store.add(run.manifest)
+            # Only ingest the event log when it describes the run that
+            # was just built — a --cache hit replays a pickled run
+            # whose manifest the session's (cache-only) log cannot
+            # account for.
+            events_path = args.events if args.events and not args.cache else None
+            run_id = store.add(run.manifest, events_path=events_path)
             log.info(
                 "run stored", extra={"run_id": run_id, "store": str(store.root)}
             )
@@ -333,7 +429,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     )
     from repro.obs.history import RunStore
 
-    store = RunStore(args.runs)
+    store = RunStore(getattr(args, "runs", None))
     tolerance = (
         getattr(args, "timing_tolerance", None) or DEFAULT_TIMING_TOLERANCE
     )
@@ -342,13 +438,56 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(store.render_listing(store.entries(args.fingerprint)))
         return 0
     if args.obs_command == "diff":
+
+        def events_for(ref: str):
+            try:
+                return store.load_events(ref)
+            except Exception:  # unresolvable ref / file-path manifests
+                return None
+
         diff = diff_manifests(
             _load_manifest_payload(store, args.ref_a),
             _load_manifest_payload(store, args.ref_b),
             timing_tolerance=tolerance,
+            events_a=events_for(args.ref_a),
+            events_b=events_for(args.ref_b),
         )
         print(diff.render())
         return 1 if diff.failed(fail_on_timing=args.fail_on_timing) else 0
+    if args.obs_command == "tail":
+        from repro.obs.events import iter_events, matches, parse_filters, render_event
+
+        filters = parse_filters(args.filter)
+        try:
+            for event in iter_events(args.path, follow=args.follow):
+                if matches(event, filters):
+                    print(render_event(event), flush=args.follow)
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        except BrokenPipeError:  # downstream pager/head closed the pipe
+            import os
+
+            # Re-point stdout at devnull so the interpreter's shutdown
+            # flush doesn't raise a second time.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    if args.obs_command == "export":
+        import json
+
+        from repro.obs.export import export_payload
+
+        ref_path = Path(args.ref)
+        if ref_path.is_file():
+            payload = json.loads(ref_path.read_text(encoding="utf-8"))
+        else:
+            payload = store.load_payload(args.ref)
+        rendered = export_payload(payload, args.format)
+        if args.out:
+            Path(args.out).write_text(rendered, encoding="utf-8")
+            print(f"wrote {args.format} export of {args.ref} to {args.out}")
+        else:
+            print(rendered, end="")
+        return 0
     if args.obs_command == "history":
         print(
             render_history(
@@ -377,6 +516,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             forwarded += ["--metrics", args.metrics]
         if args.manifest:
             forwarded += ["--manifest", args.manifest]
+        if args.events:
+            forwarded += ["--events", args.events]
+        if not getattr(args, "require_scenario", True):
+            forwarded += ["--no-require-scenario"]
         # Validate the store when asked for explicitly, when it exists,
         # or when there is nothing else to validate (then a missing
         # store is a loud per-file error, not a silent pass).

@@ -152,7 +152,14 @@ class EPMClustering:
         require(len(dataset) > 0, "cannot cluster an empty dataset")
         executor = executor or SerialExecutor()
         dimensions = list(self.feature_sets)
-        if executor.backend == "process" and self._default_feature_sets:
+        # Every backend takes the same executor.map path (so the
+        # chunk-level ``executor.*`` telemetry and events agree across
+        # serial/thread/process); only the worker callable differs.
+        # Default feature sets pickle as a module-level partial; custom
+        # feature sets may close over local state, so they use a
+        # closure on in-process backends and fall back to a sequential
+        # fit only under the process backend, where they cannot ship.
+        if self._default_feature_sets:
             fitted = executor.map(
                 partial(
                     _fit_default_dimension,
@@ -162,7 +169,7 @@ class EPMClustering:
                 ),
                 dimensions,
             )
-        elif executor.backend in ("serial", "process"):
+        elif executor.backend == "process":
             fitted = [
                 self.fit_dimension(dataset, self.feature_sets[dimension])
                 for dimension in dimensions
@@ -176,8 +183,8 @@ class EPMClustering:
             )
         result = EPMResult(dimensions=dict(zip(dimensions, fitted)), policy=self.policy)
         # Recorded post-gather from the fitted artifacts, so the counts
-        # are identical on every backend (worker processes only see the
-        # no-op default registry).
+        # are identical on every backend (per-chunk worker telemetry is
+        # captured and merged separately by the executor layer).
         registry = obs_metrics.active()
         for dimension, clustering in result.dimensions.items():
             label = dimension.value

@@ -8,10 +8,12 @@ load takes milliseconds instead of the multi-second rebuild, while any
 semantic config change (scale, weeks, thresholds, noise, ...) misses
 and rebuilds.
 
-Execution-only knobs (``executor``, ``jobs``) are excluded from the
-fingerprint: all backends produce bit-identical artifacts, so a run
-built with the process backend is a valid cache hit for a serial
-request of the same scenario.
+Execution-only knobs (``executor``, ``jobs``, ``profile``, ``events``,
+``progress``) are excluded from the fingerprint: all backends produce
+bit-identical artifacts and telemetry sinks cannot change them, so a
+run built with the process backend (or with a live event stream
+attached) is a valid cache hit for a serial request of the same
+scenario.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import pickle
 from pathlib import Path
 
 from repro.experiments.scenario import PaperScenario, ScenarioConfig, ScenarioRun
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
 from repro.util.canonical import canonicalize
@@ -35,11 +38,16 @@ log = get_logger("experiments.cache")
 #: 2: ScenarioRun grew trace/metrics/manifest observability fields.
 #: 3: TraceSpan grew start offsets; RunManifest grew created_at and
 #:    golden_deviations (schema 2).
-CACHE_FORMAT = 3
+#: 4: ScenarioConfig grew events/progress; RunManifest grew
+#:    event_summary (schema 3).
+CACHE_FORMAT = 4
 
 #: ScenarioConfig fields that cannot change results, only how fast they
-#: are computed; they never contribute to the fingerprint.
-EXECUTION_ONLY_FIELDS = frozenset({"executor", "jobs", "profile"})
+#: are computed or what telemetry they emit; they never contribute to
+#: the fingerprint.
+EXECUTION_ONLY_FIELDS = frozenset(
+    {"executor", "jobs", "profile", "events", "progress"}
+)
 
 #: Canonical-JSON reduction (shared with the run manifest's digests).
 _canonical = canonicalize
@@ -96,6 +104,7 @@ class ScenarioCache:
         incompatible code version) are treated as misses and evicted.
         """
         registry = obs_metrics.active()
+        bus = obs_events.active_bus()
         path = self.path_for(seed, config)
         try:
             with path.open("rb") as handle:
@@ -103,6 +112,7 @@ class ScenarioCache:
         except FileNotFoundError:
             self.misses += 1
             registry.counter("cache.miss").inc()
+            bus.emit("cache.miss", fingerprint=path.stem)
             log.debug("cache miss", extra={"path": str(path)})
             return None
         except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, TypeError):
@@ -110,6 +120,8 @@ class ScenarioCache:
             self.misses += 1
             registry.counter("cache.miss").inc()
             registry.counter("cache.evict").inc()
+            bus.emit("cache.evict", fingerprint=path.stem, reason="unreadable")
+            bus.emit("cache.miss", fingerprint=path.stem)
             log.warning("evicted unreadable cache entry", extra={"path": str(path)})
             return None
         if not isinstance(run, ScenarioRun):
@@ -117,10 +129,13 @@ class ScenarioCache:
             self.misses += 1
             registry.counter("cache.miss").inc()
             registry.counter("cache.evict").inc()
+            bus.emit("cache.evict", fingerprint=path.stem, reason="not-a-run")
+            bus.emit("cache.miss", fingerprint=path.stem)
             log.warning("evicted non-run cache entry", extra={"path": str(path)})
             return None
         self.hits += 1
         registry.counter("cache.hit").inc()
+        bus.emit("cache.hit", fingerprint=path.stem)
         log.debug("cache hit", extra={"path": str(path)})
         return run
 
@@ -138,6 +153,7 @@ class ScenarioCache:
             pickle.dump(run, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
         obs_metrics.active().counter("cache.store").inc()
+        obs_events.active_bus().emit("cache.store", fingerprint=path.stem)
         log.debug("cache store", extra={"path": str(path)})
         return path
 

@@ -14,6 +14,7 @@ fast tests while preserving its shape.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 from repro.core.epm import EPMClustering, EPMResult
@@ -24,6 +25,7 @@ from repro.enrich.virustotal import VirusTotalService
 from repro.experiments.catalog import Catalog, build_catalog
 from repro.honeypot.deployment import DeploymentConfig, SGNetDeployment
 from repro.malware.landscape import LandscapeGenerator
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
 from repro.obs.manifest import RunManifest, build_manifest
@@ -67,6 +69,14 @@ class ScenarioConfig:
     #: collections attached as span attributes.  Execution-only like
     #: ``executor``/``jobs`` — it cannot change any artifact.
     profile: bool = False
+    #: Write the live pipeline event stream (JSON lines) to this path.
+    #: Execution-only: the stream is pure telemetry and cannot change
+    #: any artifact.  Ignored when the caller already activated a
+    #: recording event bus (the CLI does).
+    events: str | None = None
+    #: Render live per-stage progress (item counts, ETA) to stderr
+    #: while the pipeline runs.  Execution-only, off by default.
+    progress: bool = False
 
     def __post_init__(self) -> None:
         require(self.n_weeks >= 4, "scenario needs at least 4 weeks")
@@ -139,6 +149,17 @@ class PaperScenario:
         registry = obs_metrics.active()
         if not registry.recording:
             registry = MetricsRegistry()
+        bus = obs_events.active_bus()
+        owns_bus = not bus.recording and (
+            self.config.events is not None or self.config.progress
+        )
+        if owns_bus:
+            transports: list = []
+            if self.config.events is not None:
+                transports.append(obs_events.FileTransport(self.config.events))
+            if self.config.progress:
+                transports.append(obs_events.ProgressRenderer(sys.stderr))
+            bus = obs_events.EventBus(transports)
         tracer = Tracer("scenario", profile=self.config.profile)
         log.info(
             "scenario starting",
@@ -149,7 +170,18 @@ class PaperScenario:
                 "executor": self.config.executor,
             },
         )
-        with obs_metrics.use(registry), use_tracer(tracer):
+        # The bus may be session-scoped (the CLI installs one around the
+        # cache layer too), so the manifest's event summary is the
+        # *delta* emitted by this run, not the session totals.
+        counts_before = bus.summary() if bus.recording else {}
+        with obs_metrics.use(registry), use_tracer(tracer), obs_events.use_bus(bus):
+            bus.emit(
+                "run.start",
+                seed=self.seed,
+                weeks=self.config.n_weeks,
+                scale=self.config.scale,
+                executor=self.config.executor,
+            )
             executor = get_executor(self.config.executor, self.config.jobs)
             source = RandomSource(self.seed)
             grid = TimeGrid(0, self.config.n_weeks * WEEK_SECONDS)
@@ -190,12 +222,24 @@ class PaperScenario:
                 epm = EPMClustering(policy=self.config.invariant_policy).fit(
                     dataset, executor=executor
                 )
-                span.set(**epm.counts())
+                counts = epm.counts()
+                span.set(**counts)
+                for perspective in ("e", "p", "m"):
+                    bus.emit(
+                        "cluster.milestone",
+                        perspective=perspective,
+                        clusters=counts[f"{perspective}_clusters"],
+                    )
             with tracer.span("bcluster") as span:
                 bclusters = anubis.cluster(self.config.clustering, executor=executor)
                 span.set(
                     clusters=bclusters.n_clusters,
                     candidate_pairs=bclusters.n_candidate_pairs,
+                )
+                bus.emit(
+                    "cluster.milestone",
+                    perspective="b",
+                    clusters=bclusters.n_clusters,
                 )
 
         root = tracer.finish()
@@ -217,13 +261,29 @@ class PaperScenario:
         )
         # Deferred import: cache imports this module at top level.
         from repro.experiments.cache import scenario_fingerprint
+        from repro.experiments.regression import check_headline
 
+        headline = run.headline()
+        for deviation in check_headline(headline):
+            bus.emit("golden.deviation", detail=deviation)
+        bus.emit("run.finish", seconds=round(root.seconds, 6), **headline)
+        event_summary = None
+        if bus.recording:
+            event_summary = {
+                kind: count - counts_before.get(kind, 0)
+                for kind, count in bus.summary().items()
+                if count - counts_before.get(kind, 0) > 0
+            }
         run.manifest = build_manifest(
-            run, fingerprint=scenario_fingerprint(self.seed, self.config)
+            run,
+            fingerprint=scenario_fingerprint(self.seed, self.config),
+            events=event_summary,
         )
+        if owns_bus:
+            bus.close()
         log.info(
             "scenario finished",
-            extra={"seconds": round(root.seconds, 3), **run.headline()},
+            extra={"seconds": round(root.seconds, 3), **headline},
         )
         return run
 

@@ -18,8 +18,15 @@ near-free when off:
   store (``results/runs``) that turns per-run manifests into a
   longitudinal record;
 * :mod:`repro.obs.diff` — cross-run manifest diffs (metric deltas,
-  timing bands, digest walks naming the first diverging stage) and the
-  ``repro obs history`` drift time series;
+  timing bands, digest walks naming the first diverging stage, event
+  attribution) and the ``repro obs history`` drift time series;
+* :mod:`repro.obs.events` — the live pipeline event stream: a
+  schema-versioned, monotonically sequenced :class:`EventBus` with
+  in-memory, JSON-lines-file and multiprocessing-queue transports,
+  the ``repro obs tail`` replay/follow reader and the ``--progress``
+  renderer;
+* :mod:`repro.obs.export` — exporters of the recorded telemetry:
+  Prometheus text exposition, JSON-lines samples, Chrome traces;
 * :mod:`repro.obs.profile` — opt-in per-span CPU/RSS/GC probes plus
   span-tree exporters: Chrome trace-event JSON and a flamegraph-style
   text view.
@@ -31,6 +38,17 @@ ones per run.  ``repro.obs`` depends only on :mod:`repro.util`.
 """
 
 from repro.obs.diff import ManifestDiff, diff_manifests, render_history
+from repro.obs.events import (
+    EVENT_KINDS,
+    NULL_BUS,
+    EventBus,
+    PipelineEvent,
+    active_bus,
+    iter_events,
+    read_events,
+    use_bus,
+)
+from repro.obs.export import export_payload, jsonl_text, prometheus_text
 from repro.obs.history import RunStore
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.manifest import RunManifest, build_manifest
@@ -49,25 +67,35 @@ from repro.obs.trace import NULL_TRACER, Tracer, TraceSpan, current_tracer, use_
 # the package __init__ would make runpy warn about the double import.
 
 __all__ = [
+    "EVENT_KINDS",
+    "EventBus",
     "LATENCY_BUCKETS",
     "ManifestDiff",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NULL_BUS",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "PipelineEvent",
     "RunManifest",
     "RunStore",
     "SIZE_BUCKETS",
     "TraceSpan",
     "Tracer",
+    "active_bus",
     "build_manifest",
     "chrome_trace",
     "configure_logging",
     "current_tracer",
     "diff_manifests",
+    "export_payload",
     "flame_view",
     "get_logger",
+    "iter_events",
+    "jsonl_text",
+    "prometheus_text",
+    "read_events",
     "render_history",
-    "use_tracer",
+    "use_bus",
     "write_chrome_trace",
 ]

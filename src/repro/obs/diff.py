@@ -29,12 +29,13 @@ outside the tolerance band around the trailing median.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 from repro.obs.history import RunStore
 from repro.obs.manifest import RunManifest
-from repro.obs.metrics import base_name
+from repro.obs.metrics import base_name, quantile_from_payload
 
 #: Stage wall-time ratio above which a timing delta counts as a regression.
 DEFAULT_TIMING_TOLERANCE = 1.5
@@ -42,6 +43,28 @@ DEFAULT_TIMING_TOLERANCE = 1.5
 #: Absolute floor (seconds) below which timing deltas are noise, never
 #: regressions — sub-50ms stages jitter far beyond any tolerance band.
 TIMING_NOISE_FLOOR = 0.05
+
+#: Event kinds whose order and fields are pure functions of the
+#: ``(seed, config)`` pair — the comparable skeleton of an event log.
+#: Cache and failure events depend on execution state (a warm cache, a
+#: crashed worker) and are excluded from cross-run comparison.
+SEMANTIC_EVENT_KINDS = frozenset(
+    {
+        "run.start",
+        "stage.start",
+        "stage.finish",
+        "chunk.plan",
+        "chunk.finish",
+        "cluster.milestone",
+        "golden.deviation",
+        "run.finish",
+    }
+)
+
+#: Event fields that legitimately differ between two runs of the same
+#: configuration (wall times, backend/worker identity) — stripped
+#: before comparing.
+VOLATILE_EVENT_FIELDS = frozenset({"seconds", "backend", "executor", "jobs"})
 
 
 def _payload(manifest: RunManifest | Mapping) -> dict:
@@ -72,6 +95,8 @@ class ManifestDiff:
     fingerprint_b: str
     digest_divergence: dict[str, tuple[str, str]] = field(default_factory=dict)
     first_diverging_stage: str | None = None
+    #: First diverging semantic event, when both runs stored event logs.
+    first_diverging_event: str | None = None
     metric_deltas: dict[str, tuple[float, float]] = field(default_factory=dict)
     timing_deltas: list[TimingDelta] = field(default_factory=list)
     new_golden_deviations: list[str] = field(default_factory=list)
@@ -106,6 +131,10 @@ class ManifestDiff:
             if self.first_diverging_stage is not None:
                 lines.append(
                     f"  first diverging stage: {self.first_diverging_stage}"
+                )
+            if self.first_diverging_event is not None:
+                lines.append(
+                    f"  first diverging event: {self.first_diverging_event}"
                 )
         else:
             lines.append("artifact digests: identical")
@@ -146,6 +175,69 @@ def _span_digests(tree: Mapping) -> list[tuple[str, str]]:
     ]
 
 
+def _event_kind_fields(event) -> tuple[str, dict]:
+    """``(kind, fields)`` of a :class:`PipelineEvent` or its dict form."""
+    if isinstance(event, Mapping):
+        return str(event.get("kind", "?")), dict(event.get("fields", {}))
+    return event.kind, dict(event.fields)
+
+
+def _semantic_events(events) -> list[tuple[str, tuple]]:
+    """The comparable skeleton of an event log.
+
+    Keeps only :data:`SEMANTIC_EVENT_KINDS`, strips
+    :data:`VOLATILE_EVENT_FIELDS`, and normalises each survivor to a
+    hashable ``(kind, sorted fields)`` pair.
+    """
+    skeleton: list[tuple[str, tuple]] = []
+    for event in events:
+        kind, fields = _event_kind_fields(event)
+        if kind not in SEMANTIC_EVENT_KINDS:
+            continue
+        kept = tuple(
+            (key, str(fields[key]))
+            for key in sorted(fields)
+            if key not in VOLATILE_EVENT_FIELDS
+        )
+        skeleton.append((kind, kept))
+    return skeleton
+
+
+def _render_semantic(entry: tuple[str, tuple]) -> str:
+    kind, fields = entry
+    rendered = " ".join(f"{key}={value}" for key, value in fields)
+    return f"{kind} {rendered}".strip()
+
+
+def first_diverging_event(events_a, events_b) -> str | None:
+    """First semantic event where two runs' logs disagree, or ``None``.
+
+    Compares the deterministic skeletons (:func:`_semantic_events`) of
+    both logs position by position, so a divergence is attributed to
+    the first *event* — finer-grained than the first diverging stage
+    when, say, a cluster-count milestone moved inside an otherwise
+    identical stage sequence.  Returns a human-readable description of
+    the disagreement.
+    """
+    skel_a = _semantic_events(events_a)
+    skel_b = _semantic_events(events_b)
+    for index, (entry_a, entry_b) in enumerate(zip(skel_a, skel_b)):
+        if entry_a != entry_b:
+            return (
+                f"semantic event #{index}: "
+                f"{_render_semantic(entry_a)}  ->  {_render_semantic(entry_b)}"
+            )
+    if len(skel_a) != len(skel_b):
+        index = min(len(skel_a), len(skel_b))
+        longer = skel_a if len(skel_a) > len(skel_b) else skel_b
+        which = "reference" if len(skel_a) > len(skel_b) else "candidate"
+        return (
+            f"semantic event #{index}: only in {which} run: "
+            f"{_render_semantic(longer[index])}"
+        )
+    return None
+
+
 def first_diverging_stage(tree_a: Mapping, tree_b: Mapping) -> str | None:
     """Name of the earliest-completing span whose output digest diverged.
 
@@ -183,8 +275,16 @@ def diff_manifests(
     b: RunManifest | Mapping,
     *,
     timing_tolerance: float = DEFAULT_TIMING_TOLERANCE,
+    events_a=None,
+    events_b=None,
 ) -> ManifestDiff:
-    """Compare manifest ``a`` (the reference) against ``b`` (the candidate)."""
+    """Compare manifest ``a`` (the reference) against ``b`` (the candidate).
+
+    ``events_a``/``events_b`` optionally supply the two runs' event
+    logs (from :meth:`~repro.obs.history.RunStore.load_events`); when a
+    digest diverges and both logs are present, the diff additionally
+    names the first diverging semantic event.
+    """
     a, b = _payload(a), _payload(b)
     diff = ManifestDiff(
         fingerprint_a=str(a.get("fingerprint", "")),
@@ -201,6 +301,8 @@ def diff_manifests(
         diff.first_diverging_stage = first_diverging_stage(
             a.get("span_tree", {}), b.get("span_tree", {})
         )
+        if events_a is not None and events_b is not None:
+            diff.first_diverging_event = first_diverging_event(events_a, events_b)
 
     metrics_a = _scalar_metrics(a.get("metrics", {}))
     metrics_b = _scalar_metrics(b.get("metrics", {}))
@@ -232,8 +334,11 @@ def metric_value(payload: Mapping, metric: str) -> float | None:
 
     ``metric`` is either ``stage:<span name>`` (wall seconds of that
     span in the trace), an exact snapshot key (labels included, e.g.
-    ``epm.clusters{dimension=mu}``), or a bare metric name, which sums
-    every labelled counter/gauge sharing that base name.
+    ``epm.clusters{dimension=mu}``), a bare metric name, which sums
+    every labelled counter/gauge sharing that base name, or a histogram
+    quantile as ``<histogram key>:pNN`` (e.g.
+    ``executor.chunk_seconds:p50``), estimated by interpolation within
+    the recorded buckets.
     """
     if metric.startswith("stage:"):
         name = metric.split(":", 1)[1]
@@ -241,6 +346,20 @@ def metric_value(payload: Mapping, metric: str) -> float | None:
             if span.get("name") == name:
                 return float(span.get("seconds", 0.0))
         return None
+    match = re.fullmatch(r"(.+):p(\d+(?:\.\d+)?)", metric)
+    if match:
+        key, percent = match.group(1), float(match.group(2))
+        if not 0.0 <= percent <= 100.0:
+            return None
+        histograms = payload.get("metrics", {}).get("histograms", {})
+        candidates = (
+            [histograms[key]]
+            if key in histograms
+            else [value for k, value in histograms.items() if base_name(k) == key]
+        )
+        if len(candidates) != 1:  # absent, or ambiguous across labels
+            return None
+        return quantile_from_payload(candidates[0], percent / 100.0)
     scalars = _scalar_metrics(payload.get("metrics", {}))
     if metric in scalars:
         return scalars[metric]

@@ -1,0 +1,415 @@
+"""The live pipeline event stream: structured, sequenced, transportable.
+
+While metrics and manifests describe a run *after the fact*, the event
+stream is what makes the pipeline observable *in flight*: every stage
+open/close, chunk completion, cache interaction, cluster-count
+milestone and golden-deviation alert becomes one
+:class:`PipelineEvent` — schema-versioned, monotonically sequenced by
+the emitting :class:`EventBus`, and serialised as one JSON object per
+line so a sink file can be tailed with ``repro obs tail`` (or plain
+``tail -f``) while the run is still going.
+
+Transports decouple emission from delivery:
+
+* :class:`MemoryTransport` — an in-process list (tests, the CLI);
+* :class:`FileTransport`  — a JSON-lines sink, flushed per event so a
+  crash loses nothing that was emitted;
+* :class:`QueueTransport` — a ``multiprocessing`` queue producer.  The
+  process-pool executor installs a queue-backed bus inside each worker
+  (see :mod:`repro.util.parallel`), so events emitted in workers are
+  forwarded to the parent and re-sequenced onto its bus — the fix for
+  the historical worker-telemetry loss;
+* :class:`ProgressRenderer` — a terminal transport deriving per-stage
+  item counts and an ETA (median chunk latency via
+  :meth:`~repro.obs.metrics.Histogram.quantile`) from the stream.
+
+Like the metrics registry and the tracer, the bus is ambient
+(:func:`active_bus` / :func:`use_bus`) and defaults to a shared no-op,
+so an un-orchestrated ``emit`` costs one attribute lookup.  Event
+emission is execution-only telemetry: it never contributes to scenario
+fingerprints or artifact digests, and the serial/thread/process
+backends stay bit-identical on pipeline outputs with the stream on.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.obs.metrics import LATENCY_BUCKETS, Histogram
+from repro.util.validation import require
+
+#: Event record schema version; bump on incompatible layout changes.
+EVENT_SCHEMA = 1
+
+#: The event taxonomy.  Mirrored in ``docs/ARCHITECTURE.md``; the
+#: validator (:func:`repro.obs.validate.validate_events`) flags any
+#: kind outside this set, so extending the taxonomy means extending
+#: this tuple (and the docs) first.
+EVENT_KINDS = (
+    "run.start",
+    "run.finish",
+    "stage.start",
+    "stage.finish",
+    "chunk.plan",
+    "chunk.finish",
+    "cache.hit",
+    "cache.miss",
+    "cache.store",
+    "cache.evict",
+    "cluster.milestone",
+    "golden.deviation",
+    "worker.failure",
+)
+
+_KNOWN_KINDS = frozenset(EVENT_KINDS)
+
+
+@dataclass(frozen=True)
+class PipelineEvent:
+    """One sequenced occurrence on the event stream."""
+
+    seq: int
+    t: float
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (the JSON-line layout), fields key-sorted."""
+        return {
+            "schema": EVENT_SCHEMA,
+            "seq": self.seq,
+            "t": round(self.t, 6),
+            "kind": self.kind,
+            "fields": {key: self.fields[key] for key in sorted(self.fields)},
+        }
+
+    def to_json(self) -> str:
+        """Compact single-line JSON encoding."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "PipelineEvent":
+        """Rebuild an event from its :meth:`as_dict` form."""
+        require(
+            payload.get("schema") == EVENT_SCHEMA,
+            f"unsupported event schema {payload.get('schema')!r}",
+        )
+        return cls(
+            seq=int(payload["seq"]),
+            t=float(payload.get("t", 0.0)),
+            kind=str(payload["kind"]),
+            fields=dict(payload.get("fields", {})),
+        )
+
+
+def render_event(event: PipelineEvent) -> str:
+    """One human-readable line per event (the ``repro obs tail`` view)."""
+    fields = " ".join(f"{key}={event.fields[key]}" for key in sorted(event.fields))
+    line = f"{event.seq:>6}  {event.t:9.3f}s  {event.kind:<18}"
+    return f"{line} {fields}".rstrip()
+
+
+class MemoryTransport:
+    """Keeps every delivered event in an in-process list."""
+
+    def __init__(self) -> None:
+        self.events: list[PipelineEvent] = []
+
+    def handle(self, event: PipelineEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class FileTransport:
+    """Appends one JSON line per event, flushed eagerly.
+
+    The per-event flush is what makes the sink tailable during the run
+    and loss-free on a crash; it costs one small write syscall per
+    event, which the event-overhead benchmark keeps honest.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: IO[str] | None = self.path.open("w", encoding="utf-8")
+
+    def handle(self, event: PipelineEvent) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(event.to_json() + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class QueueTransport:
+    """Puts each event's dict form on a (multiprocessing) queue.
+
+    Any object with a ``put`` method works; in production it is a
+    ``multiprocessing`` queue created by the process-pool executor, so
+    worker-side events cross the process boundary as soon as they are
+    emitted — a worker crash cannot lose what was already put.
+    """
+
+    def __init__(self, queue) -> None:
+        self.queue = queue
+
+    def handle(self, event: PipelineEvent) -> None:
+        self.queue.put(event.as_dict())
+
+    def close(self) -> None:
+        pass
+
+
+class EventBus:
+    """Assigns sequence numbers and timestamps; fans out to transports.
+
+    Emission is thread-safe (one lock around sequencing + dispatch), so
+    thread-pool workers may emit directly on the coordinator's bus.
+    ``t`` is seconds since the bus was created — a monotonic offset,
+    never wall-clock, so stored logs replay deterministically.
+    """
+
+    recording = True
+
+    def __init__(
+        self,
+        transports: Iterable = (),
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.transports = list(transports)
+        self._clock = clock
+        self._epoch = clock()
+        self._seq = 0
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, **fields: object) -> PipelineEvent:
+        """Sequence and deliver one event to every transport."""
+        require(kind in _KNOWN_KINDS, f"unknown event kind {kind!r}")
+        with self._lock:
+            event = PipelineEvent(
+                seq=self._seq, t=self._clock() - self._epoch, kind=kind, fields=fields
+            )
+            self._seq += 1
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            for transport in self.transports:
+                transport.handle(event)
+        return event
+
+    def forward(self, payload: Mapping) -> PipelineEvent:
+        """Re-emit an event received from a worker process.
+
+        The event is re-sequenced onto this bus (worker-local sequence
+        numbers are meaningless after the merge); kind and fields are
+        preserved verbatim.
+        """
+        fields = payload.get("fields", {})
+        return self.emit(str(payload["kind"]), **dict(fields))
+
+    def summary(self) -> dict[str, int]:
+        """Events emitted so far, counted per kind (key-sorted)."""
+        with self._lock:
+            return {kind: self._counts[kind] for kind in sorted(self._counts)}
+
+    def close(self) -> None:
+        """Close every transport (flushes and releases file sinks)."""
+        for transport in self.transports:
+            transport.close()
+
+
+class NullEventBus:
+    """The disabled bus: emitting is free and delivers nowhere."""
+
+    recording = False
+
+    def emit(self, kind: str, **fields: object) -> None:
+        return None
+
+    def forward(self, payload: Mapping) -> None:
+        return None
+
+    def summary(self) -> dict[str, int]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+#: The process-wide default: the event stream off.
+NULL_BUS = NullEventBus()
+
+_active: EventBus | NullEventBus = NULL_BUS
+
+
+def active_bus() -> EventBus | NullEventBus:
+    """The bus instrumentation sites currently emit on."""
+    return _active
+
+
+def activate_bus(bus: EventBus | NullEventBus) -> EventBus | NullEventBus:
+    """Install ``bus`` as the active one; returns the previous."""
+    global _active
+    previous = _active
+    _active = bus
+    return previous
+
+
+@contextmanager
+def use_bus(bus: EventBus | NullEventBus) -> Iterator[EventBus | NullEventBus]:
+    """Activate ``bus`` for the duration of the block."""
+    previous = activate_bus(bus)
+    try:
+        yield bus
+    finally:
+        activate_bus(previous)
+
+
+def read_events(path: str | Path) -> list[PipelineEvent]:
+    """Parse a stored JSON-lines event log (raises on malformed lines)."""
+    return list(iter_events(path))
+
+
+def iter_events(
+    path: str | Path,
+    *,
+    follow: bool = False,
+    poll_seconds: float = 0.2,
+    stop: Callable[[], bool] | None = None,
+) -> Iterator[PipelineEvent]:
+    """Yield events from a log file, optionally following appends.
+
+    Without ``follow`` this is a deterministic replay: the yielded
+    events are a pure function of the file's contents.  With ``follow``
+    the iterator polls for new complete lines until ``stop()`` returns
+    true (or forever — the CLI wires ``stop`` to KeyboardInterrupt).
+    Partial trailing lines (a writer mid-append) are never yielded.
+    """
+    path = Path(path)
+    position = 0
+    buffer = ""
+    while True:
+        if path.is_file():
+            with path.open("r", encoding="utf-8") as handle:
+                handle.seek(position)
+                buffer += handle.read()
+                position = handle.tell()
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                if line.strip():
+                    yield PipelineEvent.from_dict(json.loads(line))
+        if not follow or (stop is not None and stop()):
+            return
+        time.sleep(poll_seconds)
+
+
+def parse_filters(specs: Sequence[str]) -> dict[str, str]:
+    """``KEY=VALUE`` filter specs -> mapping (``--filter stage=epm``)."""
+    filters: dict[str, str] = {}
+    for spec in specs:
+        require("=" in spec, f"filter {spec!r} is not KEY=VALUE")
+        key, _eq, value = spec.partition("=")
+        filters[key] = value
+    return filters
+
+
+def matches(event: PipelineEvent, filters: Mapping[str, str]) -> bool:
+    """Whether an event satisfies every filter (AND semantics).
+
+    ``kind`` matches the event kind (prefix match on a trailing ``*``,
+    so ``kind=stage.*`` selects both start and finish); any other key
+    compares against the string form of that event field.
+    """
+    for key, expected in filters.items():
+        if key == "kind":
+            if expected.endswith("*"):
+                if not event.kind.startswith(expected[:-1]):
+                    return False
+            elif event.kind != expected:
+                return False
+        elif str(event.fields.get(key)) != expected:
+            return False
+    return True
+
+
+class ProgressRenderer:
+    """A transport turning the stream into live per-stage progress lines.
+
+    Tracks the open stage stack, per-stage chunk/item completion
+    against the planned totals (``chunk.plan``), and estimates the time
+    remaining as *remaining chunks x median chunk latency* — the median
+    comes from a :class:`~repro.obs.metrics.Histogram` of observed
+    chunk seconds, so the ETA firms up as the run progresses.  Off by
+    default; the CLI enables it with ``--progress``.
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+        self._stack: list[str] = []
+        self._chunk_seconds = Histogram(LATENCY_BUCKETS)
+        self._planned_chunks = 0
+        self._planned_items = 0
+        self._done_chunks = 0
+        self._done_items = 0
+
+    @property
+    def _stage(self) -> str:
+        return self._stack[-1] if self._stack else "-"
+
+    def _line(self, text: str) -> None:
+        self.stream.write(f"[progress] {text}\n")
+        self.stream.flush()
+
+    def handle(self, event: PipelineEvent) -> None:
+        kind, fields = event.kind, event.fields
+        if kind == "run.start":
+            self._line(f"run started {self._render_fields(fields)}")
+        elif kind == "stage.start":
+            self._stack.append(str(fields.get("stage", "?")))
+        elif kind == "chunk.plan":
+            self._planned_chunks = int(fields.get("chunks", 0))
+            self._planned_items = int(fields.get("items", 0))
+            self._done_chunks = 0
+            self._done_items = 0
+        elif kind == "chunk.finish":
+            self._done_chunks += 1
+            self._done_items += int(fields.get("items", 0))
+            self._chunk_seconds.observe(float(fields.get("seconds", 0.0)))
+            self._line(
+                f"{self._stage}: chunks {self._done_chunks}/{self._planned_chunks}"
+                f" items {self._done_items}/{self._planned_items}"
+                f" eta {self._eta()}"
+            )
+        elif kind == "stage.finish":
+            stage = str(fields.get("stage", "?"))
+            if self._stack and self._stack[-1] == stage:
+                self._stack.pop()
+            self._line(f"{stage} finished in {float(fields.get('seconds', 0.0)):.3f}s")
+        elif kind == "run.finish":
+            self._line(f"run finished {self._render_fields(fields)}")
+
+    def _eta(self) -> str:
+        median = self._chunk_seconds.quantile(0.5)
+        remaining = max(0, self._planned_chunks - self._done_chunks)
+        if median is None:
+            return "?"
+        return f"{remaining * median:.1f}s"
+
+    @staticmethod
+    def _render_fields(fields: Mapping[str, object]) -> str:
+        return " ".join(f"{key}={fields[key]}" for key in sorted(fields))
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,179 @@
+"""Exporters: one telemetry model, many consumer formats.
+
+The pipeline records everything once — metrics snapshots, span trees,
+event logs — and this module turns those canonical forms into what
+external tooling expects:
+
+* :func:`prometheus_text` — the Prometheus text exposition format of a
+  metrics snapshot (``repro_`` prefix, counters as ``_total``,
+  histograms as cumulative ``_bucket{le=...}`` series), ready for a
+  textfile collector or pushgateway.
+* :func:`jsonl_samples` / :func:`jsonl_text` — one JSON object per
+  sample, the lingua franca of log shippers.
+* Chrome traces reuse :func:`repro.obs.profile.chrome_trace` on the
+  manifest's span tree; :func:`export_payload` dispatches all three.
+
+Inputs are duck-typed payload dicts: either a bare metrics snapshot
+(:meth:`~repro.obs.metrics.MetricsSnapshot.as_dict` form) or a full run
+manifest (whose ``metrics``/``span_tree`` sections are used), so the
+CLI can feed it a metrics JSON file, a manifest file, or a stored run
+id interchangeably.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterator, Mapping
+
+from repro.obs.metrics import parse_key
+from repro.util.validation import require
+
+#: Formats :func:`export_payload` understands.
+EXPORT_FORMATS = ("prometheus", "jsonl", "chrome")
+
+#: Prefix of every exported Prometheus metric name.
+PROMETHEUS_PREFIX = "repro_"
+
+
+def metrics_section(payload: Mapping) -> dict:
+    """The metrics snapshot inside ``payload`` (manifest or bare snapshot)."""
+    if "counters" in payload or "gauges" in payload or "histograms" in payload:
+        return dict(payload)
+    return dict(payload.get("metrics", {}))
+
+
+def span_tree_section(payload: Mapping) -> dict:
+    """The span tree inside ``payload`` (empty for bare snapshots)."""
+    return dict(payload.get("span_tree", {}))
+
+
+def _prom_name(name: str) -> str:
+    """A valid Prometheus metric name: dots to underscores, prefixed."""
+    return PROMETHEUS_PREFIX + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{labels[key]}"' for key in sorted(labels)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _cumulative_buckets(payload: Mapping) -> list[tuple[str, int]]:
+    """``(le, cumulative count)`` rows of a histogram payload, +Inf last."""
+    raw = payload.get("buckets", {})
+    bounds = sorted(float(key) for key in raw if key != "+inf")
+    rows: list[tuple[str, int]] = []
+    running = 0
+    for bound in bounds:
+        running += int(raw[repr(bound)])
+        rows.append((_format_value(bound), running))
+    running += int(raw.get("+inf", 0))
+    rows.append(("+Inf", running))
+    return rows
+
+
+def prometheus_text(payload: Mapping) -> str:
+    """Prometheus text exposition of a metrics snapshot or manifest.
+
+    Counters become ``<name>_total``, histograms the conventional
+    cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple;
+    labels carry over from the rendered ``name{k=v}`` keys.  Output is
+    deterministically ordered (sorted by metric key).
+    """
+    metrics = metrics_section(payload)
+    lines: list[str] = []
+    for key in sorted(metrics.get("counters", {})):
+        name, labels = parse_key(key)
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {_prom_name(name)} counter")
+        lines.append(
+            f"{prom}{_prom_labels(labels)} "
+            f"{_format_value(metrics['counters'][key])}"
+        )
+    for key in sorted(metrics.get("gauges", {})):
+        name, labels = parse_key(key)
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(
+            f"{prom}{_prom_labels(labels)} {_format_value(metrics['gauges'][key])}"
+        )
+    for key in sorted(metrics.get("histograms", {})):
+        name, labels = parse_key(key)
+        prom = _prom_name(name)
+        histogram = metrics["histograms"][key]
+        lines.append(f"# TYPE {prom} histogram")
+        for le, cumulative in _cumulative_buckets(histogram):
+            le_label = 'le="%s"' % le
+            lines.append(
+                f"{prom}_bucket{_prom_labels(labels, le_label)} {cumulative}"
+            )
+        lines.append(
+            f"{prom}_sum{_prom_labels(labels)} "
+            f"{repr(float(histogram.get('sum', 0.0)))}"
+        )
+        lines.append(
+            f"{prom}_count{_prom_labels(labels)} {int(histogram.get('count', 0))}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def jsonl_samples(payload: Mapping) -> Iterator[dict]:
+    """One flat dict per metric sample, in deterministic order."""
+    metrics = metrics_section(payload)
+    for section, sample_type in (("counters", "counter"), ("gauges", "gauge")):
+        for key in sorted(metrics.get(section, {})):
+            name, labels = parse_key(key)
+            yield {
+                "type": sample_type,
+                "name": name,
+                "labels": labels,
+                "value": metrics[section][key],
+            }
+    for key in sorted(metrics.get("histograms", {})):
+        name, labels = parse_key(key)
+        histogram = metrics["histograms"][key]
+        yield {
+            "type": "histogram",
+            "name": name,
+            "labels": labels,
+            "count": int(histogram.get("count", 0)),
+            "sum": float(histogram.get("sum", 0.0)),
+            "buckets": dict(histogram.get("buckets", {})),
+        }
+
+
+def jsonl_text(payload: Mapping) -> str:
+    """The :func:`jsonl_samples` stream rendered as JSON lines."""
+    return "".join(
+        json.dumps(sample, sort_keys=True, separators=(",", ":")) + "\n"
+        for sample in jsonl_samples(payload)
+    )
+
+
+def export_payload(payload: Mapping, fmt: str) -> str:
+    """Render ``payload`` in one of :data:`EXPORT_FORMATS`."""
+    require(fmt in EXPORT_FORMATS, f"unknown export format {fmt!r}")
+    if fmt == "prometheus":
+        return prometheus_text(payload)
+    if fmt == "jsonl":
+        return jsonl_text(payload)
+    tree = span_tree_section(payload)
+    require(
+        bool(tree),
+        "chrome export needs a manifest with a span tree "
+        "(bare metrics snapshots carry none)",
+    )
+    # Deferred import: profile pulls in resource/gc probing helpers the
+    # text exporters never need.
+    from repro.obs.profile import chrome_trace
+
+    return json.dumps(chrome_trace(tree), sort_keys=True, indent=2) + "\n"

@@ -6,8 +6,9 @@ observable.  Layout under the store root (default ``results/runs``,
 overridable via ``$REPRO_RUNS_DIR``)::
 
     results/runs/
-      index.json                       # append-only entry list
-      <fingerprint>/<run_id>.json      # one manifest per stored run
+      index.json                           # append-only entry list
+      <fingerprint>/<run_id>.json          # one manifest per stored run
+      <fingerprint>/<run_id>.events.jsonl  # the run's event log, if any
 
 ``run_id`` is the first 16 hex chars of the manifest's canonical
 content digest (:meth:`RunManifest.content_id`), so the store is
@@ -80,17 +81,27 @@ class RunStore:
     def path_for(self, fingerprint: str, run_id: str) -> Path:
         return self.root / fingerprint / f"{run_id}.json"
 
-    def add(self, manifest: RunManifest) -> str:
+    def events_path_for(self, fingerprint: str, run_id: str) -> Path:
+        """Where the run's ingested event log lives (may not exist)."""
+        return self.root / fingerprint / f"{run_id}.events.jsonl"
+
+    def add(self, manifest: RunManifest, *, events_path: str | Path | None = None) -> str:
         """Store ``manifest``; returns its run id.
 
         Content-addressed and append-only: re-adding identical content
         is a no-op, while a run-id collision with *different* content
         (practically impossible, but the guard keeps the store honest)
         is refused rather than overwritten.
+
+        ``events_path`` optionally ingests the run's live event log
+        (JSON lines) next to the manifest, so ``repro obs diff`` can
+        attribute a divergence to the first diverging *event* rather
+        than only the first diverging stage.
         """
         require(isinstance(manifest, RunManifest), "can only store RunManifest")
         run_id = manifest.content_id()[:RUN_ID_LENGTH]
         path = self.path_for(manifest.fingerprint, run_id)
+        already_stored = False
         if path.is_file():
             existing = path.read_text(encoding="utf-8")
             require(
@@ -98,11 +109,15 @@ class RunStore:
                 f"run id collision at {path}: existing content differs",
             )
             log.debug("run already stored", extra={"run_id": run_id})
+            already_stored = True
+        if not already_stored:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(manifest.to_json() + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        has_events = self._ingest_events(manifest.fingerprint, run_id, events_path)
+        if already_stored:
             return run_id
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(manifest.to_json() + "\n", encoding="utf-8")
-        os.replace(tmp, path)
         self._append_index(
             {
                 "run_id": run_id,
@@ -111,6 +126,7 @@ class RunStore:
                 "created_at": manifest.created_at,
                 "library_version": manifest.library_version,
                 "golden_deviations": len(manifest.golden_deviations),
+                "events": has_events,
                 "path": str(path.relative_to(self.root)),
             }
         )
@@ -119,6 +135,21 @@ class RunStore:
             extra={"run_id": run_id, "fingerprint": manifest.fingerprint[:12]},
         )
         return run_id
+
+    def _ingest_events(
+        self, fingerprint: str, run_id: str, events_path: str | Path | None
+    ) -> bool:
+        """Copy a run's event log into the store; returns whether one exists."""
+        target = self.events_path_for(fingerprint, run_id)
+        if events_path is None:
+            return target.is_file()
+        source = Path(events_path)
+        require(source.is_file(), f"event log {source} does not exist")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(source.read_bytes())
+        os.replace(tmp, target)
+        return True
 
     def _append_index(self, entry: dict) -> None:
         entries = self.entries()
@@ -161,6 +192,22 @@ class RunStore:
     def load_payload(self, ref: str) -> dict:
         """Raw dict form of the stored manifest named by ``ref``."""
         return json.loads(self.resolve(ref).read_text(encoding="utf-8"))
+
+    def load_events(self, ref: str) -> list | None:
+        """The ingested event log of the run named by ``ref``, or ``None``.
+
+        Returns the parsed :class:`~repro.obs.events.PipelineEvent`
+        list when the run was stored with an event log, ``None`` when
+        it was not (older runs, or runs recorded without ``--events``).
+        """
+        # Deferred import keeps the store usable without the event layer.
+        from repro.obs.events import read_events
+
+        manifest_path = self.resolve(ref)
+        events_path = manifest_path.with_name(f"{manifest_path.stem}.events.jsonl")
+        if not events_path.is_file():
+            return None
+        return read_events(events_path)
 
     def manifests(self, fingerprint: str | None = None) -> list[RunManifest]:
         """All stored manifests (optionally one configuration), in order."""

@@ -37,11 +37,13 @@ from repro.util.validation import require
 
 #: Manifest schema version; bump on incompatible layout changes.
 #: 2: added ``created_at`` (injectable clock) and ``golden_deviations``.
-MANIFEST_SCHEMA = 2
+#: 3: added ``event_summary`` (per-kind counts of the run's live event
+#:    stream, when one was recorded; ``{}`` otherwise).
+MANIFEST_SCHEMA = 3
 
 #: Schemas :meth:`RunManifest.from_dict` still reads (stored runs from
 #: earlier layouts stay loadable; missing fields take their defaults).
-SUPPORTED_MANIFEST_SCHEMAS = (1, 2)
+SUPPORTED_MANIFEST_SCHEMAS = (1, 2, 3)
 
 #: Which span (by name) produced which digested artifact — the walk
 #: order of the cross-run digest diff.  ``headline`` summarises the
@@ -66,6 +68,10 @@ class RunManifest:
     artifact_digests: dict[str, str] = field(default_factory=dict)
     created_at: str = ""
     golden_deviations: list[str] = field(default_factory=list)
+    #: Per-kind event counts of the run's live stream (schema >= 3).
+    #: Cross-checked against the span tree by ``repro obs validate``:
+    #: every non-root span must have produced one ``stage.finish``.
+    event_summary: dict[str, int] = field(default_factory=dict)
     schema: int = MANIFEST_SCHEMA
 
     def as_dict(self) -> dict:
@@ -81,6 +87,7 @@ class RunManifest:
             "metrics": self.metrics,
             "artifact_digests": dict(sorted(self.artifact_digests.items())),
             "golden_deviations": list(self.golden_deviations),
+            "event_summary": dict(sorted(self.event_summary.items())),
         }
 
     def to_json(self) -> str:
@@ -114,6 +121,10 @@ class RunManifest:
             artifact_digests=dict(payload.get("artifact_digests", {})),
             created_at=str(payload.get("created_at", "")),
             golden_deviations=[str(d) for d in payload.get("golden_deviations", [])],
+            event_summary={
+                str(kind): int(count)
+                for kind, count in dict(payload.get("event_summary", {})).items()
+            },
             schema=int(payload["schema"]),
         )
 
@@ -168,14 +179,16 @@ def annotate_stage_digests(trace, digests: Mapping[str, str]) -> None:
             span.set(output_digest=digests[artifact])
 
 
-def build_manifest(run, *, fingerprint: str) -> RunManifest:
+def build_manifest(run, *, fingerprint: str, events: Mapping[str, int] | None = None) -> RunManifest:
     """Assemble the manifest of a finished scenario run.
 
     ``fingerprint`` is supplied by the caller (the scenario layer owns
     the fingerprint function) so this module stays independent of
-    :mod:`repro.experiments`.  The golden-headline check is the one
-    deliberate upward reference — deferred and optional, so the obs
-    layer still imports standalone.
+    :mod:`repro.experiments`.  ``events`` is the per-kind count summary
+    of the run's live event stream (``EventBus.summary()``) when one
+    was recorded.  The golden-headline check is the one deliberate
+    upward reference — deferred and optional, so the obs layer still
+    imports standalone.
     """
     import repro
 
@@ -197,4 +210,5 @@ def build_manifest(run, *, fingerprint: str) -> RunManifest:
         artifact_digests=digests,
         created_at=timestamp(),
         golden_deviations=golden_deviations,
+        event_summary=dict(events) if events else {},
     )

@@ -32,7 +32,7 @@ import threading
 from bisect import bisect_left
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 from repro.util.validation import require
 
@@ -65,6 +65,25 @@ def base_name(key: str) -> str:
     'epm.clusters'
     """
     return key.split("{", 1)[0]
+
+
+def parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a rendered ``name{k=v,...}`` key back into name and labels.
+
+    >>> parse_key("executor.chunks{backend=serial}")
+    ('executor.chunks', {'backend': 'serial'})
+    >>> parse_key("cache.hit")
+    ('cache.hit', {})
+    """
+    if "{" not in key:
+        return key, {}
+    name, _brace, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner.rstrip("}").split(","):
+        if part:
+            label, _eq, value = part.partition("=")
+            labels[label] = value
+    return name, labels
 
 
 class Counter:
@@ -122,6 +141,35 @@ class Histogram:
         self.total += value
         self.count += 1
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile by linear interpolation.
+
+        The estimate interpolates within the bucket the rank falls in
+        (the first bucket's lower edge is 0, the overflow bucket
+        reports the highest finite bound — the Prometheus convention),
+        so it is exact only up to bucket resolution.  Returns ``None``
+        on an empty histogram.
+
+        >>> h = Histogram((1.0, 2.0, 4.0))
+        >>> for value in (0.5, 1.5, 3.0, 3.5): h.observe(value)
+        >>> h.quantile(0.5)
+        2.0
+        """
+        require(0.0 <= q <= 1.0, "quantile must be in [0, 1]")
+        return _bucket_quantile(self.buckets, self.counts, self.count, q)
+
+    def merge(self, payload: Mapping) -> None:
+        """Fold another histogram's :meth:`as_dict` payload into this one."""
+        bounds, counts = _payload_buckets(payload)
+        require(
+            bounds == self.buckets,
+            f"cannot merge histogram with buckets {bounds} into {self.buckets}",
+        )
+        for index, count in enumerate(counts):
+            self.counts[index] += count
+        self.total += float(payload.get("sum", 0.0))
+        self.count += int(payload.get("count", 0))
+
     def as_dict(self) -> dict:
         """Export: per-bucket counts keyed by upper bound, plus sum/count."""
         cumulative: dict[str, int] = {}
@@ -129,6 +177,47 @@ class Histogram:
             cumulative[repr(bound)] = count
         cumulative["+inf"] = self.counts[-1]
         return {"buckets": cumulative, "count": self.count, "sum": self.total}
+
+
+def _bucket_quantile(
+    bounds: tuple[float, ...], counts: Sequence[int], total: int, q: float
+) -> float | None:
+    """Shared quantile estimator over ``(bounds, per-bucket counts)``."""
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    lower = 0.0
+    for bound, count in zip(bounds, counts):
+        if count and cumulative + count >= rank:
+            fraction = max(0.0, min(1.0, (rank - cumulative) / count))
+            return lower + (bound - lower) * fraction
+        cumulative += count
+        lower = bound
+    return bounds[-1]
+
+
+def _payload_buckets(payload: Mapping) -> tuple[tuple[float, ...], list[int]]:
+    """Finite bucket bounds and the full per-bucket count row of a payload."""
+    raw = payload.get("buckets", {})
+    bounds = tuple(sorted(float(key) for key in raw if key != "+inf"))
+    counts = [int(raw[repr(bound)]) for bound in bounds]
+    counts.append(int(raw.get("+inf", 0)))
+    return bounds, counts
+
+
+def quantile_from_payload(payload: Mapping, q: float) -> float | None:
+    """:meth:`Histogram.quantile` over an exported histogram payload.
+
+    Works on the plain-dict form snapshots and manifests carry, so the
+    ``repro obs history`` time series can render quantiles of stored
+    runs without rebuilding live instruments.
+    """
+    require(0.0 <= q <= 1.0, "quantile must be in [0, 1]")
+    bounds, counts = _payload_buckets(payload)
+    if not bounds:
+        return None
+    return _bucket_quantile(bounds, counts, int(payload.get("count", 0)), q)
 
 
 #: Snapshot schema version; bump on incompatible layout changes.
@@ -254,6 +343,27 @@ class MetricsRegistry:
             histograms={key: h.as_dict() for key, h in sorted(self._histograms.items())},
         )
 
+    def merge_snapshot(self, snapshot: "MetricsSnapshot | Mapping") -> None:
+        """Fold a snapshot's state into this registry.
+
+        Counters add, gauges take the merged value (last write wins, so
+        merging deltas in submission order reproduces a serial run),
+        histograms add per-bucket counts — the merge path the parallel
+        executors use to forward worker-side telemetry to the
+        coordinating process (see :mod:`repro.util.parallel`).
+        """
+        payload = snapshot.as_dict() if isinstance(snapshot, MetricsSnapshot) else snapshot
+        for key, value in payload.get("counters", {}).items():
+            name, labels = parse_key(key)
+            self.counter(name, **labels).inc(value)
+        for key, value in payload.get("gauges", {}).items():
+            name, labels = parse_key(key)
+            self.gauge(name, **labels).set(value)
+        for key, hist_payload in payload.get("histograms", {}).items():
+            name, labels = parse_key(key)
+            bounds, _counts = _payload_buckets(hist_payload)
+            self.histogram(name, buckets=bounds, **labels).merge(hist_payload)
+
 
 class _NullInstrument:
     """Shared no-op stand-in for every instrument kind."""
@@ -301,10 +411,40 @@ NULL_REGISTRY = NullMetricsRegistry()
 
 _active: MetricsRegistry | NullMetricsRegistry = NULL_REGISTRY
 
+#: Per-thread override of the active registry — what lets a parallel
+#: executor capture one chunk's worth of telemetry in a worker thread
+#: without racing the coordinator's registry (see :func:`capture`).
+_tls = threading.local()
+
 
 def active() -> MetricsRegistry | NullMetricsRegistry:
-    """The registry instrumentation sites currently record into."""
+    """The registry instrumentation sites currently record into.
+
+    A thread-local :func:`capture` override wins over the process-wide
+    registry installed by :func:`activate`/:func:`use`.
+    """
+    override = getattr(_tls, "registry", None)
+    if override is not None:
+        return override
     return _active
+
+
+@contextmanager
+def capture() -> Iterator[MetricsRegistry]:
+    """Divert this thread's instrumentation into a fresh registry.
+
+    The parallel executors run every mapped chunk under a capture so
+    worker-side increments are recorded exactly once, snapshotted, and
+    merged into the coordinator's registry in chunk order — identical
+    totals on the serial, thread and process backends.
+    """
+    registry = MetricsRegistry()
+    previous = getattr(_tls, "registry", None)
+    _tls.registry = registry
+    try:
+        yield registry
+    finally:
+        _tls.registry = previous
 
 
 def activate(

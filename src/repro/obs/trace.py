@@ -23,6 +23,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.obs import events as obs_events
 from repro.util.timing import StageTiming, StageTimings
 from repro.util.validation import require
 
@@ -145,11 +146,20 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, **attributes: object) -> Iterator[TraceSpan]:
-        """Open a child of the current span for the duration of the block."""
+        """Open a child of the current span for the duration of the block.
+
+        Every span open/close is also announced on the ambient event
+        bus (``stage.start`` / ``stage.finish``), so a tailed event
+        stream shows the same stage structure the manifest's span tree
+        records after the fact — the two views are cross-checked by
+        ``repro obs validate``.
+        """
         span = self.current.child(name)
         if attributes:
             span.set(**attributes)
         self._stack.append(span)
+        bus = obs_events.active_bus()
+        bus.emit("stage.start", stage=name, depth=len(self._stack) - 1)
         token = self._probe.begin() if self._probe is not None else None
         started = time.perf_counter()
         span.start = started - self._epoch
@@ -160,6 +170,7 @@ class Tracer:
             if self._probe is not None:
                 span.set(**self._probe.end(token))
             self._stack.pop()
+            bus.emit("stage.finish", stage=name, seconds=round(span.seconds, 6))
 
     def finish(self) -> TraceSpan:
         """Close out: the root's duration becomes the sum of its children."""

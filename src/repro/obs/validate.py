@@ -51,10 +51,14 @@ METRIC_CATALOGUE: dict[str, str] = {
     "cache.miss": "counter",
     "cache.evict": "counter",
     "cache.store": "counter",
-    # parallel executors (labelled by backend=serial|thread|process)
+    # parallel executors.  chunks/items/chunk_seconds/worker_failures
+    # are deliberately unlabelled: the chunk plan is backend-independent,
+    # so their totals must compare equal across serial/thread/process.
     "executor.chunks": "counter",
     "executor.items": "counter",
     "executor.chunk_seconds": "histogram",
+    "executor.worker_failures": "counter",
+    # labelled by backend=serial|thread|process
     "executor.jobs": "gauge",
 }
 
@@ -177,6 +181,106 @@ def validate_manifest(payload: Mapping) -> list[str]:
     return errors
 
 
+def validate_events(lines: Sequence[str]) -> list[str]:
+    """Errors in a JSON-lines event log; empty list means valid.
+
+    Checks every line parses, carries the current event schema and a
+    known kind, that sequence numbers are contiguous from 0 (a gap
+    means a transport dropped an event), and that timestamps never go
+    backwards (the bus clock is monotonic; forwarded worker events are
+    re-stamped on merge).
+    """
+    from repro.obs.events import EVENT_SCHEMA, EVENT_KINDS
+
+    known = frozenset(EVENT_KINDS)
+    errors: list[str] = []
+    expected_seq = 0
+    last_t = float("-inf")
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            errors.append(f"events line {number}: does not parse: {error}")
+            continue
+        if record.get("schema") != EVENT_SCHEMA:
+            errors.append(
+                f"events line {number}: schema is {record.get('schema')!r}, "
+                f"expected {EVENT_SCHEMA}"
+            )
+        kind = record.get("kind")
+        if kind not in known:
+            errors.append(f"events line {number}: unknown event kind {kind!r}")
+        seq = record.get("seq")
+        if seq != expected_seq:
+            errors.append(
+                f"events line {number}: seq is {seq!r}, expected {expected_seq} "
+                "(gap or reorder in the stream)"
+            )
+            if isinstance(seq, int):
+                expected_seq = seq
+        expected_seq += 1
+        t = record.get("t")
+        if not isinstance(t, (int, float)):
+            errors.append(f"events line {number}: t is {t!r}, expected a number")
+        elif t < last_t:
+            errors.append(
+                f"events line {number}: t went backwards ({t} after {last_t})"
+            )
+        else:
+            last_t = float(t)
+        if not isinstance(record.get("fields", {}), Mapping):
+            errors.append(f"events line {number}: fields must be a mapping")
+    return errors
+
+
+def _count_spans(tree: Mapping) -> int:
+    """Non-root span count of an exported span tree."""
+    return sum(1 + _count_spans(child) for child in tree.get("children", ()))
+
+
+def crosscheck_events(lines: Sequence[str], manifest: Mapping) -> list[str]:
+    """Consistency errors between an event log and its run manifest.
+
+    The two views of one run must agree: the stream's ``stage.finish``
+    count must equal the number of non-root spans in the manifest's
+    span tree, and every per-kind count in the manifest's
+    ``event_summary`` (schema >= 3, when present) must be covered by
+    the log.  The log may carry *extra* events — the CLI's session bus
+    also records cache interactions that happen around the run — but it
+    can never carry fewer than the manifest claims.
+    """
+    errors: list[str] = []
+    counts: dict[str, int] = {}
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # already reported by validate_events
+        kind = str(record.get("kind"))
+        counts[kind] = counts.get(kind, 0) + 1
+    n_spans = _count_spans(manifest.get("span_tree", {}))
+    n_finishes = counts.get("stage.finish", 0)
+    if n_finishes != n_spans:
+        errors.append(
+            f"events/manifest: {n_finishes} stage.finish event(s) but "
+            f"{n_spans} non-root span(s) in the manifest span tree"
+        )
+    summary = manifest.get("event_summary")
+    if isinstance(summary, Mapping):
+        for kind in sorted(summary):
+            claimed = int(summary[kind])
+            if counts.get(kind, 0) < claimed:
+                errors.append(
+                    f"events/manifest: event_summary claims {claimed} "
+                    f"{kind!r} event(s), the log has {counts.get(kind, 0)}"
+                )
+    return errors
+
+
 def validate_run_store(root: str | Path) -> dict[str, list[str]]:
     """Per-file errors across a run store; empty dict means valid.
 
@@ -242,6 +346,11 @@ def validate_run_store(root: str | Path) -> dict[str, list[str]]:
                     f"run id {run_id!r} does not match content address "
                     f"{content_id[:RUN_ID_LENGTH]!r} (file edited in place?)"
                 )
+        events_file = path.with_name(f"{path.stem}.events.jsonl")
+        if events_file.is_file():
+            lines = events_file.read_text(encoding="utf-8").splitlines()
+            errors.extend(validate_events(lines))
+            errors.extend(crosscheck_events(lines, payload))
         if errors:
             failures[str(path)] = errors
     return failures
@@ -256,6 +365,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--metrics", default=None, help="metrics snapshot JSON path")
     parser.add_argument("--manifest", default=None, help="run manifest JSON path")
     parser.add_argument(
+        "--events",
+        default=None,
+        metavar="JSONL",
+        help="event log (JSON lines) to validate; with --manifest the "
+        "stream is also cross-checked against the manifest's span tree "
+        "and event summary",
+    )
+    parser.add_argument(
         "--runs",
         default=None,
         metavar="DIR",
@@ -268,24 +385,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="skip the required-scenario-metrics completeness check",
     )
     args = parser.parse_args(argv)
-    if not args.metrics and not args.manifest and not args.runs:
-        parser.error("nothing to validate: pass --metrics, --manifest and/or --runs")
+    if not args.metrics and not args.manifest and not args.runs and not args.events:
+        parser.error(
+            "nothing to validate: pass --metrics, --manifest, --events and/or --runs"
+        )
     errors: list[str] = []
     if args.metrics:
         payload = json.loads(Path(args.metrics).read_text(encoding="utf-8"))
         errors.extend(
             validate_metrics(payload, require_scenario=args.require_scenario)
         )
+    manifest_payload = None
     if args.manifest:
-        payload = json.loads(Path(args.manifest).read_text(encoding="utf-8"))
-        errors.extend(validate_manifest(payload))
+        manifest_payload = json.loads(Path(args.manifest).read_text(encoding="utf-8"))
+        errors.extend(validate_manifest(manifest_payload))
+    if args.events:
+        lines = Path(args.events).read_text(encoding="utf-8").splitlines()
+        errors.extend(validate_events(lines))
+        if manifest_payload is not None:
+            errors.extend(crosscheck_events(lines, manifest_payload))
     if args.runs:
         for path, file_errors in sorted(validate_run_store(args.runs).items()):
             errors.extend(f"{path}: {error}" for error in file_errors)
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
-        checked = [p for p in (args.metrics, args.manifest, args.runs) if p]
+        checked = [
+            p for p in (args.metrics, args.manifest, args.events, args.runs) if p
+        ]
         print(f"ok: {', '.join(checked)} conform to the documented schema")
     return 1 if errors else 0
 

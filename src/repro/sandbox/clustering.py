@@ -214,12 +214,15 @@ def cluster_lsh(
 ) -> BehaviorClustering:
     """Scalable clustering: LSH candidates + exact verification + union-find.
 
-    With a parallel ``executor``, exact-Jaccard verification of the LSH
-    candidate pairs runs chunked across workers.  Cluster assignments
-    are bit-identical on every backend (union order cannot change the
-    connected components); only the ``n_exact_comparisons`` counter
-    differs, because the serial path skips pairs already linked through
-    earlier unions while the parallel path verifies every candidate.
+    With an ``executor`` (any backend), exact-Jaccard verification of
+    the LSH candidate pairs goes through the same chunked
+    ``executor.map`` call, so cluster assignments, the
+    ``n_exact_comparisons`` counter and the chunk-level ``executor.*``
+    telemetry are all identical across serial/thread/process.  Only the
+    executor-less path (``executor=None``) keeps the legacy
+    union-find-aware loop that skips pairs already linked through
+    earlier unions — it verifies fewer pairs, which changes the counter
+    but never the connected components.
     """
     config = config or ClusteringConfig()
     tracer = current_tracer()
@@ -245,7 +248,7 @@ def cluster_lsh(
     uf = _UnionFind(list(range(len(uniques))))
     comparisons = 0
     with tracer.span("lsh.verify") as span:
-        if executor is not None and executor.backend != "serial" and candidates:
+        if executor is not None and candidates:
             verdicts = executor.map(
                 partial(_pair_similar, feature_sets, config.threshold), candidates
             )

@@ -14,20 +14,48 @@ exist:
   :func:`functools.partial` over them).
 
 Determinism contract: ``map`` always returns results in input order, and
-work is split into chunks by *position*, never by completion time.  A
+work is split into chunks by *position* via :func:`plan_chunks` — a pure
+function of the item count, identical on every backend and machine.  A
 stage that is a pure function of its inputs therefore produces
 bit-identical output on every backend — parallelism may never perturb
 the :mod:`repro.util.rng` substream discipline, because no substream is
 ever shared across work items.
+
+Telemetry contract: chunk-level telemetry is also backend-independent.
+Every chunk runs under a :func:`repro.obs.metrics.capture` registry —
+in the caller's thread on the serial path, in the worker otherwise —
+and the captured snapshot rides back with the chunk results, where the
+coordinator merges it (in chunk order) into the ambient registry and
+records ``executor.chunks`` / ``executor.items`` /
+``executor.chunk_seconds``.  Metric totals produced inside mapped
+functions therefore agree exactly across serial, thread and process
+runs; nothing a worker records is dropped.  Events emitted by mapped
+functions reach the ambient :class:`~repro.obs.events.EventBus` too:
+directly on the serial and thread backends (the bus is thread-safe),
+and over a per-``map`` multiprocessing queue on the process backend —
+each pool worker gets a queue-backed bus installed at start-up, and the
+parent drains and re-sequences the forwarded events.
+
+Failure contract: a mapped function raising does not lose telemetry and
+cannot hang the coordinator.  The failing worker flushes what it
+buffered (partial chunk metrics come back with the error; queued events
+were already delivered), the coordinator records an
+``executor.worker_failures`` counter, emits a ``worker.failure`` event,
+finishes draining every outstanding chunk, and re-raises the first
+error in chunk order.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import queue as queue_module
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.util.validation import require
 
@@ -36,6 +64,15 @@ R = TypeVar("R")
 
 #: Recognised executor backend names, in preference order.
 BACKENDS = ("serial", "thread", "process")
+
+#: Upper bound on chunks per ``map`` call.  Deliberately a constant —
+#: never derived from the worker count — so the chunk layout (and with
+#: it every chunk-level metric and event) is a pure function of the
+#: item count, identical across backends and machines.  32 chunks keep
+#: per-chunk submission overhead (pickling, scheduling) low while
+#: smoothing load imbalance for typical core counts; pools with more
+#: than 32 workers are capped at one worker per chunk.
+DEFAULT_CHUNK_COUNT = 32
 
 
 def resolve_jobs(jobs: int = 0) -> int:
@@ -70,38 +107,142 @@ def chunk_evenly(items: Sequence[T], n_chunks: int) -> list[list[T]]:
     return chunks
 
 
-def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> tuple[float, list[R]]:
+def plan_chunks(items: Sequence[T]) -> list[list[T]]:
+    """The canonical chunk layout every backend uses for ``items``."""
+    return chunk_evenly(items, DEFAULT_CHUNK_COUNT)
+
+
+@dataclass
+class _ChunkOutcome:
+    """What one executed chunk sends back to the coordinator."""
+
+    elapsed: float
+    results: list = field(default_factory=list)
+    #: Snapshot (dict form) of metrics recorded inside the chunk, or
+    #: ``None`` when telemetry capture was off.
+    metrics: dict | None = None
+    #: The exception a mapped call raised, or ``None``.  Partial
+    #: ``results``/``metrics`` up to the failure still ride along.
+    error: Exception | None = None
+
+
+def _run_chunk(
+    fn: Callable[[T], R], chunk: list[T], capture_telemetry: bool
+) -> _ChunkOutcome:
     """Apply ``fn`` to one chunk (module-level so process pools can ship it).
 
-    Returns ``(elapsed_seconds, results)`` so the coordinating thread
-    can record per-chunk latency on its own metrics registry — worker
-    processes see only the (no-op) default registry.
+    With ``capture_telemetry`` the chunk runs under a thread-local
+    capture registry; the captured snapshot returns with the results so
+    the coordinator can merge worker-side metrics exactly — this is how
+    telemetry recorded inside worker threads/processes reaches the
+    parent registry instead of being dropped.  Exceptions are caught
+    and returned (never raised here), so partial telemetry survives a
+    mid-chunk failure and the coordinator stays in control.
     """
+    results: list[R] = []
+    error: Exception | None = None
     started = time.perf_counter()
-    results = [fn(item) for item in chunk]
-    return time.perf_counter() - started, results
+    if capture_telemetry:
+        with obs_metrics.capture() as registry:
+            try:
+                for item in chunk:
+                    results.append(fn(item))
+            except Exception as exc:  # re-raised by the coordinator
+                error = exc
+        metrics = registry.snapshot().as_dict()
+    else:
+        metrics = None
+        try:
+            for item in chunk:
+                results.append(fn(item))
+        except Exception as exc:
+            error = exc
+    return _ChunkOutcome(
+        elapsed=time.perf_counter() - started,
+        results=results,
+        metrics=metrics,
+        error=error,
+    )
 
 
-def _record_chunk(backend: str, elapsed: float, n_items: int) -> None:
-    """Feed one executed chunk into the active metrics registry."""
-    registry = obs_metrics.active()
-    registry.counter("executor.chunks", backend=backend).inc()
-    registry.counter("executor.items", backend=backend).inc(n_items)
-    registry.histogram("executor.chunk_seconds", backend=backend).observe(elapsed)
+def _install_worker_bus(queue) -> None:
+    """Process-pool initializer: route worker events into ``queue``.
+
+    Runs once per worker process; every event emitted inside this
+    worker is put on the queue immediately, so the parent sees it even
+    if the worker later fails mid-chunk.
+    """
+    obs_events.activate_bus(
+        obs_events.EventBus([obs_events.QueueTransport(queue)])
+    )
+
+
+def _finish_chunk(
+    backend: str, index: int, n_items: int, outcome: _ChunkOutcome, registry, bus
+) -> None:
+    """Merge one chunk's telemetry into the coordinator's registry/bus.
+
+    The ``executor.*`` metrics are deliberately unlabelled: the chunk
+    plan is backend-independent, so the totals must compare equal
+    across serial/thread/process runs of the same scenario — a labelled
+    key per backend would defeat exactly that check.  The backend still
+    rides on every chunk event for human consumption.
+    """
+    if outcome.metrics is not None:
+        registry.merge_snapshot(outcome.metrics)
+    registry.counter("executor.chunks").inc()
+    registry.counter("executor.items").inc(n_items)
+    registry.histogram("executor.chunk_seconds").observe(outcome.elapsed)
+    bus.emit(
+        "chunk.finish",
+        backend=backend,
+        chunk=index,
+        items=n_items,
+        seconds=round(outcome.elapsed, 6),
+    )
+    if outcome.error is not None:
+        registry.counter("executor.worker_failures").inc()
+        bus.emit(
+            "worker.failure",
+            backend=backend,
+            chunk=index,
+            error=f"{type(outcome.error).__name__}: {outcome.error}",
+        )
+
+
+def _map_inline(
+    backend: str, fn: Callable[[T], R], chunks: list[list[T]], registry, bus
+) -> list[R]:
+    """Run planned chunks in the calling thread (serial / one-worker pools)."""
+    capture = registry.recording
+    results: list[R] = []
+    for index, chunk in enumerate(chunks):
+        outcome = _run_chunk(fn, chunk, capture)
+        _finish_chunk(backend, index, len(chunk), outcome, registry, bus)
+        if outcome.error is not None:
+            raise outcome.error
+        results.extend(outcome.results)
+    return results
 
 
 class SerialExecutor:
-    """The reference backend: a plain in-order loop."""
+    """The reference backend: a plain in-order loop over planned chunks."""
 
     backend = "serial"
     jobs = 1
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        """Apply ``fn`` to every item, in order (recorded as one chunk)."""
+        """Apply ``fn`` to every item, in order, chunk by chunk."""
         items = list(items)
-        elapsed, results = _run_chunk(fn, items)
-        _record_chunk(self.backend, elapsed, len(items))
-        return results
+        chunks = plan_chunks(items)
+        if not chunks:
+            return []
+        registry = obs_metrics.active()
+        bus = obs_events.active_bus()
+        bus.emit(
+            "chunk.plan", backend=self.backend, chunks=len(chunks), items=len(items)
+        )
+        return _map_inline(self.backend, fn, chunks, registry, bus)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
@@ -116,25 +257,72 @@ class _PoolExecutor:
     def __init__(self, jobs: int = 0) -> None:
         self.jobs = resolve_jobs(jobs)
 
-    #: Chunks per worker; >1 smooths load imbalance between chunks while
-    #: keeping per-chunk submission overhead (pickling, scheduling) low.
-    _CHUNKS_PER_JOB = 4
+    def _event_channel(self, bus) -> tuple[object | None, dict]:
+        """Optional worker->parent event queue and pool kwargs to set it up."""
+        return None, {}
+
+    @staticmethod
+    def _drain_events(queue, bus, *, final: bool = False) -> None:
+        """Forward queued worker events onto the coordinator's bus."""
+        if queue is None:
+            return
+        while True:
+            try:
+                payload = queue.get(timeout=0.05) if final else queue.get_nowait()
+            except queue_module.Empty:
+                return
+            bus.forward(payload)
+
+    @staticmethod
+    def _close_channel(queue) -> None:
+        if queue is not None:
+            queue.close()
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item; results come back in input order."""
         items = list(items)
-        if len(items) <= 1 or self.jobs == 1:
-            elapsed, results = _run_chunk(fn, items)
-            _record_chunk(self.backend, elapsed, len(items))
-            return results
-        chunks = chunk_evenly(items, self.jobs * self._CHUNKS_PER_JOB)
-        with self._pool_cls(max_workers=min(self.jobs, len(chunks))) as pool:
-            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-            results: list[R] = []
-            for chunk, future in zip(chunks, futures):  # gather in submission order
-                elapsed, chunk_results = future.result()
-                _record_chunk(self.backend, elapsed, len(chunk))
-                results.extend(chunk_results)
+        chunks = plan_chunks(items)
+        if not chunks:
+            return []
+        registry = obs_metrics.active()
+        bus = obs_events.active_bus()
+        bus.emit(
+            "chunk.plan", backend=self.backend, chunks=len(chunks), items=len(items)
+        )
+        if self.jobs == 1 or len(chunks) == 1:
+            return _map_inline(self.backend, fn, chunks, registry, bus)
+        capture = registry.recording
+        queue, pool_kwargs = self._event_channel(bus)
+        results: list[R] = []
+        first_error: Exception | None = None
+        try:
+            with self._pool_cls(
+                max_workers=min(self.jobs, len(chunks)), **pool_kwargs
+            ) as pool:
+                futures = [
+                    pool.submit(_run_chunk, fn, chunk, capture) for chunk in chunks
+                ]
+                # Gather in submission order: every outstanding chunk is
+                # drained (telemetry included) even after a failure, then
+                # the first error in chunk order is re-raised — a worker
+                # exception can never hang the coordinator or silently
+                # drop another chunk's telemetry.
+                for index, (chunk, future) in enumerate(zip(chunks, futures)):
+                    outcome = future.result()
+                    self._drain_events(queue, bus)
+                    _finish_chunk(
+                        self.backend, index, len(chunk), outcome, registry, bus
+                    )
+                    if outcome.error is not None:
+                        if first_error is None:
+                            first_error = outcome.error
+                    else:
+                        results.extend(outcome.results)
+        finally:
+            self._drain_events(queue, bus, final=True)
+            self._close_channel(queue)
+        if first_error is not None:
+            raise first_error
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -142,17 +330,35 @@ class _PoolExecutor:
 
 
 class ThreadExecutor(_PoolExecutor):
-    """Thread-pool backend; mapped functions may be closures."""
+    """Thread-pool backend; mapped functions may be closures.
+
+    Worker threads share the coordinator's process, so their metric
+    captures use the thread-local seam in :mod:`repro.obs.metrics` and
+    their events go straight to the ambient bus — no queue needed.
+    """
 
     backend = "thread"
     _pool_cls = ThreadPoolExecutor
 
 
 class ProcessExecutor(_PoolExecutor):
-    """Process-pool backend; mapped functions and items must pickle."""
+    """Process-pool backend; mapped functions and items must pickle.
+
+    When the ambient event bus is recording, each ``map`` creates a
+    multiprocessing queue and installs a queue-backed bus in every pool
+    worker (:func:`_install_worker_bus`), so worker-side events are
+    forwarded to the parent and re-sequenced; worker-side metrics ride
+    back with each chunk's results either way.
+    """
 
     backend = "process"
     _pool_cls = ProcessPoolExecutor
+
+    def _event_channel(self, bus) -> tuple[object | None, dict]:
+        if not bus.recording:
+            return None, {}
+        queue = multiprocessing.get_context().Queue()
+        return queue, {"initializer": _install_worker_bus, "initargs": (queue,)}
 
 
 #: Any of the three backends (they share the duck-typed ``map`` API).

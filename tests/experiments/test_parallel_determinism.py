@@ -74,6 +74,36 @@ class TestBackendDeterminism:
             assert {stage.name for stage in run.timings.stages} == expected
             assert run.timings.total > 0
 
+    def test_manifest_digests_and_fingerprint_identical(self, serial_run, parallel_run):
+        assert parallel_run.manifest is not None and serial_run.manifest is not None
+        assert (
+            parallel_run.manifest.artifact_digests
+            == serial_run.manifest.artifact_digests
+        )
+        # executor/jobs are execution-only knobs: same fingerprint
+        assert parallel_run.manifest.fingerprint == serial_run.manifest.fingerprint
+
+    def test_executor_metric_totals_identical(self, serial_run, parallel_run):
+        """The chunk plan is backend-independent and the ``executor.*``
+        counters are unlabelled, so whole-scenario totals must agree
+        exactly — worker-side telemetry is merged, never dropped."""
+
+        def executor_counters(run):
+            return {
+                key: value
+                for key, value in run.metrics.counters.items()
+                if key.startswith("executor.")
+            }
+
+        assert executor_counters(serial_run)  # instrumented at all
+        assert executor_counters(parallel_run) == executor_counters(serial_run)
+
+    def test_chunk_seconds_histogram_counts_identical(self, serial_run, parallel_run):
+        serial_hist = serial_run.metrics.histograms["executor.chunk_seconds"]
+        parallel_hist = parallel_run.metrics.histograms["executor.chunk_seconds"]
+        # values are wall-clock (free to differ); counts are structural
+        assert parallel_hist["count"] == serial_hist["count"] > 0
+
 
 class TestBatchSubmissionEquivalence:
     """submit_batch must be indistinguishable from sequential submit."""

@@ -221,3 +221,110 @@ class TestObsSuite:
         )
         assert "cpu_seconds" in observe["attributes"]
         assert "max_rss_kb" in observe["attributes"]
+
+
+class TestEventStreamCli:
+    """--events/--progress and the obs tail/export/validate surface."""
+
+    @pytest.fixture()
+    def store_dir(self, tmp_path, monkeypatch):
+        runs = tmp_path / "runs"
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(runs))
+        monkeypatch.setenv("REPRO_FIXED_TIME", "2026-08-06T00:00:00Z")
+        return runs
+
+    def test_events_flag_writes_a_valid_tailable_log(self, capsys, tmp_path):
+        from repro.obs.events import read_events
+        from repro.obs.validate import validate_events
+
+        log = tmp_path / "events.jsonl"
+        assert main(["headline", *COMMON, "--events", str(log)]) == 0
+        lines = log.read_text(encoding="utf-8").splitlines()
+        assert validate_events(lines) == []
+        events = read_events(log)
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "run.start" and kinds[-1] == "run.finish"
+        assert "stage.finish" in kinds and "cluster.milestone" in kinds
+        capsys.readouterr()
+        # deterministic replay through the tail subcommand
+        assert main(["obs", "tail", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) == len(events)
+        assert "run.start" in out
+
+    def test_tail_filters_narrow_the_replay(self, capsys, tmp_path):
+        log = tmp_path / "events.jsonl"
+        assert main(["headline", *COMMON, "--events", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "tail", str(log), "--filter", "kind=stage.*",
+                     "--filter", "stage=epm"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines and all("stage.start" in l or "stage.finish" in l for l in lines)
+        assert all("stage=epm" in l for l in lines)
+
+    def test_progress_renders_to_stderr(self, capsys):
+        assert main(["headline", *COMMON, "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[progress] run started" in err
+        assert "[progress] run finished" in err
+        assert "chunks" in err and "eta" in err
+
+    def test_export_prometheus_and_chrome_from_stored_run(
+        self, capsys, store_dir, tmp_path
+    ):
+        import json
+
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        from repro.obs.history import RunStore
+
+        (entry,) = RunStore(store_dir).entries()
+        run_id = entry["run_id"]
+        capsys.readouterr()
+        assert main(["obs", "export", run_id]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_executor_chunks counter" in prom
+        assert "repro_executor_chunks_total" in prom
+        out_path = tmp_path / "trace.json"
+        assert main(["obs", "export", run_id, "--format", "chrome",
+                     "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert any(e["name"] == "bcluster" for e in payload["traceEvents"])
+        capsys.readouterr()
+        assert main(["obs", "export", run_id, "--format", "jsonl"]) == 0
+        samples = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert any(s["name"] == "executor.items" for s in samples)
+
+    def test_validate_events_crosschecks_the_manifest(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        log = tmp_path / "events.jsonl"
+        assert main(["headline", *COMMON, "--events", str(log), "--manifest"]) == 0
+        manifest = next(tmp_path.glob("manifest*.json"))
+        assert main(["obs", "validate", "--events", str(log),
+                     "--manifest", str(manifest)]) == 0
+        # drop a line: the sequence gap and the span crosscheck both fire
+        lines = log.read_text(encoding="utf-8").splitlines()
+        stage_finish = next(i for i, l in enumerate(lines) if "stage.finish" in l)
+        log.write_text("\n".join(lines[:stage_finish] + lines[stage_finish + 1:]) + "\n")
+        capsys.readouterr()
+        assert main(["obs", "validate", "--events", str(log),
+                     "--manifest", str(manifest)]) == 1
+        err = capsys.readouterr().err
+        assert "seq" in err or "stage.finish" in err
+
+    def test_store_run_with_events_enables_event_diff(self, capsys, store_dir, tmp_path):
+        log_a = tmp_path / "a.jsonl"
+        log_b = tmp_path / "b.jsonl"
+        assert main(["headline", *COMMON, "--store-run", "--events", str(log_a)]) == 0
+        assert main(["headline", "--scale", "0.06", "--weeks", "16", "--seed", "6",
+                     "--store-run", "--events", str(log_b)]) == 0
+        from repro.obs.history import RunStore
+
+        ids = [e["run_id"] for e in RunStore(store_dir).entries()]
+        assert all(RunStore(store_dir).load_events(run_id) for run_id in ids)
+        capsys.readouterr()
+        assert main(["obs", "diff", ids[0], ids[1]]) == 1
+        out = capsys.readouterr().out
+        assert "first diverging event" in out
+        assert "seed=5" in out and "seed=6" in out

@@ -1,0 +1,114 @@
+"""Telemetry exporters: Prometheus exposition, JSON-lines, Chrome traces."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    EXPORT_FORMATS,
+    export_payload,
+    jsonl_samples,
+    jsonl_text,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.util.validation import ValidationError
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("executor.items").inc(42)
+    registry.counter("epm.patterns", dimension="mu").inc(7)
+    registry.gauge("executor.jobs", backend="thread").set(4)
+    histogram = registry.histogram("executor.chunk_seconds")
+    for value in (0.002, 0.002, 0.02, 0.7):
+        histogram.observe(value)
+    return registry.snapshot().as_dict()
+
+
+class TestPrometheusText:
+    def test_counters_become_total_with_type_line(self):
+        text = prometheus_text(_snapshot())
+        assert "# TYPE repro_executor_items counter" in text
+        assert "repro_executor_items_total 42" in text
+
+    def test_labels_carry_over(self):
+        text = prometheus_text(_snapshot())
+        assert 'repro_epm_patterns_total{dimension="mu"} 7' in text
+        assert 'repro_executor_jobs{backend="thread"} 4' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        lines = prometheus_text(_snapshot()).splitlines()
+        buckets = [line for line in lines if "_bucket{" in line]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)  # cumulative, never decreasing
+        inf_line = [line for line in buckets if 'le="+Inf"' in line]
+        assert len(inf_line) == 1 and inf_line == [buckets[-1]]
+        assert int(inf_line[0].rsplit(" ", 1)[1]) == 4  # +Inf == observation count
+        assert "repro_executor_chunk_seconds_count 4" in lines
+        sum_line = [line for line in lines if line.startswith("repro_executor_chunk_seconds_sum ")]
+        assert len(sum_line) == 1
+        assert float(sum_line[0].rsplit(" ", 1)[1]) == pytest.approx(0.724)
+
+    def test_output_ends_with_newline_and_is_deterministic(self):
+        assert prometheus_text(_snapshot()).endswith("\n")
+        assert prometheus_text(_snapshot()) == prometheus_text(_snapshot())
+
+    def test_accepts_full_manifest_payload(self):
+        payload = {"metrics": _snapshot(), "span_tree": {"name": "scenario"}}
+        assert "repro_executor_items_total 42" in prometheus_text(payload)
+
+
+class TestJsonlText:
+    def test_every_line_parses_back(self):
+        samples = [json.loads(line) for line in jsonl_text(_snapshot()).splitlines()]
+        assert samples == list(jsonl_samples(_snapshot()))
+
+    def test_samples_cover_all_instruments(self):
+        samples = list(jsonl_samples(_snapshot()))
+        by_type = {}
+        for sample in samples:
+            by_type.setdefault(sample["type"], []).append(sample)
+        assert len(by_type["counter"]) == 2
+        assert len(by_type["gauge"]) == 1
+        assert len(by_type["histogram"]) == 1
+        histogram = by_type["histogram"][0]
+        assert histogram["name"] == "executor.chunk_seconds"
+        assert histogram["count"] == 4
+
+    def test_labels_are_structured_not_rendered(self):
+        samples = list(jsonl_samples(_snapshot()))
+        labelled = [s for s in samples if s["name"] == "epm.patterns"]
+        assert labelled[0]["labels"] == {"dimension": "mu"}
+
+
+class TestExportPayload:
+    def test_dispatch_matches_direct_calls(self):
+        snapshot = _snapshot()
+        assert export_payload(snapshot, "prometheus") == prometheus_text(snapshot)
+        assert export_payload(snapshot, "jsonl") == jsonl_text(snapshot)
+
+    def test_chrome_needs_a_span_tree(self):
+        with pytest.raises(ValidationError):
+            export_payload(_snapshot(), "chrome")
+
+    def test_chrome_export_from_manifest_payload(self):
+        payload = {
+            "metrics": _snapshot(),
+            "span_tree": {
+                "name": "scenario",
+                "seconds": 1.0,
+                "children": [{"name": "observe", "seconds": 0.4, "children": []}],
+            },
+        }
+        trace = json.loads(export_payload(payload, "chrome"))
+        names = {entry.get("name") for entry in trace.get("traceEvents", trace)
+                 if isinstance(entry, dict)}
+        assert "observe" in names
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValidationError):
+            export_payload(_snapshot(), "influx")
+
+    def test_format_tuple_is_the_cli_contract(self):
+        assert EXPORT_FORMATS == ("prometheus", "jsonl", "chrome")

@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.diff import (
     diff_manifests,
+    first_diverging_event,
     first_diverging_stage,
     metric_value,
     render_history,
@@ -299,3 +300,181 @@ class TestHistory:
 
     def test_first_diverging_stage_helper_handles_empty_trees(self):
         assert first_diverging_stage({}, {}) is None
+
+
+def _event_log(*specs):
+    """Build a list of PipelineEvents from (kind, fields) pairs."""
+    from repro.obs.events import PipelineEvent
+
+    return [
+        PipelineEvent(seq=index, t=float(index), kind=kind, fields=dict(fields))
+        for index, (kind, fields) in enumerate(specs)
+    ]
+
+
+class TestStoredEventLogs:
+    """Event-log ingestion into the run store and replay from it."""
+
+    def _log_file(self, tmp_path):
+        # one stage.finish per non-root span of _manifest()'s tree, so
+        # the store validator's events/manifest crosscheck passes
+        events = _event_log(
+            ("run.start", {"seed": 7}),
+            ("stage.start", {"stage": "observe"}),
+            ("stage.finish", {"stage": "observe", "seconds": 1.0}),
+            ("stage.start", {"stage": "epm"}),
+            ("stage.finish", {"stage": "epm", "seconds": 0.3}),
+            ("stage.start", {"stage": "bcluster"}),
+            ("stage.finish", {"stage": "bcluster", "seconds": 0.2}),
+            ("run.finish", {"seconds": 1.5}),
+        )
+        path = tmp_path / "events.jsonl"
+        path.write_text("".join(event.to_json() + "\n" for event in events))
+        return path, events
+
+    def test_add_ingests_and_load_events_replays(self, tmp_path):
+        source, events = self._log_file(tmp_path)
+        store = RunStore(tmp_path / "runs")
+        run_id = store.add(_manifest(), events_path=source)
+        stored = store.load_events(run_id)
+        assert stored is not None
+        assert [event.kind for event in stored] == [event.kind for event in events]
+        assert [event.fields for event in stored] == [event.fields for event in events]
+
+    def test_events_file_lands_next_to_the_manifest(self, tmp_path):
+        source, _events = self._log_file(tmp_path)
+        store = RunStore(tmp_path / "runs")
+        run_id = store.add(_manifest(), events_path=source)
+        target = store.events_path_for(_manifest().fingerprint, run_id)
+        assert target.is_file()
+        assert target.read_text() == source.read_text()
+
+    def test_load_events_none_when_no_log_stored(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        run_id = store.add(_manifest())
+        assert store.load_events(run_id) is None
+
+    def test_store_with_event_logs_validates(self, tmp_path):
+        source, _events = self._log_file(tmp_path)
+        store = RunStore(tmp_path / "runs")
+        store.add(_manifest(), events_path=source)
+        assert validate_run_store(store.root) == {}
+
+    def test_corrupt_stored_log_fails_validation(self, tmp_path):
+        source, _events = self._log_file(tmp_path)
+        store = RunStore(tmp_path / "runs")
+        run_id = store.add(_manifest(), events_path=source)
+        target = store.events_path_for(_manifest().fingerprint, run_id)
+        target.write_text('{"schema": 1, "seq": 5, "kind": "nope", "t": 0.0}\n')
+        failures = validate_run_store(store.root)
+        flat = [error for errors in failures.values() for error in errors]
+        assert any("unknown event kind" in error for error in flat)
+        assert any("seq" in error for error in flat)
+
+
+class TestEventDiff:
+    """Divergence attribution down to the first semantic event."""
+
+    def _baseline(self):
+        return _event_log(
+            ("run.start", {"seed": 7, "executor": "serial"}),
+            ("stage.start", {"stage": "observe", "depth": 1}),
+            ("chunk.finish", {"chunk": 0, "items": 5, "seconds": 0.5, "backend": "serial"}),
+            ("stage.finish", {"stage": "observe", "seconds": 0.5}),
+            ("cluster.milestone", {"perspective": "e", "clusters": 10}),
+            ("run.finish", {"seconds": 1.0}),
+        )
+
+    def test_identical_logs_have_no_divergence(self):
+        assert first_diverging_event(self._baseline(), self._baseline()) is None
+
+    def test_volatile_fields_are_ignored(self):
+        noisy = _event_log(
+            ("run.start", {"seed": 7, "executor": "process"}),
+            ("stage.start", {"stage": "observe", "depth": 1}),
+            ("chunk.finish", {"chunk": 0, "items": 5, "seconds": 9.9, "backend": "process"}),
+            ("stage.finish", {"stage": "observe", "seconds": 9.9}),
+            ("cluster.milestone", {"perspective": "e", "clusters": 10}),
+            ("run.finish", {"seconds": 9.9}),
+        )
+        # seconds/backend/executor are volatile; chunk.finish is not
+        # semantic at all — different wall-clock runs must compare clean
+        assert first_diverging_event(self._baseline(), noisy) is None
+
+    def test_milestone_change_is_attributed(self):
+        changed = _event_log(
+            ("run.start", {"seed": 7, "executor": "serial"}),
+            ("stage.start", {"stage": "observe", "depth": 1}),
+            ("chunk.finish", {"chunk": 0, "items": 5, "seconds": 0.5, "backend": "serial"}),
+            ("stage.finish", {"stage": "observe", "seconds": 0.5}),
+            ("cluster.milestone", {"perspective": "e", "clusters": 11}),
+            ("run.finish", {"seconds": 1.0}),
+        )
+        description = first_diverging_event(self._baseline(), changed)
+        assert description is not None
+        assert "cluster.milestone" in description
+        assert "clusters=10" in description and "clusters=11" in description
+
+    def test_extra_trailing_events_are_reported(self):
+        longer = self._baseline() + _event_log(
+            ("golden.deviation", {"detail": "b_clusters off"})
+        )
+        description = first_diverging_event(self._baseline(), longer)
+        assert description is not None and "candidate" in description
+
+    def test_diff_manifests_carries_event_attribution(self):
+        a = _manifest()
+        b = _manifest(epm_digest="ee" * 32, bcluster_digest="ff" * 32)
+        changed = _event_log(
+            ("run.start", {"seed": 7}),
+            ("cluster.milestone", {"perspective": "e", "clusters": 11}),
+        )
+        baseline = _event_log(
+            ("run.start", {"seed": 7}),
+            ("cluster.milestone", {"perspective": "e", "clusters": 10}),
+        )
+        diff = diff_manifests(a, b, events_a=baseline, events_b=changed)
+        assert diff.first_diverging_event is not None
+        assert "cluster.milestone" in diff.first_diverging_event
+        assert "first diverging event" in diff.render()
+
+    def test_no_event_attribution_without_logs(self):
+        a = _manifest()
+        b = _manifest(epm_digest="ee" * 32)
+        assert diff_manifests(a, b).first_diverging_event is None
+
+
+class TestHistogramQuantileHistory:
+    def test_metric_value_quantile_mode(self):
+        manifest = _manifest()
+        manifest.metrics["histograms"] = {
+            "executor.chunk_seconds": {
+                "buckets": {"0.001": 0, "0.01": 2, "0.1": 2, "+inf": 0},
+                "count": 4,
+                "sum": 0.1,
+            }
+        }
+        payload = manifest.as_dict()
+        median = metric_value(payload, "executor.chunk_seconds:p50")
+        assert median == pytest.approx(0.01)  # rank falls at the 0.01 bucket edge
+        assert metric_value(payload, "executor.chunk_seconds:p100") == pytest.approx(0.1)
+        assert metric_value(payload, "absent.histogram:p50") is None
+        assert metric_value(payload, "executor.chunk_seconds:p200") is None
+
+    def test_quantile_mode_resolves_unique_labelled_key(self):
+        manifest = _manifest()
+        manifest.metrics["histograms"] = {
+            "io.seconds{op=read}": {
+                "buckets": {"1.0": 4, "+inf": 0}, "count": 4, "sum": 2.0,
+            }
+        }
+        assert metric_value(manifest.as_dict(), "io.seconds:p50") is not None
+
+    def test_quantile_mode_refuses_ambiguous_labels(self):
+        manifest = _manifest()
+        histogram = {"buckets": {"1.0": 4, "+inf": 0}, "count": 4, "sum": 2.0}
+        manifest.metrics["histograms"] = {
+            "io.seconds{op=read}": dict(histogram),
+            "io.seconds{op=write}": dict(histogram),
+        }
+        assert metric_value(manifest.as_dict(), "io.seconds:p50") is None

@@ -39,6 +39,7 @@ class TestRunManifest:
             "metrics",
             "artifact_digests",
             "golden_deviations",
+            "event_summary",
         }
         assert payload["schema"] == MANIFEST_SCHEMA
 

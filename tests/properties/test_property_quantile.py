@@ -1,0 +1,92 @@
+"""Hypothesis property tests for histogram quantile estimation."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, quantile_from_payload
+
+BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+quantiles = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def _filled(values):
+    histogram = Histogram(BUCKETS)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+class TestQuantileProperties:
+    @given(observations, quantiles)
+    @settings(max_examples=200, deadline=None)
+    def test_estimate_is_within_the_bucket_range(self, values, q):
+        estimate = _filled(values).quantile(q)
+        assert estimate is not None
+        assert 0.0 <= estimate <= BUCKETS[-1]
+
+    @given(observations, quantiles, quantiles)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_q(self, values, q1, q2):
+        histogram = _filled(values)
+        low, high = sorted((q1, q2))
+        assert histogram.quantile(low) <= histogram.quantile(high)
+
+    @given(observations, quantiles)
+    @settings(max_examples=200, deadline=None)
+    def test_estimate_within_one_bucket_of_exact(self, values, q):
+        """The estimate lands in (or adjacent to) the exact value's bucket.
+
+        The estimator interpolates inside the bucket holding the
+        ``ceil(q * n)``-th observation, so its value can differ from the
+        exact order statistic only within that bucket (or touch its
+        lower edge) — bucket resolution is the promised accuracy.
+        """
+        histogram = _filled(values)
+        estimate = histogram.quantile(q)
+        ordered = sorted(values)
+        rank = q * len(ordered)
+        exact = ordered[max(0, min(len(ordered) - 1, math.ceil(rank) - 1))]
+
+        # bucket index of a value: first bound >= value (overflow clamps
+        # to the last finite bucket, the Prometheus reporting convention)
+        def bucket_of(value):
+            for index, bound in enumerate(BUCKETS):
+                if value <= bound:
+                    return index
+            return len(BUCKETS) - 1
+
+        assert abs(bucket_of(estimate) - bucket_of(exact)) <= 1
+
+    @given(observations, quantiles)
+    @settings(max_examples=100, deadline=None)
+    def test_payload_form_agrees_with_live_instrument(self, values, q):
+        histogram = _filled(values)
+        assert quantile_from_payload(histogram.as_dict(), q) == histogram.quantile(q)
+
+    @given(quantiles)
+    @settings(max_examples=30, deadline=None)
+    def test_empty_histogram_has_no_quantile(self, q):
+        assert Histogram(BUCKETS).quantile(q) is None
+        assert quantile_from_payload(Histogram(BUCKETS).as_dict(), q) is None
+
+    @given(observations)
+    @settings(max_examples=100, deadline=None)
+    def test_extremes_bracket_the_midpoint(self, values):
+        histogram = _filled(values)
+        assert histogram.quantile(0.0) <= histogram.quantile(0.5) <= histogram.quantile(1.0)
+
+    @given(st.lists(st.floats(min_value=20.0, max_value=50.0, allow_nan=False),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_overflow_only_reports_highest_finite_bound(self, values):
+        # all observations land past the last bucket: Prometheus convention
+        histogram = _filled(values)
+        assert histogram.quantile(0.5) == BUCKETS[-1]
