@@ -34,7 +34,9 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.cache import ScenarioCache
+from repro.experiments.perf_gate import expected_matrix
 from repro.experiments.scenario import PaperScenario, ScenarioConfig, ScenarioRun
+from repro.experiments.stages import STAGE_NAMES
 from repro.util.clock import timestamp
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -54,7 +56,12 @@ def _write_bench_json(run: ScenarioRun, wall_seconds: float, cache_hit: bool) ->
     counts = run.headline()
     build_seconds = run.timings.total
     record = {
-        "schema": 2,
+        # 3: added the stage_cache section — the session run's per-stage
+        #    dispositions plus the expected hit/miss matrix of the CI
+        #    perf gate (repro.experiments.perf_gate), derived from the
+        #    stage DAG at record time.  A DAG change without a
+        #    regenerated record fails the gate.
+        "schema": 3,
         # Injectable clock (repro.util.clock): pin with REPRO_FIXED_TIME
         # for byte-stable records under tests/CI.
         "generated_at": timestamp(),
@@ -84,6 +91,11 @@ def _write_bench_json(run: ScenarioRun, wall_seconds: float, cache_hit: bool) ->
         },
         # Per-layer counter/gauge/histogram snapshot of the build.
         "metrics": run.metrics.as_dict() if run.metrics is not None else {},
+        "stage_cache": {
+            "statuses": run.stage_cache
+            or {name: "off" for name in STAGE_NAMES},
+            "gate_matrix": expected_matrix(),
+        },
     }
     path = RESULTS_DIR / "BENCH_pipeline.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")

@@ -6,14 +6,13 @@ analysed sample), the end-to-end event pipeline rate, and a
 reduced-scale end-to-end smoke run (the CI benchmark).
 """
 
+from repro.experiments.catalog import allaple_behavior
+from repro.experiments.scenario import small_scenario
 from repro.peformat.builder import build_pe
 from repro.peformat.parser import parse_pe
 from repro.peformat.structures import PESpec
 from repro.sandbox.environment import Environment
 from repro.sandbox.execution import Sandbox
-
-from repro.experiments.catalog import allaple_behavior
-from repro.experiments.scenario import small_scenario
 
 
 def test_bench_pe_build(benchmark):

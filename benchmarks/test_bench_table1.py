@@ -5,7 +5,6 @@ dimension — the heaviest of the three — and the report prints the full
 paper-vs-measured table across all dimensions.
 """
 
-from repro.core.epm import EPMClustering
 from repro.core.features import mu_features
 from repro.core.invariants import discover_invariants
 from repro.experiments.drivers import table1

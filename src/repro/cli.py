@@ -16,8 +16,12 @@
 All commands accept ``--seed`` (default 2010), ``--scale`` (default 1.0)
 and ``--weeks`` (default 74), plus ``--executor {serial,thread,process}``
 and ``--jobs N`` to pick the parallel backend, ``--timings`` to print
-the per-stage trace tree, and ``--cache`` to reuse a previously built
-scenario from the artifact cache.
+the per-stage trace tree, and ``--cache`` / ``--no-cache`` to reuse a
+previously built scenario from the artifact cache.  With ``--cache``
+the per-stage artifact store is on too (``--no-cache-stages`` turns it
+off): a whole-run miss replays every pipeline stage whose
+content-addressed fingerprint is already stored and recomputes only
+from the first invalidated stage down.
 
 Observability flags: ``--log-level {debug,info,warning,error}`` and
 ``--log-json PATH`` control the structured logger, ``--metrics-out
@@ -30,6 +34,12 @@ longitudinal run store (``results/runs`` or ``$REPRO_RUNS_DIR``),
 chunk completions, cache interactions, cluster milestones) to a
 tailable JSON-lines file, and ``--progress`` renders live per-stage
 progress with an ETA to stderr.
+
+The artifact caches live under ``repro cache``::
+
+    python -m repro cache ls                    # stored artifacts, both layers
+    python -m repro cache gc                    # drop stale stage artifacts
+    python -m repro cache explain --weeks 8     # hit/miss forecast + causes
 
 The longitudinal toolkit lives under ``repro obs``::
 
@@ -110,9 +120,18 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--cache",
-            action="store_true",
+            action=argparse.BooleanOptionalAction,
+            default=False,
             help="load/store the built scenario in the artifact cache "
             "($REPRO_CACHE_DIR or ~/.cache/repro/scenarios)",
+        )
+        p.add_argument(
+            "--cache-stages",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="with --cache: also replay/store per-stage artifacts, so "
+            "a config change recomputes only the invalidated stages "
+            "(--no-cache-stages limits caching to whole runs)",
         )
         p.add_argument(
             "--log-level",
@@ -183,6 +202,48 @@ def _build_parser() -> argparse.ArgumentParser:
     evasion_p.add_argument("--seed", type=int, default=2010)
     evasion_p.add_argument("--variants", type=int, default=10)
     evasion_p.add_argument("--weeks", type=int, default=12)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect the whole-run and per-stage artifact caches"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_root(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--root",
+            metavar="DIR",
+            default=None,
+            help="cache root (default $REPRO_CACHE_DIR or "
+            "~/.cache/repro/scenarios; stage artifacts live under "
+            "<root>/stages)",
+        )
+
+    cache_ls_p = cache_sub.add_parser(
+        "ls", help="list stored whole-run and per-stage artifacts"
+    )
+    add_cache_root(cache_ls_p)
+
+    cache_gc_p = cache_sub.add_parser(
+        "gc",
+        help="remove stale stage artifacts (interrupted writes, orphaned "
+        "sidecars, superseded cache formats)",
+    )
+    add_cache_root(cache_gc_p)
+    cache_gc_p.add_argument(
+        "--clear",
+        action="store_true",
+        help="remove every cached artifact, stale or not",
+    )
+
+    cache_explain_p = cache_sub.add_parser(
+        "explain",
+        help="per-stage hit/miss forecast for a (seed, config), naming "
+        "the config key that invalidated each missing stage",
+    )
+    add_cache_root(cache_explain_p)
+    cache_explain_p.add_argument("--seed", type=int, default=2010)
+    cache_explain_p.add_argument("--scale", type=float, default=1.0)
+    cache_explain_p.add_argument("--weeks", type=int, default=74)
 
     obs_p = sub.add_parser(
         "obs", help="longitudinal observability: run store, diffs, profiles"
@@ -350,9 +411,10 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
     try:
         with obs_metrics.use(registry), obs_events.use_bus(bus):
             if args.cache:
-                from repro.experiments.cache import cached_run
+                from repro.experiments.cache import StageStore, cached_run
 
-                run = cached_run(args.seed, config)
+                stage_store = StageStore() if args.cache_stages else None
+                run = cached_run(args.seed, config, stage_store=stage_store)
             else:
                 run = PaperScenario(seed=args.seed, config=config).run()
     finally:
@@ -419,6 +481,43 @@ def _load_manifest_payload(store, ref: str) -> dict:
     import json
 
     return json.loads(store.resolve(ref).read_text(encoding="utf-8"))
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import (
+        ScenarioCache,
+        StageStore,
+        explain_stages,
+        render_explanations,
+    )
+
+    root = Path(args.root) if args.root else None
+    cache = ScenarioCache(root)
+    store = StageStore(root / "stages" if root is not None else None)
+
+    if args.cache_command == "ls":
+        runs = cache.entries()
+        print(f"whole-run cache ({cache.root}): {len(runs)} entry(ies)")
+        for fingerprint, size in runs:
+            print(f"  {fingerprint[:16]}  {size / 1e6:8.2f} MB")
+        artifacts = store.entries()
+        print(f"stage store ({store.root}): {len(artifacts)} artifact(s)")
+        for stage, fingerprint, size in artifacts:
+            print(f"  {stage:<12} {fingerprint[:16]}  {size / 1e6:8.2f} MB")
+        return 0
+    if args.cache_command == "gc":
+        removed, reclaimed = store.gc(clear=args.clear)
+        if args.clear:
+            for _fingerprint, size in cache.entries():
+                reclaimed += size
+            removed += cache.clear()
+        print(f"removed {removed} file(s), reclaimed {reclaimed / 1e6:.2f} MB")
+        return 0
+    if args.cache_command == "explain":
+        config = ScenarioConfig(n_weeks=args.weeks, scale=args.scale)
+        print(render_explanations(explain_stages(args.seed, config, store)))
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -536,6 +635,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "evasion":
         print(_cmd_evasion(args))
         return 0
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "obs":
         return _cmd_obs(args)
 

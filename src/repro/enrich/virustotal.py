@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.egpm.events import GroundTruth
-from repro.util.rng import spawn_rng
 from repro.util.hashing import stable_hash64
+from repro.util.rng import spawn_rng
 from repro.util.validation import require, require_probability
 
 _GENERIC_LABELS = ("Trojan.Generic", "W32.Malware.Gen", "Suspicious.Heuristic")

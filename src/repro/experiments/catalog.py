@@ -49,7 +49,7 @@ from repro.malware.propagation import (
     rand,
 )
 from repro.net.address import Subnet
-from repro.net.sampling import SubnetConcentratedSampler, UniformSampler
+from repro.net.sampling import UniformSampler
 from repro.peformat.structures import PESpec, SectionSpec
 from repro.peformat.structures import (
     SCN_CODE,

@@ -24,8 +24,13 @@ from dataclasses import dataclass
 from repro.analysis.quality import QualityScore, ground_truth_labels, precision_recall
 from repro.core.epm import EPMClustering, EPMResult
 from repro.egpm.dataset import SGNetDataset
+from repro.experiments.catalog import (
+    allaple_behavior,
+    allaple_payload,
+    allaple_pe_spec,
+    asn1_exploit,
+)
 from repro.honeypot.deployment import DeploymentConfig, SGNetDeployment
-from repro.malware.behaviorspec import BehaviorTemplate
 from repro.malware.families import FamilySpec, derive_worm_variants
 from repro.malware.landscape import LandscapeGenerator
 from repro.malware.polymorphism import PolymorphyMode
@@ -34,8 +39,6 @@ from repro.malware.propagation import PropagationSpec
 from repro.net.sampling import UniformSampler
 from repro.util.rng import RandomSource
 from repro.util.timegrid import WEEK_SECONDS, TimeGrid
-
-from repro.experiments.catalog import allaple_behavior, allaple_payload, allaple_pe_spec, asn1_exploit
 
 
 @dataclass

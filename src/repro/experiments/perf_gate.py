@@ -1,0 +1,245 @@
+"""CI performance gate over the incremental stage DAG.
+
+The gate runs the reduced-scale scenario three times against one fresh
+stage store — cold, warm, and with a perturbed LSH clustering config —
+and checks each run's cache dispositions against the expected matrix:
+
+* **cold** — nothing stored yet, every stage must be a ``miss``;
+* **warm** — identical ``(seed, config)``, every stage must replay
+  (``hit``) and the artifact digests must match the cold run
+  byte-for-byte;
+* **perturbed** — only ``clustering`` changed, so exactly the stages
+  downstream of ``bcluster`` may recompute; a partially-warm run that
+  recomputes a stage it should have replayed **fails the gate** (the
+  incremental engine silently lost its value), as does one that
+  replays a stage it should have recomputed (stale artifacts).
+
+Wall-clock numbers are *report-only*: the gate prints the cold run's
+per-stage seconds next to the committed full-scale baseline
+(``results/BENCH_pipeline.json``) for trend-watching, but machines and
+scales differ, so timings never change the exit code.  Only the cache
+matrix and digest identity gate.
+
+Usage (what CI runs)::
+
+    python -m repro.experiments.perf_gate --bench results/BENCH_pipeline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.experiments.stages import STAGE_NAMES, downstream_of
+
+#: The perturbation scenario's label in the expected matrix — the
+#: config key whose change must invalidate ``bcluster`` and nothing
+#: else.
+PERTURB_KEY = "clustering"
+
+
+def expected_matrix() -> dict[str, dict[str, list[str]]]:
+    """Expected hit/miss partition per gate scenario, from the DAG."""
+    invalidated = downstream_of("bcluster")
+    return {
+        "cold": {"hit": [], "miss": list(STAGE_NAMES)},
+        "warm": {"hit": list(STAGE_NAMES), "miss": []},
+        f"perturb:{PERTURB_KEY}": {
+            "hit": [name for name in STAGE_NAMES if name not in invalidated],
+            "miss": [name for name in STAGE_NAMES if name in invalidated],
+        },
+    }
+
+
+def observed_partition(statuses: Mapping[str, str]) -> dict[str, list[str]]:
+    """One run's ``stage_cache`` reduced to the matrix shape."""
+    return {
+        "hit": [name for name in STAGE_NAMES if statuses.get(name) == "hit"],
+        "miss": [name for name in STAGE_NAMES if statuses.get(name) == "miss"],
+    }
+
+
+def check_run(
+    label: str,
+    statuses: Mapping[str, str],
+    expected: Mapping[str, Sequence[str]],
+) -> list[str]:
+    """Violations of one gate run against its expected partition."""
+    errors: list[str] = []
+    observed = observed_partition(statuses)
+    for name in expected.get("hit", []):
+        if name not in observed["hit"]:
+            errors.append(
+                f"{label}: stage {name!r} was recomputed "
+                f"({statuses.get(name)!r}) but should have replayed from "
+                "the stage store"
+            )
+    for name in expected.get("miss", []):
+        if name not in observed["miss"]:
+            errors.append(
+                f"{label}: stage {name!r} was {statuses.get(name)!r} but "
+                "should have been recomputed (stale replay risk)"
+            )
+    return errors
+
+
+def _timing_report(
+    cold_seconds: Mapping[str, float], baseline: Mapping | None
+) -> str:
+    """Report-only wall-clock table: gate run vs committed baseline."""
+    baseline_seconds = (baseline or {}).get("stage_seconds", {})
+    lines = ["wall-clock (report-only; never gates):"]
+    lines.append(
+        f"  {'stage':<12} {'gate run':>10}   {'baseline (full scale)':>22}"
+    )
+    for name in STAGE_NAMES:
+        base = baseline_seconds.get(name)
+        rendered = f"{base:>20.3f}s" if isinstance(base, (int, float)) else f"{'n/a':>21}"
+        lines.append(f"  {name:<12} {cold_seconds.get(name, 0.0):>9.3f}s   {rendered}")
+    return "\n".join(lines)
+
+
+def run_gate(
+    *,
+    bench_path: str | Path | None = None,
+    seed: int = 7,
+    scale: float = 0.05,
+    weeks: int = 8,
+    store_root: str | Path | None = None,
+    report_path: str | Path | None = None,
+    out=None,
+) -> int:
+    """Execute the gate matrix; returns the process exit code."""
+    from repro.experiments.cache import StageStore
+    from repro.experiments.scenario import PaperScenario, ScenarioConfig
+    from repro.sandbox.clustering import ClusteringConfig
+
+    out = out or sys.stdout
+    baseline = None
+    if bench_path is not None and Path(bench_path).is_file():
+        baseline = json.loads(Path(bench_path).read_text(encoding="utf-8"))
+    # The committed record's matrix wins when present (so a DAG change
+    # without a regenerated baseline fails loudly); missing scenarios
+    # fall back to the matrix derived from the live DAG.
+    recorded = (baseline or {}).get("stage_cache", {}).get("gate_matrix") or {}
+    expected = {**expected_matrix(), **recorded}
+
+    config = ScenarioConfig(n_weeks=weeks, scale=scale)
+    perturbed = replace(
+        config,
+        clustering=replace(ClusteringConfig(), threshold=0.5),
+    )
+
+    errors: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = StageStore(store_root if store_root is not None else tmp)
+        started = time.perf_counter()
+        cold = PaperScenario(seed=seed, config=config).run(stage_store=store)
+        cold_wall = time.perf_counter() - started
+        errors += check_run("cold", cold.stage_cache, expected["cold"])
+
+        warm = PaperScenario(seed=seed, config=config).run(stage_store=store)
+        errors += check_run("warm", warm.stage_cache, expected["warm"])
+        if warm.manifest.artifact_digests != cold.manifest.artifact_digests:
+            errors.append(
+                "warm: artifact digests diverged from the cold run — "
+                "replayed artifacts are not bit-identical"
+            )
+
+        part = PaperScenario(seed=seed, config=perturbed).run(stage_store=store)
+        errors += check_run(
+            f"perturb:{PERTURB_KEY}",
+            part.stage_cache,
+            expected[f"perturb:{PERTURB_KEY}"],
+        )
+        # Upstream of the perturbation nothing changed, so the shared
+        # artifacts must still be byte-identical to the cold run.
+        for artifact in ("dataset.events", "epm.clusters"):
+            if (
+                part.manifest.artifact_digests[artifact]
+                != cold.manifest.artifact_digests[artifact]
+            ):
+                errors.append(
+                    f"perturb:{PERTURB_KEY}: shared artifact {artifact!r} "
+                    "diverged from the cold run"
+                )
+
+    runs = (("cold", cold), ("warm", warm), (f"perturb:{PERTURB_KEY}", part))
+    for label, run in runs:
+        print(f"{label:<22} {observed_partition(run.stage_cache)}", file=out)
+    if report_path is not None:
+        report = {
+            "schema": 1,
+            "seed": seed,
+            "scale": scale,
+            "weeks": weeks,
+            "expected": expected,
+            "observed": {label: observed_partition(run.stage_cache) for label, run in runs},
+            "cold_stage_seconds": cold.timings.as_dict(),
+            "cold_wall_seconds": cold_wall,
+            "violations": errors,
+            "ok": not errors,
+        }
+        Path(report_path).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    print(_timing_report(cold.timings.as_dict(), baseline), file=out)
+    print(
+        f"cold gate run: {cold_wall:.2f}s wall at scale {scale} "
+        f"(baseline full-scale build: "
+        f"{(baseline or {}).get('build_total_seconds', 'n/a')}s)",
+        file=out,
+    )
+    if errors:
+        for error in errors:
+            print(f"PERF GATE VIOLATION: {error}", file=out)
+        return 1
+    print("perf gate: cache matrix and artifact identity OK", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.perf_gate",
+        description="cache-matrix + wall-clock perf gate (CI)",
+    )
+    parser.add_argument(
+        "--bench",
+        default="results/BENCH_pipeline.json",
+        help="committed baseline record (schema 3: carries the expected "
+        "gate matrix; wall-clock comparison is report-only)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--weeks", type=int, default=8)
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="stage store root (default: a fresh temp dir per invocation)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="also write a machine-readable JSON gate report here",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(
+        bench_path=args.bench,
+        seed=args.seed,
+        scale=args.scale,
+        weeks=args.weeks,
+        store_root=args.store,
+        report_path=args.report,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -16,15 +16,16 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.core.epm import EPMClustering, EPMResult
+from repro.core.epm import EPMResult
 from repro.core.invariants import InvariantPolicy
 from repro.egpm.dataset import SGNetDataset
 from repro.enrich.pipeline import EnrichmentPipeline
 from repro.enrich.virustotal import VirusTotalService
-from repro.experiments.catalog import Catalog, build_catalog
+from repro.experiments.catalog import Catalog
+from repro.experiments.stages import StageContext, execute_stages
 from repro.honeypot.deployment import DeploymentConfig, SGNetDeployment
-from repro.malware.landscape import LandscapeGenerator
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
@@ -33,12 +34,15 @@ from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.trace import Tracer, TraceSpan, use_tracer
 from repro.sandbox.anubis import AnubisService
 from repro.sandbox.clustering import BehaviorClustering, ClusteringConfig
-from repro.sandbox.execution import Sandbox, SandboxConfig
+from repro.sandbox.execution import SandboxConfig
 from repro.util.parallel import BACKENDS, get_executor
 from repro.util.rng import RandomSource
 from repro.util.timegrid import WEEK_SECONDS, TimeGrid
 from repro.util.timing import StageTimings
 from repro.util.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.cache import StageStore
 
 log = get_logger("experiments.scenario")
 
@@ -110,6 +114,10 @@ class ScenarioRun:
     metrics: MetricsSnapshot | None = None
     #: The run's receipt: fingerprint, span tree, metrics, digests.
     manifest: RunManifest | None = None
+    #: Per-stage cache disposition of the build: stage name ->
+    #: ``"hit"`` (replayed from the stage store), ``"miss"`` (computed
+    #: and stored) or ``"off"`` (computed, no store consulted).
+    stage_cache: dict[str, str] = field(default_factory=dict)
 
     def headline(self) -> dict[str, int]:
         """The §4/§4.1 headline numbers of this run."""
@@ -133,19 +141,35 @@ class PaperScenario:
         self.seed = seed
         self.config = config or ScenarioConfig()
 
-    def run(self) -> ScenarioRun:
+    def run(self, *, stage_store: "StageStore | None" = None) -> ScenarioRun:
         """Execute the full pipeline and return all artifacts.
+
+        The pipeline is the stage DAG of
+        :data:`repro.experiments.stages.STAGES`; with a ``stage_store``
+        every stage whose content-addressed fingerprint is already
+        stored replays from disk, and only stages downstream of the
+        first invalidated dependency recompute — cold, warm and
+        partially-warm runs produce bit-identical artifacts.
 
         The parallelisable stages (sandbox enrichment, E/P/M fits, LSH
         verification) run on the backend named by
         ``config.executor``/``config.jobs``.  The whole build is traced:
         every stage becomes a span in ``run.trace`` (with nested spans
-        from the LSH and enrichment layers), metrics from every
-        instrumented layer land in ``run.metrics``, and ``run.manifest``
-        records the config fingerprint and artifact digests.  If the
-        caller already activated a metrics registry, counters accumulate
-        there; otherwise the run records into its own fresh registry.
+        from the LSH and enrichment layers) carrying its cache
+        disposition, metrics from every instrumented layer land in
+        ``run.metrics``, and ``run.manifest`` records the config
+        fingerprint, per-stage fingerprints and artifact digests.  If
+        the caller already activated a metrics registry, counters
+        accumulate there; otherwise the run records into its own fresh
+        registry.
         """
+        # Deferred import: cache imports this module at top level.
+        from repro.experiments.cache import (
+            StageCacheSession,
+            scenario_fingerprint,
+            stage_fingerprints,
+        )
+
         registry = obs_metrics.active()
         if not registry.recording:
             registry = MetricsRegistry()
@@ -174,6 +198,12 @@ class PaperScenario:
         # cache layer too), so the manifest's event summary is the
         # *delta* emitted by this run, not the session totals.
         counts_before = bus.summary() if bus.recording else {}
+        fingerprints = stage_fingerprints(self.seed, self.config)
+        session = (
+            StageCacheSession(stage_store, self.seed, self.config, fingerprints)
+            if stage_store is not None
+            else None
+        )
         with obs_metrics.use(registry), use_tracer(tracer), obs_events.use_bus(bus):
             bus.emit(
                 "run.start",
@@ -183,84 +213,33 @@ class PaperScenario:
                 executor=self.config.executor,
             )
             executor = get_executor(self.config.executor, self.config.jobs)
-            source = RandomSource(self.seed)
-            grid = TimeGrid(0, self.config.n_weeks * WEEK_SECONDS)
-
-            with tracer.span("deployment") as span:
-                deployment = SGNetDeployment(
-                    source.child("deployment"), self.config.deployment
-                )
-                span.set(sensors=len(deployment.sensors))
-            with tracer.span("catalog") as span:
-                catalog = build_catalog(
-                    source.child("catalog"),
-                    grid,
-                    deployment.sensor_networks,
-                    scale=self.config.scale,
-                )
-                span.set(families=len(catalog.families))
-            with tracer.span("observe") as span:
-                generator = LandscapeGenerator(
-                    catalog.families,
-                    deployment.sensor_addresses,
-                    grid,
-                    source.child("landscape"),
-                )
-                dataset = deployment.observe(generator)
-                span.set(events=len(dataset), samples=dataset.n_samples)
-                log.debug("observation done", extra={"events": len(dataset)})
-
-            sandbox = Sandbox(catalog.environment, self.config.sandbox)
-            anubis = AnubisService(sandbox)
-            virustotal = VirusTotalService()
-            enrichment = EnrichmentPipeline(anubis, virustotal)
-            with tracer.span("enrich") as span:
-                enrichment.enrich(dataset, executor=executor)
-                span.set(**enrichment.stats())
-
-            with tracer.span("epm") as span:
-                epm = EPMClustering(policy=self.config.invariant_policy).fit(
-                    dataset, executor=executor
-                )
-                counts = epm.counts()
-                span.set(**counts)
-                for perspective in ("e", "p", "m"):
-                    bus.emit(
-                        "cluster.milestone",
-                        perspective=perspective,
-                        clusters=counts[f"{perspective}_clusters"],
-                    )
-            with tracer.span("bcluster") as span:
-                bclusters = anubis.cluster(self.config.clustering, executor=executor)
-                span.set(
-                    clusters=bclusters.n_clusters,
-                    candidate_pairs=bclusters.n_candidate_pairs,
-                )
-                bus.emit(
-                    "cluster.milestone",
-                    perspective="b",
-                    clusters=bclusters.n_clusters,
-                )
+            ctx = StageContext(
+                seed=self.seed,
+                config=self.config,
+                grid=TimeGrid(0, self.config.n_weeks * WEEK_SECONDS),
+                source=RandomSource(self.seed),
+                executor=executor,
+            )
+            stage_cache = execute_stages(ctx, tracer, session=session)
 
         root = tracer.finish()
         run = ScenarioRun(
             config=self.config,
             seed=self.seed,
-            grid=grid,
-            catalog=catalog,
-            deployment=deployment,
-            dataset=dataset,
-            anubis=anubis,
-            virustotal=virustotal,
-            enrichment=enrichment,
-            epm=epm,
-            bclusters=bclusters,
+            grid=ctx.grid,
+            catalog=ctx["catalog"],
+            deployment=ctx["deployment"],
+            dataset=ctx["dataset"],
+            anubis=ctx["anubis"],
+            virustotal=ctx["virustotal"],
+            enrichment=ctx["enrichment"],
+            epm=ctx["epm"],
+            bclusters=ctx["bclusters"],
             timings=root.stage_timings(),
             trace=root,
             metrics=registry.snapshot(),
+            stage_cache=stage_cache,
         )
-        # Deferred import: cache imports this module at top level.
-        from repro.experiments.cache import scenario_fingerprint
         from repro.experiments.regression import check_headline
 
         headline = run.headline()
@@ -278,6 +257,7 @@ class PaperScenario:
             run,
             fingerprint=scenario_fingerprint(self.seed, self.config),
             events=event_summary,
+            stages=fingerprints,
         )
         if owns_bus:
             bus.close()

@@ -22,7 +22,7 @@ from typing import Mapping, Sequence
 from repro.egpm.dataset import SGNetDataset
 from repro.sandbox.anubis import AnubisService
 from repro.sandbox.behavior import BehaviorProfile
-from repro.sandbox.clustering import ClusteringConfig, cluster_exact, cluster_lsh
+from repro.sandbox.clustering import ClusteringConfig, cluster_exact
 from repro.sandbox.environment import Environment
 from repro.sandbox.execution import Sandbox, SandboxConfig
 from repro.sandbox.lsh import LSHIndex, MinHasher

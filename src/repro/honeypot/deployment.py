@@ -26,9 +26,9 @@ from repro.honeypot.sensor import HoneypotSensor
 from repro.honeypot.shellcode import ShellcodeAnalyzer, ShellcodeConfig
 from repro.malware.background import BackgroundProbe
 from repro.malware.landscape import AttackAttempt
-from repro.obs import metrics as obs_metrics
 from repro.net.address import IPv4Address
 from repro.net.sampling import UniformSampler
+from repro.obs import metrics as obs_metrics
 from repro.peformat.magic import magic_type
 from repro.peformat.parser import parse_pe
 from repro.peformat.structures import PEFormatError

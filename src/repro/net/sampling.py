@@ -43,7 +43,9 @@ class AddressSampler(ABC):
         require(count >= 0, "count must be >= 0")
         return [self.sample(rng) for _ in range(count)]
 
-    def sample_distinct(self, rng: random.Random, count: int, *, max_tries: int = 50) -> list[IPv4Address]:
+    def sample_distinct(
+        self, rng: random.Random, count: int, *, max_tries: int = 50
+    ) -> list[IPv4Address]:
         """Draw ``count`` distinct addresses; raises if the space is too small."""
         seen: set[int] = set()
         out: list[IPv4Address] = []

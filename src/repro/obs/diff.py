@@ -12,7 +12,11 @@ three axes a refactor can regress on:
   (histograms hold wall-clock latencies and are skipped by design);
 * **timings** — per-stage wall-time ratios against a configurable
   tolerance band.  Timing regressions never fail a diff by default
-  (machines differ); callers opt in via ``fail_on_timing``.
+  (machines differ); callers opt in via ``fail_on_timing``.  Stages
+  whose cache disposition differs between the runs (one replayed from
+  the stage store, the other computed — schema >= 4 manifests) are
+  annotated but never flagged: replay milliseconds are not comparable
+  to compute seconds.
 
 A diff also reports *new* golden-headline deviations: deviations
 present in run B but not in run A.  Comparing against a committed
@@ -75,16 +79,31 @@ def _payload(manifest: RunManifest | Mapping) -> dict:
 
 @dataclass(frozen=True)
 class TimingDelta:
-    """One stage's wall time in both runs."""
+    """One stage's wall time in both runs.
+
+    ``cache_a``/``cache_b`` carry the stage's cache disposition
+    (``hit``/``miss``/``off``, schema >= 4) in each run when recorded.
+    A replayed stage loads a pickle in milliseconds while a computed
+    one runs for seconds, so a timing comparison across different
+    dispositions is meaningless — such deltas are never flagged as
+    regressions, only annotated.
+    """
 
     stage: str
     seconds_a: float
     seconds_b: float
     regression: bool
+    cache_a: str | None = None
+    cache_b: str | None = None
 
     @property
     def ratio(self) -> float:
         return self.seconds_b / self.seconds_a if self.seconds_a else float("inf")
+
+    @property
+    def comparable(self) -> bool:
+        """Whether both runs built this stage the same way."""
+        return self.cache_a == self.cache_b
 
 
 @dataclass
@@ -151,6 +170,11 @@ class ManifestDiff:
             lines.append("stage timings:")
             for delta in self.timing_deltas:
                 flag = "  REGRESSION" if delta.regression else ""
+                if not delta.comparable:
+                    flag = (
+                        f"  [cache {delta.cache_a or '?'} -> "
+                        f"{delta.cache_b or '?'}: not compared]"
+                    )
                 lines.append(
                     f"  {delta.stage:<12} {delta.seconds_a:8.3f}s -> "
                     f"{delta.seconds_b:8.3f}s ({delta.ratio:5.2f}x){flag}"
@@ -262,6 +286,16 @@ def _stage_seconds(tree: Mapping) -> dict[str, float]:
     }
 
 
+def _stage_cache(tree: Mapping) -> dict[str, str]:
+    """Direct-child stage cache dispositions (schema >= 4 manifests)."""
+    out: dict[str, str] = {}
+    for child in tree.get("children", ()):
+        status = child.get("attributes", {}).get("cache")
+        if isinstance(status, str):
+            out[str(child.get("name", "?"))] = status
+    return out
+
+
 def _scalar_metrics(metrics: Mapping) -> dict[str, float]:
     out: dict[str, float] = {}
     for section in ("counters", "gauges"):
@@ -313,12 +347,17 @@ def diff_manifests(
 
     seconds_a = _stage_seconds(a.get("span_tree", {}))
     seconds_b = _stage_seconds(b.get("span_tree", {}))
+    cache_a = _stage_cache(a.get("span_tree", {}))
+    cache_b = _stage_cache(b.get("span_tree", {}))
     for stage in sorted(set(seconds_a) | set(seconds_b)):
         sa, sb = seconds_a.get(stage, 0.0), seconds_b.get(stage, 0.0)
+        ca, cb = cache_a.get(stage), cache_b.get(stage)
         regression = (
-            sb > sa * timing_tolerance and sb - sa > TIMING_NOISE_FLOOR
+            ca == cb
+            and sb > sa * timing_tolerance
+            and sb - sa > TIMING_NOISE_FLOOR
         )
-        diff.timing_deltas.append(TimingDelta(stage, sa, sb, regression))
+        diff.timing_deltas.append(TimingDelta(stage, sa, sb, regression, ca, cb))
 
     deviations_a = set(a.get("golden_deviations", []))
     diff.new_golden_deviations = [

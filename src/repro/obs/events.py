@@ -62,6 +62,9 @@ EVENT_KINDS = (
     "cache.miss",
     "cache.store",
     "cache.evict",
+    "cache.stage_hit",
+    "cache.stage_miss",
+    "cache.stage_store",
     "cluster.milestone",
     "golden.deviation",
     "worker.failure",

@@ -39,11 +39,14 @@ from repro.util.validation import require
 #: 2: added ``created_at`` (injectable clock) and ``golden_deviations``.
 #: 3: added ``event_summary`` (per-kind counts of the run's live event
 #:    stream, when one was recorded; ``{}`` otherwise).
-MANIFEST_SCHEMA = 3
+#: 4: added ``stage_fingerprints`` (per-stage content addresses of the
+#:    incremental stage DAG) and the per-span ``cache`` attribute
+#:    (``hit``/``miss``/``off``) on pipeline-stage spans.
+MANIFEST_SCHEMA = 4
 
 #: Schemas :meth:`RunManifest.from_dict` still reads (stored runs from
 #: earlier layouts stay loadable; missing fields take their defaults).
-SUPPORTED_MANIFEST_SCHEMAS = (1, 2, 3)
+SUPPORTED_MANIFEST_SCHEMAS = (1, 2, 3, 4)
 
 #: Which span (by name) produced which digested artifact — the walk
 #: order of the cross-run digest diff.  ``headline`` summarises the
@@ -72,6 +75,10 @@ class RunManifest:
     #: Cross-checked against the span tree by ``repro obs validate``:
     #: every non-root span must have produced one ``stage.finish``.
     event_summary: dict[str, int] = field(default_factory=dict)
+    #: Stage name -> content-addressed fingerprint of the incremental
+    #: stage DAG (schema >= 4).  Two manifests agreeing on a stage's
+    #: fingerprint are replayable from the same stage-store artifact.
+    stage_fingerprints: dict[str, str] = field(default_factory=dict)
     schema: int = MANIFEST_SCHEMA
 
     def as_dict(self) -> dict:
@@ -88,6 +95,7 @@ class RunManifest:
             "artifact_digests": dict(sorted(self.artifact_digests.items())),
             "golden_deviations": list(self.golden_deviations),
             "event_summary": dict(sorted(self.event_summary.items())),
+            "stage_fingerprints": dict(sorted(self.stage_fingerprints.items())),
         }
 
     def to_json(self) -> str:
@@ -124,6 +132,12 @@ class RunManifest:
             event_summary={
                 str(kind): int(count)
                 for kind, count in dict(payload.get("event_summary", {})).items()
+            },
+            stage_fingerprints={
+                str(stage): str(fingerprint)
+                for stage, fingerprint in dict(
+                    payload.get("stage_fingerprints", {})
+                ).items()
             },
             schema=int(payload["schema"]),
         )
@@ -179,16 +193,23 @@ def annotate_stage_digests(trace, digests: Mapping[str, str]) -> None:
             span.set(output_digest=digests[artifact])
 
 
-def build_manifest(run, *, fingerprint: str, events: Mapping[str, int] | None = None) -> RunManifest:
+def build_manifest(
+    run,
+    *,
+    fingerprint: str,
+    events: Mapping[str, int] | None = None,
+    stages: Mapping[str, str] | None = None,
+) -> RunManifest:
     """Assemble the manifest of a finished scenario run.
 
     ``fingerprint`` is supplied by the caller (the scenario layer owns
     the fingerprint function) so this module stays independent of
-    :mod:`repro.experiments`.  ``events`` is the per-kind count summary
-    of the run's live event stream (``EventBus.summary()``) when one
-    was recorded.  The golden-headline check is the one deliberate
-    upward reference — deferred and optional, so the obs layer still
-    imports standalone.
+    :mod:`repro.experiments`; ``stages`` is the matching per-stage
+    fingerprint map of the incremental stage DAG.  ``events`` is the
+    per-kind count summary of the run's live event stream
+    (``EventBus.summary()``) when one was recorded.  The
+    golden-headline check is the one deliberate upward reference —
+    deferred and optional, so the obs layer still imports standalone.
     """
     import repro
 
@@ -211,4 +232,5 @@ def build_manifest(run, *, fingerprint: str, events: Mapping[str, int] | None = 
         created_at=timestamp(),
         golden_deviations=golden_deviations,
         event_summary=dict(events) if events else {},
+        stage_fingerprints=dict(stages) if stages else {},
     )

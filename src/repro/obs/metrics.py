@@ -458,7 +458,9 @@ def activate(
 
 
 @contextmanager
-def use(registry: MetricsRegistry | NullMetricsRegistry) -> Iterator[MetricsRegistry | NullMetricsRegistry]:
+def use(
+    registry: MetricsRegistry | NullMetricsRegistry,
+) -> Iterator[MetricsRegistry | NullMetricsRegistry]:
     """Activate ``registry`` for the duration of the block."""
     previous = activate(registry)
     try:

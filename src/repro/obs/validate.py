@@ -46,11 +46,15 @@ METRIC_CATALOGUE: dict[str, str] = {
     "lsh.candidate_pairs": "counter",
     "lsh.pairs_verified": "counter",
     "lsh.clusters": "gauge",
-    # scenario artifact cache
+    # scenario artifact cache (whole-run layer)
     "cache.hit": "counter",
     "cache.miss": "counter",
     "cache.evict": "counter",
     "cache.store": "counter",
+    # incremental stage store (labelled by stage=<pipeline stage>)
+    "cache.stage_hit": "counter",
+    "cache.stage_miss": "counter",
+    "cache.stage_store": "counter",
     # parallel executors.  chunks/items/chunk_seconds/worker_failures
     # are deliberately unlabelled: the chunk plan is backend-independent,
     # so their totals must compare equal across serial/thread/process.
@@ -177,6 +181,50 @@ def validate_manifest(payload: Mapping) -> list[str]:
         ):
             errors.append(
                 "manifest: golden_deviations must be a list of strings (schema >= 2)"
+            )
+    if isinstance(schema, int) and schema >= 4:
+        stages = payload.get("stage_fingerprints")
+        if not isinstance(stages, Mapping):
+            errors.append(
+                "manifest: stage_fingerprints must be a mapping (schema >= 4)"
+            )
+        else:
+            for stage, fingerprint in stages.items():
+                if not (isinstance(fingerprint, str) and len(fingerprint) == 64):
+                    errors.append(
+                        f"manifest: stage fingerprint of {stage!r} is not a "
+                        "64-hex-char string"
+                    )
+        if isinstance(span_tree, Mapping):
+            errors.extend(_check_span_cache_attributes(span_tree))
+    return errors
+
+
+#: Legal values of the per-span ``cache`` attribute (schema >= 4):
+#: replayed from the stage store, recomputed under an active store, or
+#: computed with no store consulted.
+SPAN_CACHE_STATUSES = frozenset({"hit", "miss", "off"})
+
+
+def _check_span_cache_attributes(tree: Mapping) -> list[str]:
+    """Errors for pipeline-stage spans without a valid ``cache`` attribute.
+
+    Schema 4 manifests no longer assume a whole-run cache: every direct
+    child of the root span (the pipeline stages) must say whether it
+    was replayed (``hit``), recomputed (``miss``) or ran cache-less
+    (``off``).  Nested spans (LSH sub-phases, enrichment batches) only
+    exist on computed stages and carry no cache attribute.
+    """
+    errors: list[str] = []
+    for child in tree.get("children", ()):
+        if not isinstance(child, Mapping):
+            continue
+        status = child.get("attributes", {}).get("cache")
+        if status not in SPAN_CACHE_STATUSES:
+            errors.append(
+                f"manifest: stage span {child.get('name')!r} has cache "
+                f"attribute {status!r}, expected one of "
+                f"{sorted(SPAN_CACHE_STATUSES)} (schema >= 4)"
             )
     return errors
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.context import PropagationContext
-from repro.analysis.crossview import CrossView
 from repro.util.validation import ValidationError
 
 

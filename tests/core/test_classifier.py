@@ -1,7 +1,5 @@
 """Tests for dimension-level cluster bookkeeping."""
 
-import pytest
-
 from repro.core.classifier import ClusterInfo, DimensionClustering
 from repro.core.features import Dimension
 from repro.core.invariants import InvariantPolicy, discover_invariants

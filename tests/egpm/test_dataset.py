@@ -3,8 +3,6 @@
 import pytest
 
 from repro.egpm.dataset import SGNetDataset
-from repro.egpm.events import AttackEvent, ExploitObservable
-from repro.net.address import IPv4Address
 from repro.util.validation import ValidationError
 
 from tests.egpm.test_events import make_event

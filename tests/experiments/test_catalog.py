@@ -5,7 +5,6 @@ import pytest
 from repro.experiments.catalog import (
     allaple_behavior,
     allaple_payload,
-    allaple_pe_spec,
     asn1_exploit,
     build_catalog,
     iliketay_behavior,

@@ -1,0 +1,250 @@
+"""The incremental stage DAG: fingerprints, invalidation matrix, replay.
+
+The heart of this module is the parametrised invalidation matrix: for
+every :class:`~repro.experiments.scenario.ScenarioConfig` dependency
+key the DAG declares, perturbing that key (and nothing else) must
+recompute exactly the declaring stage plus everything downstream of it
+— one stage too few means stale artifacts, one too many means the
+incremental engine silently lost its value.  A companion test derives
+the same matrix from the ``STAGES`` declaration itself, so the literal
+table here and the DAG in ``repro.experiments.stages`` cannot drift
+apart unnoticed.
+"""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.core.invariants import InvariantPolicy
+from repro.experiments.cache import (
+    CACHE_FORMAT,
+    StageStore,
+    explain_stages,
+    render_explanations,
+    stage_fingerprints,
+)
+from repro.experiments.scenario import PaperScenario, ScenarioConfig
+from repro.experiments.stages import STAGE_NAMES, STAGES, downstream_of
+from repro.honeypot.deployment import DeploymentConfig
+from repro.sandbox.clustering import ClusteringConfig
+from repro.sandbox.execution import SandboxConfig
+
+SEED = 7
+BASE = ScenarioConfig(
+    n_weeks=8,
+    scale=0.05,
+    deployment=DeploymentConfig(n_networks=6, sensors_per_network=2),
+)
+
+ALL = frozenset(STAGE_NAMES)
+
+
+def _variant(**overrides) -> ScenarioConfig:
+    """``BASE`` with the given fields replaced."""
+    return replace(BASE, **overrides)
+
+
+#: One row per ScenarioConfig dependency key: the perturbed config and
+#: the exact stage set that must recompute.  Mirrors the
+#: ``config_keys`` declarations in :data:`repro.experiments.stages.STAGES`.
+MATRIX = [
+    pytest.param(
+        _variant(deployment=DeploymentConfig(n_networks=5, sensors_per_network=2)),
+        ALL,
+        id="deployment",
+    ),
+    pytest.param(
+        _variant(n_weeks=12),
+        frozenset({"catalog", "observe", "enrich", "epm", "bcluster"}),
+        id="n_weeks",
+    ),
+    pytest.param(
+        _variant(scale=0.08),
+        frozenset({"catalog", "observe", "enrich", "epm", "bcluster"}),
+        id="scale",
+    ),
+    pytest.param(
+        _variant(sandbox=SandboxConfig(noise_multiplier=2.0)),
+        frozenset({"enrich", "epm", "bcluster"}),
+        id="sandbox",
+    ),
+    pytest.param(
+        _variant(invariant_policy=InvariantPolicy(min_instances=5)),
+        frozenset({"epm"}),
+        id="invariant_policy",
+    ),
+    pytest.param(
+        _variant(clustering=ClusteringConfig(threshold=0.5)),
+        frozenset({"bcluster"}),
+        id="clustering",
+    ),
+]
+
+
+def _derived_misses(config: ScenarioConfig) -> frozenset[str]:
+    """Expected miss set from the DAG declaration, not the literal table."""
+    base = stage_fingerprints(SEED, BASE)
+    perturbed = stage_fingerprints(SEED, config)
+    return frozenset(name for name in STAGE_NAMES if base[name] != perturbed[name])
+
+
+class TestStageFingerprints:
+    def test_covers_every_stage_with_sha256(self):
+        fingerprints = stage_fingerprints(SEED, BASE)
+        assert set(fingerprints) == ALL
+        assert all(len(fp) == 64 and int(fp, 16) >= 0 for fp in fingerprints.values())
+
+    def test_seed_rekeys_everything(self):
+        a = stage_fingerprints(SEED, BASE)
+        b = stage_fingerprints(SEED + 1, BASE)
+        assert all(a[name] != b[name] for name in STAGE_NAMES)
+
+    def test_execution_knobs_do_not_rekey_any_stage(self):
+        parallel = _variant(executor="thread", jobs=2, profile=True, progress=True)
+        assert stage_fingerprints(SEED, BASE) == stage_fingerprints(SEED, parallel)
+
+    @pytest.mark.parametrize(("config", "expected_misses"), MATRIX)
+    def test_perturbation_rekeys_exactly_the_expected_stages(
+        self, config, expected_misses
+    ):
+        assert _derived_misses(config) == expected_misses
+
+    def test_matrix_matches_the_dag_declaration(self):
+        # The literal table above must agree with what STAGES declares:
+        # a changed key invalidates the stages declaring it plus their
+        # downstream closure, nothing else.
+        literal = {row.id: row.values[1] for row in MATRIX}
+        for key, expected in literal.items():
+            declaring = [spec.name for spec in STAGES if key in spec.config_keys]
+            assert declaring, f"matrix row {key!r} matches no stage declaration"
+            derived = frozenset().union(*(downstream_of(name) for name in declaring))
+            assert derived == expected
+
+
+class TestInvalidationMatrix:
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        return StageStore(tmp_path_factory.mktemp("stages"))
+
+    @pytest.fixture(scope="class")
+    def cold(self, store):
+        return PaperScenario(seed=SEED, config=BASE).run(stage_store=store)
+
+    def test_cold_run_misses_everywhere(self, cold):
+        assert cold.stage_cache == {name: "miss" for name in STAGE_NAMES}
+
+    def test_warm_run_replays_everywhere_bit_identically(self, store, cold):
+        warm = PaperScenario(seed=SEED, config=BASE).run(stage_store=store)
+        assert warm.stage_cache == {name: "hit" for name in STAGE_NAMES}
+        assert warm.manifest.artifact_digests == cold.manifest.artifact_digests
+
+    def test_no_store_reports_cache_off(self):
+        run = PaperScenario(seed=SEED, config=BASE).run()
+        assert run.stage_cache == {name: "off" for name in STAGE_NAMES}
+
+    @pytest.mark.parametrize(("config", "expected_misses"), MATRIX)
+    def test_perturbation_recomputes_exactly_the_expected_stages(
+        self, store, cold, config, expected_misses
+    ):
+        run = PaperScenario(seed=SEED, config=config).run(stage_store=store)
+        observed_misses = {name for name, s in run.stage_cache.items() if s == "miss"}
+        observed_hits = {name for name, s in run.stage_cache.items() if s == "hit"}
+        assert observed_misses == expected_misses
+        assert observed_hits == ALL - expected_misses
+
+    def test_seed_change_recomputes_everything(self, store, cold):
+        run = PaperScenario(seed=SEED + 1, config=BASE).run(stage_store=store)
+        assert run.stage_cache == {name: "miss" for name in STAGE_NAMES}
+
+    def test_partial_warm_run_matches_a_cold_rebuild_byte_for_byte(
+        self, store, cold, tmp_path
+    ):
+        # Replayed upstream artifacts must feed the recomputed stages
+        # the exact state a cold build would: a partially-warm run and
+        # a from-scratch build of the same perturbed config must agree
+        # on every artifact digest.  (A multiplier the matrix runs have
+        # not already warmed in the shared class store.)
+        perturbed = _variant(sandbox=SandboxConfig(noise_multiplier=3.0))
+        partial = PaperScenario(seed=SEED, config=perturbed).run(stage_store=store)
+        assert {s for s in partial.stage_cache.values()} == {"hit", "miss"}
+        scratch = PaperScenario(seed=SEED, config=perturbed).run(
+            stage_store=StageStore(tmp_path)
+        )
+        assert partial.manifest.artifact_digests == scratch.manifest.artifact_digests
+        assert partial.headline() == scratch.headline()
+
+
+class TestExplain:
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("explain-stages")
+        store = StageStore(root)
+        PaperScenario(seed=SEED, config=BASE).run(stage_store=store)
+        return store
+
+    def test_unchanged_config_forecasts_all_hits(self, store):
+        explanations = explain_stages(SEED, BASE, store)
+        assert all(e.cached for e in explanations)
+        assert "6/6" in render_explanations(explanations)
+
+    def test_empty_store_blames_no_prior_artifact(self, tmp_path):
+        explanations = explain_stages(SEED, BASE, StageStore(tmp_path))
+        assert not any(e.cached for e in explanations)
+        assert explanations[0].causes == ("no prior artifact",)
+
+    def test_config_perturbation_names_the_dotted_key(self, store):
+        perturbed = _variant(clustering=ClusteringConfig(threshold=0.5))
+        by_stage = {e.stage: e for e in explain_stages(SEED, perturbed, store)}
+        assert sum(1 for e in by_stage.values() if not e.cached) == 1
+        causes = by_stage["bcluster"].causes
+        assert any(cause.startswith("config:clustering.threshold") for cause in causes)
+
+    def test_downstream_stage_blames_its_upstream(self, store):
+        perturbed = _variant(sandbox=SandboxConfig(noise_multiplier=2.0))
+        by_stage = {e.stage: e for e in explain_stages(SEED, perturbed, store)}
+        assert "upstream:enrich" in by_stage["epm"].causes
+        assert "upstream:enrich" in by_stage["bcluster"].causes
+
+    def test_seed_change_blames_the_seed(self, store):
+        explanations = explain_stages(SEED + 1, BASE, store)
+        assert not any(e.cached for e in explanations)
+        assert any("seed" in cause for cause in explanations[0].causes)
+
+
+class TestStageStore:
+    def test_corrupt_artifact_is_evicted_as_miss(self, tmp_path):
+        store = StageStore(tmp_path)
+        fingerprints = stage_fingerprints(SEED, BASE)
+        path = store.path_for("deployment", fingerprints["deployment"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+        assert store.load("deployment", fingerprints["deployment"]) is None
+        assert not path.exists()
+
+    def test_non_dict_artifact_is_evicted(self, tmp_path):
+        store = StageStore(tmp_path)
+        path = store.path_for("deployment", "ab" * 32)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps(["not", "a", "dict"]))
+        assert store.load("deployment", "ab" * 32) is None
+        assert not path.exists()
+
+    def test_gc_drops_orphans_temp_files_and_stale_formats(self, tmp_path):
+        store = StageStore(tmp_path)
+        store.store("epm", "aa" * 32, {"epm": 1}, {"format": CACHE_FORMAT})
+        stage_dir = store.root / "epm"
+        (stage_dir / "orphan.pkl").write_bytes(pickle.dumps({"x": 1}))
+        (stage_dir / "widow.json").write_text("{}", encoding="utf-8")
+        (stage_dir / "torn.pkl.tmp.123").write_bytes(b"partial")
+        store.store("epm", "bb" * 32, {"epm": 2}, {"format": CACHE_FORMAT - 1})
+        removed, reclaimed = store.gc()
+        assert removed == 5  # orphan, widow, tmp, stale pkl + sidecar
+        assert reclaimed > 0
+        assert store.load("epm", "aa" * 32) == {"epm": 1}
+
+    def test_gc_clear_empties_the_store(self, tmp_path):
+        store = StageStore(tmp_path)
+        store.store("epm", "aa" * 32, {"epm": 1}, {"format": CACHE_FORMAT})
+        store.gc(clear=True)
+        assert store.entries() == []

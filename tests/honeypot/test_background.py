@@ -128,7 +128,6 @@ class TestDeploymentFiltering:
         assert [e.timestamp for e in clean] == [e.timestamp for e in noisy]
         # Note: fsm path *ids* can differ (background conversations also
         # get learned), but the partition of events must be identical.
-        import itertools
 
         def partition(dataset):
             groups = {}

@@ -1,7 +1,5 @@
 """Integration tests for the per-table/figure experiment drivers."""
 
-import pytest
-
 from repro.experiments.drivers import (
     PAPER,
     anomaly_report,

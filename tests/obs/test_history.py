@@ -37,17 +37,17 @@ def _manifest(
             {
                 "name": "observe",
                 "seconds": observe_seconds,
-                "attributes": {"output_digest": observe_digest},
+                "attributes": {"output_digest": observe_digest, "cache": "off"},
             },
             {
                 "name": "epm",
                 "seconds": 0.3,
-                "attributes": {"output_digest": epm_digest},
+                "attributes": {"output_digest": epm_digest, "cache": "off"},
             },
             {
                 "name": "bcluster",
                 "seconds": 0.2,
-                "attributes": {"output_digest": bcluster_digest},
+                "attributes": {"output_digest": bcluster_digest, "cache": "off"},
             },
         ],
     }
@@ -71,6 +71,11 @@ def _manifest(
         },
         created_at=created_at,
         golden_deviations=golden_deviations or [],
+        stage_fingerprints={
+            "observe": "55" * 32,
+            "epm": "66" * 32,
+            "bcluster": "77" * 32,
+        },
     )
 
 

@@ -40,6 +40,7 @@ class TestRunManifest:
             "artifact_digests",
             "golden_deviations",
             "event_summary",
+            "stage_fingerprints",
         }
         assert payload["schema"] == MANIFEST_SCHEMA
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.experiments.cache import ScenarioCache, cached_run
 from repro.experiments.scenario import (
-    PaperScenario,
     ScenarioConfig,
     small_scenario,
 )

@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.core.invariants import InvariantPolicy, discover_invariants
 from repro.core.patterns import (
-    WILDCARD,
     PatternSet,
     generalizes,
     mask_instance,

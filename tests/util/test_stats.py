@@ -1,7 +1,5 @@
 """Tests for the statistics helpers."""
 
-import math
-
 import pytest
 
 from repro.util.stats import (
