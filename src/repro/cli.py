@@ -15,7 +15,9 @@
 
 All commands accept ``--seed`` (default 2010), ``--scale`` (default 1.0)
 and ``--weeks`` (default 74), plus ``--executor {serial,thread,process}``
-and ``--jobs N`` to pick the parallel backend, ``--timings`` to print
+and ``--jobs N`` to pick the parallel backend, ``--columnar`` /
+``--no-columnar`` to toggle the batch kernels, ``--shards N`` to stream
+observation through N time-slice shards, ``--timings`` to print
 the per-stage trace tree, and ``--cache`` / ``--no-cache`` to reuse a
 previously built scenario from the artifact cache.  With ``--cache``
 the per-stage artifact store is on too (``--no-cache-stages`` turns it
@@ -112,6 +114,24 @@ def _build_parser() -> argparse.ArgumentParser:
             type=int,
             default=0,
             help="worker count for parallel backends (0 = one per core)",
+        )
+        p.add_argument(
+            "--columnar",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="run the batch (columnar/vectorized) kernels for "
+            "invariant discovery and LSH clustering; --no-columnar "
+            "falls back to the scalar reference paths (bit-identical "
+            "artifacts either way)",
+        )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=0,
+            metavar="N",
+            help="stream observation through N time-slice shards, "
+            "dropping each shard's binaries before building the next "
+            "(0 = unsharded; the dataset is bit-identical for any N)",
         )
         p.add_argument(
             "--timings",
@@ -394,6 +414,8 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
         profile=args.profile,
         events=args.events,
         progress=args.progress,
+        columnar=args.columnar,
+        shards=args.shards,
     )
     # One registry for the whole session: the scenario build records
     # into it, and so do the cache load/store paths around the build.

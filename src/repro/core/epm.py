@@ -15,7 +15,12 @@ from functools import partial
 
 from repro.core.classifier import DimensionClustering
 from repro.core.features import Dimension, FeatureSet, default_feature_sets
-from repro.core.invariants import InvariantPolicy, Observation, discover_invariants
+from repro.core.invariants import (
+    InvariantPolicy,
+    Observation,
+    discover_invariants,
+    discover_invariants_columnar,
+)
 from repro.core.patterns import PatternSet
 from repro.egpm.dataset import SGNetDataset
 from repro.obs import metrics as obs_metrics
@@ -139,7 +144,43 @@ class EPMClustering:
             instances=instances,
         )
 
-    def fit(self, dataset: SGNetDataset, *, executor: Executor | None = None) -> EPMResult:
+    def fit_dimension_columnar(self, columns) -> DimensionClustering:
+        """Run phases 2-4 for one dimension from its columnar view.
+
+        ``columns`` is a :class:`~repro.egpm.columnar.DimensionColumns`.
+        Invariant discovery runs as the vectorized kernel over the code
+        matrix; pattern discovery and classification consume the decoded
+        value tuples, which are exactly what :meth:`fit_dimension`
+        extracts event by event — so the resulting clustering is
+        value-for-value identical to the row-wise path.
+        """
+        value_tuples = columns.value_tuples()
+        invariants = discover_invariants_columnar(
+            columns.codes,
+            columns.source_codes,
+            columns.sensor_codes,
+            [vocab.values() for vocab in columns.vocabularies],
+            columns.feature_names,
+            self.policy,
+        )
+        pattern_set = PatternSet.discover(
+            iter(value_tuples), invariants, min_support=self.min_pattern_support
+        )
+        return DimensionClustering(
+            dimension=columns.dimension,
+            feature_names=list(columns.feature_names),
+            invariants=invariants,
+            pattern_set=pattern_set,
+            instances=dict(zip(columns.event_ids.tolist(), value_tuples)),
+        )
+
+    def fit(
+        self,
+        dataset: SGNetDataset,
+        *,
+        executor: Executor | None = None,
+        columnar: bool = False,
+    ) -> EPMResult:
         """Run EPM clustering over all three dimensions.
 
         The dimension fits are independent, so a parallel ``executor``
@@ -147,11 +188,23 @@ class EPMClustering:
         ``(dataset, feature_set, policy)``, so results are bit-identical
         on every backend.  Custom feature sets (which may close over
         local state) fall back to in-process fitting under the process
-        backend.
+        backend.  With ``columnar=True`` the fits run in-process over
+        the dataset's columnar view and the vectorized invariant
+        kernel — same results, one batch aggregation instead of a
+        Python loop per event.
         """
         require(len(dataset) > 0, "cannot cluster an empty dataset")
         executor = executor or SerialExecutor()
         dimensions = list(self.feature_sets)
+        if columnar:
+            store = dataset.to_columnar(
+                None if self._default_feature_sets else self.feature_sets
+            )
+            fitted = [
+                self.fit_dimension_columnar(store.dimensions[dimension])
+                for dimension in dimensions
+            ]
+            return self._record_result(dimensions, fitted)
         # Every backend takes the same executor.map path (so the
         # chunk-level ``executor.*`` telemetry and events agree across
         # serial/thread/process); only the worker callable differs.
@@ -181,6 +234,13 @@ class EPMClustering:
                 ),
                 dimensions,
             )
+        return self._record_result(dimensions, fitted)
+
+    def _record_result(
+        self,
+        dimensions: list[Dimension],
+        fitted: list[DimensionClustering],
+    ) -> EPMResult:
         result = EPMResult(dimensions=dict(zip(dimensions, fitted)), policy=self.policy)
         # Recorded post-gather from the fitted artifacts, so the counts
         # are identical on every backend (per-chunk worker telemetry is

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+import numpy as np
+
 from repro.util.validation import require
 
 #: One observed instance for a dimension:
@@ -109,6 +111,69 @@ def discover_invariants(
         }
         invariants.append(good)
         support.append({value: counts[i][value] for value in good})
+
+    return InvariantStats(
+        feature_names=list(feature_names),
+        invariants=invariants,
+        support=support,
+    )
+
+
+def discover_invariants_columnar(
+    codes: np.ndarray,
+    source_codes: np.ndarray,
+    sensor_codes: np.ndarray,
+    vocabularies: Sequence[Sequence[Hashable]],
+    feature_names: Sequence[str],
+    policy: InvariantPolicy | None = None,
+) -> InvariantStats:
+    """Vectorized invariant discovery over interned value codes.
+
+    ``codes`` is the ``(n_observations, n_features)`` matrix of a
+    :class:`~repro.egpm.columnar.DimensionColumns` view;
+    ``source_codes``/``sensor_codes`` are the aligned interned address
+    codes and ``vocabularies[f]`` decodes feature ``f``'s codes back to
+    original values.  The instance count per value is one
+    ``np.bincount`` per feature; distinct source/sensor counts come
+    from deduplicating ``value_code * n_addresses + address_code``
+    composite keys with ``np.unique``.  The result is value-for-value
+    equal to :func:`discover_invariants` over the decoded observations
+    — code/address interning is bijective, so counts and distinct
+    counts are the same integers.
+    """
+    policy = policy or InvariantPolicy()
+    n_features = len(feature_names)
+    require(n_features > 0, "need at least one feature")
+    codes = np.asarray(codes, dtype=np.int64)
+    require(
+        codes.ndim == 2 and codes.shape[1] == n_features,
+        f"codes matrix has shape {codes.shape}, expected (*, {n_features})",
+    )
+    source_codes = np.asarray(source_codes, dtype=np.int64)
+    sensor_codes = np.asarray(sensor_codes, dtype=np.int64)
+    n_source_codes = int(source_codes.max()) + 1 if len(source_codes) else 1
+    n_sensor_codes = int(sensor_codes.max()) + 1 if len(sensor_codes) else 1
+
+    invariants: list[set[Hashable]] = []
+    support: list[dict[Hashable, int]] = []
+    for f in range(n_features):
+        column = codes[:, f]
+        size = len(vocabularies[f])
+        counts = np.bincount(column, minlength=size)
+        source_pairs = np.unique(column * n_source_codes + source_codes)
+        n_sources = np.bincount(source_pairs // n_source_codes, minlength=size)
+        sensor_pairs = np.unique(column * n_sensor_codes + sensor_codes)
+        n_sensors = np.bincount(sensor_pairs // n_sensor_codes, minlength=size)
+        good_codes = np.nonzero(
+            (counts >= policy.min_instances)
+            & (n_sources >= policy.min_sources)
+            & (n_sensors >= policy.min_sensors)
+        )[0]
+        decode = vocabularies[f]
+        invariants.append({decode[code] for code in good_codes.tolist()})
+        support.append(
+            {decode[code]: int(counts[code]) for code in good_codes.tolist()}
+        )
 
     return InvariantStats(
         feature_names=list(feature_names),

@@ -33,6 +33,7 @@ class SGNetDataset:
         self._by_source: dict[int, list[int]] = defaultdict(list)
         self._by_sensor: dict[int, list[int]] = defaultdict(list)
         self._by_md5: dict[str, list[int]] = defaultdict(list)
+        self._columnar = None
 
     # -- ingestion ---------------------------------------------------------
 
@@ -47,6 +48,7 @@ class SGNetDataset:
             event.event_id == index,
             f"event_id {event.event_id} out of order (expected {index})",
         )
+        self._columnar = None
         self._events.append(event)
         self._by_source[int(event.source)].append(index)
         self._by_sensor[int(event.sensor)].append(index)
@@ -121,6 +123,41 @@ class SGNetDataset:
         """Number of distinct collected binaries (by MD5)."""
         return len(self._samples)
 
+    def to_columnar(self, feature_sets=None):
+        """The columnar view of this dataset (see :mod:`repro.egpm.columnar`).
+
+        With the default ``feature_sets=None`` the view is built once
+        over the paper's Table 1 feature sets and cached; any later
+        :meth:`add_event` invalidates the cache.  Passing explicit
+        feature sets always rebuilds (custom sets may differ call to
+        call, so they are never cached).
+        """
+        from repro.egpm.columnar import events_to_columnar
+
+        if feature_sets is not None:
+            return events_to_columnar(self._events, feature_sets)
+        if self._columnar is None:
+            self._columnar = events_to_columnar(self._events)
+        return self._columnar
+
+    def adopt_columnar(self, view) -> None:
+        """Install a pre-built default-feature-set columnar view.
+
+        The shard pipeline streams every observation shard through one
+        :class:`~repro.egpm.columnar.ColumnarBuilder` while the events
+        are appended here, then hands the merged store over — the next
+        :meth:`to_columnar` call returns it instead of re-transposing
+        the whole event list.  The view must cover exactly the events
+        currently stored (and must have been built with the default
+        feature sets, since that is what the cache position means).
+        """
+        require(
+            view.n_events == len(self._events),
+            f"columnar view covers {view.n_events} events, "
+            f"dataset holds {len(self._events)}",
+        )
+        self._columnar = view
+
     def valid_samples(self) -> list[SampleRecord]:
         """Sample records whose binary is uncorrupted (executable)."""
         return [r for r in self._samples.values() if not r.observable.corrupted]
@@ -134,6 +171,14 @@ class SGNetDataset:
             "samples": self.n_samples,
             "valid_samples": len(self.valid_samples()),
         }
+
+    def __getstate__(self) -> dict:
+        # The columnar view is a derived cache over numpy arrays; drop
+        # it from pickles (stage cache entries, process-pool transfers)
+        # and let it rebuild lazily on first use after load.
+        state = self.__dict__.copy()
+        state["_columnar"] = None
+        return state
 
     # -- persistence ---------------------------------------------------------
 

@@ -4,6 +4,13 @@ Observables carry only what the deployment could actually see; the
 generator's ground-truth labels ride along in a separate
 :class:`GroundTruth` record that the clustering code never reads — it
 exists solely so tests and validation can score cluster quality.
+
+All record types here are ``slots=True`` dataclasses: at paper scale
+the dataset holds ~15k events (millions at the ROADMAP target), and
+dropping the per-instance ``__dict__`` cuts their resident size by
+roughly a third.  The analysis layer's ``Observation`` is already a
+plain tuple (:data:`repro.egpm.columnar.Observation`), so it needs no
+such treatment.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ class InteractionType(str, enum.Enum):
     CENTRAL = "central"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExploitObservable:
     """Epsilon-dimension observables of one attack.
 
@@ -50,7 +57,7 @@ class ExploitObservable:
         require(0 < self.dst_port < 65536, f"bad destination port {self.dst_port}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PayloadObservable:
     """Pi-dimension observables extracted by shellcode analysis.
 
@@ -70,7 +77,7 @@ class PayloadObservable:
             require(0 < self.port < 65536, f"bad payload port {self.port}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MalwareObservable:
     """Mu-dimension observables of the downloaded binary.
 
@@ -89,7 +96,7 @@ class MalwareObservable:
         require(self.size >= 0, "size must be >= 0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroundTruth:
     """Generator-side labels, for validation only.
 
@@ -103,7 +110,7 @@ class GroundTruth:
     payload_name: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttackEvent:
     """One observed code-injection attack, fully enriched.
 
@@ -136,7 +143,7 @@ class AttackEvent:
         return self.malware is not None and not self.malware.corrupted
 
 
-@dataclass
+@dataclass(slots=True)
 class SampleRecord:
     """Per-distinct-binary record (keyed by MD5) with enrichment results.
 

@@ -11,6 +11,7 @@ deterministically per (engine, sample) pair.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.egpm.events import GroundTruth
 from repro.util.hashing import stable_hash64
@@ -20,6 +21,7 @@ from repro.util.validation import require, require_probability
 _GENERIC_LABELS = ("Trojan.Generic", "W32.Malware.Gen", "Suspicious.Heuristic")
 
 
+@lru_cache(maxsize=4096)
 def _suffix_letter(index: int) -> str:
     """Variant index -> AV suffix letter sequence (A..Z, AA..)."""
     require(index >= 0, "variant index must be >= 0")
@@ -68,6 +70,7 @@ class AVEngine:
         return f"{alias}.{suffix}"
 
 
+@lru_cache(maxsize=4096)
 def _variant_index(variant: str) -> int:
     digits = "".join(ch for ch in variant if ch.isdigit())
     return int(digits) if digits else 0

@@ -60,13 +60,17 @@ log = get_logger("experiments.cache")
 #: 5: per-stage artifact DAG — ScenarioRun grew stage_cache, RunManifest
 #:    grew stage_fingerprints (schema 4), and the format now also keys
 #:    every stage-level fingerprint in the StageStore.
-CACHE_FORMAT = 5
+#: 6: columnar event store — ScenarioConfig grew columnar/shards
+#:    (execution-only), ClusteringConfig grew max_bucket_size,
+#:    SGNetDataset carries a lazy columnar view, and the observable
+#:    dataclasses moved to ``slots=True`` (incompatible pickles).
+CACHE_FORMAT = 6
 
 #: ScenarioConfig fields that cannot change results, only how fast they
 #: are computed or what telemetry they emit; they never contribute to
 #: any fingerprint.
 EXECUTION_ONLY_FIELDS = frozenset(
-    {"executor", "jobs", "profile", "events", "progress"}
+    {"executor", "jobs", "profile", "events", "progress", "columnar", "shards"}
 )
 
 #: Canonical-JSON reduction (shared with the run manifest's digests).

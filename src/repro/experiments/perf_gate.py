@@ -105,9 +105,38 @@ def _timing_report(
     return "\n".join(lines)
 
 
+def check_scale_bench(scale_bench_path: str | Path, out) -> list[str]:
+    """Gate violations in the committed samples/sec scaling curve.
+
+    The curve's wall-clock numbers are report-only like every other
+    timing, but its *shape* gates: a missing record, a schema drift or
+    a curve shrunk below 4 points fails CI (the scaling artifact is an
+    acceptance criterion, not a nice-to-have).
+    """
+    from repro.experiments.scale_bench import validate_record
+
+    path = Path(scale_bench_path)
+    if not path.is_file():
+        return [f"scale bench record {path} is missing"]
+    record = json.loads(path.read_text(encoding="utf-8"))
+    errors = validate_record(record)
+    points = record.get("points") or []
+    if not errors:
+        lines = ["samples/sec curve (report-only; shape gates, timings do not):"]
+        for point in points:
+            lines.append(
+                f"  scale {point['scale']:>6}: {point['events']:>8} events  "
+                f"{point['events_per_second']:>9.1f} ev/s  "
+                f"{point['samples_per_second']:>8.1f} samples/s"
+            )
+        print("\n".join(lines), file=out)
+    return errors
+
+
 def run_gate(
     *,
     bench_path: str | Path | None = None,
+    scale_bench_path: str | Path | None = None,
     seed: int = 7,
     scale: float = 0.05,
     weeks: int = 8,
@@ -130,13 +159,17 @@ def run_gate(
     recorded = (baseline or {}).get("stage_cache", {}).get("gate_matrix") or {}
     expected = {**expected_matrix(), **recorded}
 
+    errors_pre: list[str] = []
+    if scale_bench_path is not None:
+        errors_pre = check_scale_bench(scale_bench_path, out)
+
     config = ScenarioConfig(n_weeks=weeks, scale=scale)
     perturbed = replace(
         config,
         clustering=replace(ClusteringConfig(), threshold=0.5),
     )
 
-    errors: list[str] = []
+    errors: list[str] = list(errors_pre)
     with tempfile.TemporaryDirectory() as tmp:
         store = StageStore(store_root if store_root is not None else tmp)
         started = time.perf_counter()
@@ -215,6 +248,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="committed baseline record (schema 3: carries the expected "
         "gate matrix; wall-clock comparison is report-only)",
     )
+    parser.add_argument(
+        "--scale-bench",
+        default=None,
+        metavar="FILE",
+        help="also validate the committed samples/sec scaling curve "
+        "(results/BENCH_scale.json): schema and >= 4-point shape gate, "
+        "its timings stay report-only",
+    )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--scale", type=float, default=0.05)
     parser.add_argument("--weeks", type=int, default=8)
@@ -233,6 +274,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     return run_gate(
         bench_path=args.bench,
+        scale_bench_path=args.scale_bench,
         seed=args.seed,
         scale=args.scale,
         weeks=args.weeks,

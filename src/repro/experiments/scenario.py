@@ -81,12 +81,25 @@ class ScenarioConfig:
     #: Render live per-stage progress (item counts, ETA) to stderr
     #: while the pipeline runs.  Execution-only, off by default.
     progress: bool = False
+    #: Run the batch (columnar / vectorized) kernels for invariant
+    #: discovery and LSH signature+verification.  Execution-only: the
+    #: kernels are bit-identical to the scalar paths (the property tests
+    #: and the CI digest-identity check enforce it), so both settings
+    #: share one cache fingerprint.
+    columnar: bool = True
+    #: Number of time-slice shards the observation stage streams the
+    #: landscape through (0 = unsharded single pass).  Execution-only:
+    #: shards are processed in global time order and every per-event
+    #: draw comes from the event's own named substream, so the dataset
+    #: is bit-identical for any shard count.
+    shards: int = 0
 
     def __post_init__(self) -> None:
         require(self.n_weeks >= 4, "scenario needs at least 4 weeks")
         require(self.scale > 0, "scale must be positive")
         require(self.executor in BACKENDS, f"unknown executor backend {self.executor!r}")
         require(self.jobs >= 0, "jobs must be >= 0 (0 = one worker per core)")
+        require(self.shards >= 0, "shards must be >= 0 (0 = unsharded)")
 
 
 @dataclass

@@ -121,7 +121,17 @@ def _compute_observe(ctx: StageContext) -> None:
         ctx.grid,
         ctx.source.child("landscape"),
     )
-    ctx.artifacts["dataset"] = ctx["deployment"].observe(generator)
+    if ctx.config.shards > 0:
+        from repro.experiments.shards import observe_sharded
+
+        ctx.artifacts["dataset"] = observe_sharded(
+            ctx["deployment"],
+            generator,
+            n_shards=ctx.config.shards,
+            executor=ctx.executor,
+        )
+    else:
+        ctx.artifacts["dataset"] = ctx["deployment"].observe(generator)
     log.debug("observation done", extra={"events": len(ctx["dataset"])})
 
 
@@ -146,7 +156,7 @@ def _annotate_enrich(ctx: StageContext, span) -> None:
 
 def _compute_epm(ctx: StageContext) -> None:
     epm = EPMClustering(policy=ctx.config.invariant_policy).fit(
-        ctx["dataset"], executor=ctx.executor
+        ctx["dataset"], executor=ctx.executor, columnar=ctx.config.columnar
     )
     ctx.artifacts["epm"] = epm
     bus = obs_events.active_bus()
@@ -164,7 +174,11 @@ def _annotate_epm(ctx: StageContext, span) -> None:
 
 
 def _compute_bcluster(ctx: StageContext) -> None:
-    bclusters = ctx["anubis"].cluster(ctx.config.clustering, executor=ctx.executor)
+    bclusters = ctx["anubis"].cluster(
+        ctx.config.clustering,
+        executor=ctx.executor,
+        vectorize=ctx.config.columnar,
+    )
     ctx.artifacts["bclusters"] = bclusters
     obs_events.active_bus().emit(
         "cluster.milestone", perspective="b", clusters=bclusters.n_clusters

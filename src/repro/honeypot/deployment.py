@@ -19,7 +19,13 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.egpm.dataset import SGNetDataset
-from repro.egpm.events import AttackEvent, ExploitObservable, MalwareObservable
+from repro.egpm.events import (
+    AttackEvent,
+    ExploitObservable,
+    GroundTruth,
+    MalwareObservable,
+    PayloadObservable,
+)
 from repro.honeypot.fsm import FSMLearner, UNKNOWN_PATH_ID
 from repro.honeypot.gateway import Gateway
 from repro.honeypot.sensor import HoneypotSensor
@@ -36,6 +42,29 @@ from repro.util.hashing import md5_hex
 from repro.util.rng import RandomSource
 from repro.util.timegrid import WEEK_SECONDS
 from repro.util.validation import require
+
+
+@dataclass(frozen=True, slots=True)
+class StagedObservation:
+    """One attack after pass A, with the binary already dropped.
+
+    Everything pass B (:meth:`SGNetDeployment.add_final_event`) needs to
+    emit the final :class:`AttackEvent` — the downloaded bytes themselves
+    are reduced to ``malware`` during pass A, so a staged observation is
+    a few hundred bytes regardless of sample size.  This is what lets
+    the shard pipeline (:mod:`repro.experiments.shards`) discard each
+    shard's binaries before building the next one.
+    """
+
+    timestamp: int
+    source: IPv4Address
+    sensor: IPv4Address
+    conversation: tuple[tuple[str, ...], ...]
+    dst_port: int
+    truth: GroundTruth | None
+    behavior: object
+    payload: PayloadObservable | None
+    malware: MalwareObservable | None
 
 
 @dataclass(frozen=True)
@@ -72,6 +101,11 @@ class SGNetDeployment:
         self._proxied_by_week: dict[int, int] = {}
         self._handled_by_week: dict[int, int] = {}
         self.n_background_filtered = 0
+        #: Dedup cache for malware observables: identical downloaded
+        #: bytes (same content seed, length and truncation flag) hash,
+        #: parse and magic-sniff to the same frozen observable, so the
+        #: work runs once per distinct payload instead of once per event.
+        self._observable_cache: dict[tuple[str, int, int, bool], MalwareObservable] = {}
 
     def _build_sensors(self) -> None:
         rng = self._source.rng("deployment", "addresses")
@@ -106,7 +140,7 @@ class SGNetDeployment:
         as SGNET does).  Both streams must be individually time-ordered.
         """
         merged = self._merge_streams(attempts, background)
-        staged: list[tuple[AttackAttempt, object, object, object]] = []
+        staged: list[StagedObservation] = []
         self.n_background_filtered = 0
         for kind, item in merged:
             if kind == "background":
@@ -115,54 +149,100 @@ class SGNetDeployment:
                     sensor.handle(item.conversation, is_injection=False)
                     self.n_background_filtered += 1
                 continue
-            attempt = item
-            sensor = self.sensors.get(int(attempt.sensor))
-            require(
-                sensor is not None,
-                f"attack aimed at unmonitored address {attempt.sensor}",
-            )
-            path_id = sensor.handle(attempt.conversation)
-            week = (attempt.timestamp) // WEEK_SECONDS
-            if path_id == UNKNOWN_PATH_ID:
-                self._proxied_by_week[week] = self._proxied_by_week.get(week, 0) + 1
-            else:
-                self._handled_by_week[week] = self._handled_by_week.get(week, 0) + 1
-
-            rng = self._source.rng(
-                "pipeline", attempt.variant_key, attempt.timestamp, int(attempt.source)
-            )
-            payload_obs = self.shellcode.analyze(attempt.payload, attempt.filename, rng)
-            malware_obs = None
-            if payload_obs is not None:
-                outcome = self.shellcode.download(attempt.binary, rng)
-                if outcome.succeeded:
-                    malware_obs = self._malware_observable(outcome.data, outcome.truncated)
-            staged.append((attempt, payload_obs, malware_obs, None))
+            staged.append(self.stage_attempt(item))
 
         self.gateway.finalize()
 
         dataset = SGNetDataset()
-        for attempt, payload_obs, malware_obs, _ in staged:
-            final_path = self.gateway.classify(attempt.conversation)
-            event = AttackEvent(
-                event_id=dataset.next_event_id(),
-                timestamp=attempt.timestamp,
-                source=attempt.source,
-                sensor=attempt.sensor,
-                exploit=ExploitObservable(
-                    fsm_path_id=final_path if final_path != UNKNOWN_PATH_ID else 0,
-                    dst_port=attempt.dst_port,
-                ),
-                payload=payload_obs,
-                malware=malware_obs,
-                ground_truth=attempt.truth,
-            )
-            dataset.add_event(event, behavior_handle=attempt.behavior)
+        classify_memo: dict[tuple, int] = {}
+        for observation in staged:
+            self.add_final_event(dataset, classify_memo, observation)
+        self.emit_dataset_metrics(dataset)
+        return dataset
+
+    def stage_attempt(self, attempt: AttackAttempt) -> StagedObservation:
+        """Pass A for one attack: online learning + shellcode pipeline.
+
+        Runs the conversation through the sensor (which learns), draws
+        the attempt's pipeline substream, emulates the shellcode and the
+        download, and reduces the result to a :class:`StagedObservation`
+        — the binary bytes do not survive this call.
+        """
+        sensor = self.sensors.get(int(attempt.sensor))
+        require(
+            sensor is not None,
+            f"attack aimed at unmonitored address {attempt.sensor}",
+        )
+        path_id = sensor.handle(attempt.conversation)
+        week = (attempt.timestamp) // WEEK_SECONDS
+        if path_id == UNKNOWN_PATH_ID:
+            self._proxied_by_week[week] = self._proxied_by_week.get(week, 0) + 1
+        else:
+            self._handled_by_week[week] = self._handled_by_week.get(week, 0) + 1
+
+        rng = self._source.rng(
+            "pipeline", attempt.variant_key, attempt.timestamp, int(attempt.source)
+        )
+        payload_obs = self.shellcode.analyze(attempt.payload, attempt.filename, rng)
+        malware_obs = None
+        if payload_obs is not None:
+            outcome = self.shellcode.download(attempt.binary, rng)
+            if outcome.succeeded:
+                malware_obs = self.malware_observable_for(
+                    attempt, outcome.data, outcome.truncated
+                )
+        return StagedObservation(
+            timestamp=attempt.timestamp,
+            source=attempt.source,
+            sensor=attempt.sensor,
+            conversation=attempt.conversation,
+            dst_port=attempt.dst_port,
+            truth=attempt.truth,
+            behavior=attempt.behavior,
+            payload=payload_obs,
+            malware=malware_obs,
+        )
+
+    def add_final_event(
+        self,
+        dataset: SGNetDataset,
+        classify_memo: dict[tuple, int],
+        observation: StagedObservation,
+    ) -> AttackEvent:
+        """Pass B for one staged observation: final FSM path + event.
+
+        Must run after :meth:`Gateway.finalize`; re-classifies the
+        conversation against the final FSM (memoised per distinct
+        conversation) and appends the finished event to ``dataset``.
+        Returns the event so callers can also stream it into a columnar
+        builder (see :mod:`repro.experiments.shards`).
+        """
+        final_path = classify_memo.get(observation.conversation)
+        if final_path is None:
+            final_path = self.gateway.classify(observation.conversation)
+            classify_memo[observation.conversation] = final_path
+        event = AttackEvent(
+            event_id=dataset.next_event_id(),
+            timestamp=observation.timestamp,
+            source=observation.source,
+            sensor=observation.sensor,
+            exploit=ExploitObservable(
+                fsm_path_id=final_path if final_path != UNKNOWN_PATH_ID else 0,
+                dst_port=observation.dst_port,
+            ),
+            payload=observation.payload,
+            malware=observation.malware,
+            ground_truth=observation.truth,
+        )
+        dataset.add_event(event, behavior_handle=observation.behavior)
+        return event
+
+    def emit_dataset_metrics(self, dataset: SGNetDataset) -> None:
+        """Record the observation-stage counters for a finished dataset."""
         registry = obs_metrics.active()
         registry.counter("honeypot.events_observed").inc(len(dataset))
         registry.counter("honeypot.samples_collected").inc(dataset.n_samples)
         registry.counter("honeypot.background_filtered").inc(self.n_background_filtered)
-        return dataset
 
     @staticmethod
     def _merge_streams(
@@ -179,6 +259,26 @@ class SGNetDeployment:
         return heapq.merge(
             tagged_attacks, tagged_probes, key=lambda pair: pair[1].timestamp
         )
+
+    def malware_observable_for(
+        self, attempt: AttackAttempt, data: bytes, truncated: bool
+    ) -> MalwareObservable:
+        """The observable of one downloaded payload, deduplicated.
+
+        Attempts that tracked their content seed share one frozen
+        observable per distinct ``(variant, seed, length, truncated)``
+        payload — same input bytes, so the cached value equals what a
+        fresh :meth:`_malware_observable` call would compute.  Untracked
+        attempts always compute fresh.
+        """
+        if attempt.content_seed is None:
+            return self._malware_observable(data, truncated)
+        key = (attempt.variant_key, attempt.content_seed, len(data), truncated)
+        observable = self._observable_cache.get(key)
+        if observable is None:
+            observable = self._malware_observable(data, truncated)
+            self._observable_cache[key] = observable
+        return observable
 
     @staticmethod
     def _malware_observable(data: bytes, truncated: bool) -> MalwareObservable:

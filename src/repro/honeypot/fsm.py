@@ -39,7 +39,10 @@ def pattern_matches(pattern: Pattern, message: Message) -> bool:
     """Whether ``message`` is an instance of ``pattern``."""
     if len(pattern) != len(message):
         return False
-    return all(p is None or p == m for p, m in zip(pattern, message))
+    for p, m in zip(pattern, message):
+        if p is not None and p != m:
+            return False
+    return True
 
 
 @dataclass
@@ -55,15 +58,26 @@ class FSMNode:
 
         Edges are checked most-specific-first (fewest wildcards), so a
         message matching both a specialised and a generic edge follows
-        the specialised one.
+        the specialised one.  The match test is inlined (this is the
+        innermost loop of both observation passes).
         """
-        best: tuple[int, FSMNode] | None = None
+        best: FSMNode | None = None
+        best_specificity = -1
+        length = len(message)
         for pattern, child in self.edges:
-            if pattern_matches(pattern, message):
-                specificity = sum(1 for p in pattern if p is not None)
-                if best is None or specificity > best[0]:
-                    best = (specificity, child)
-        return best[1] if best else None
+            if len(pattern) != length:
+                continue
+            matched = True
+            for p, m in zip(pattern, message):
+                if p is not None and p != m:
+                    matched = False
+                    break
+            if matched:
+                specificity = length - pattern.count(None)
+                if specificity > best_specificity:
+                    best_specificity = specificity
+                    best = child
+        return best
 
 
 class FSMModel:
@@ -195,6 +209,19 @@ class FSMLearner:
         node, consumed = self.model.walk(conversation)
         if consumed == len(conversation):
             return node.node_id
+        return self.observe_prewalked(conversation, node, consumed)
+
+    def observe_prewalked(
+        self, conversation: Conversation, node: FSMNode, consumed: int
+    ) -> int:
+        """Buffer an unexplained conversation whose walk already ran.
+
+        Callers that have just walked ``conversation`` (and found it
+        only ``consumed`` messages deep, stopping at ``node``) hand the
+        walk result over instead of paying a second identical walk —
+        the buffering and refinement behaviour is exactly
+        :meth:`observe`'s unexplained branch.
+        """
         suffix = tuple(tuple(m) for m in conversation[consumed:])
         buffer = self._buffers.setdefault(node.node_id, [])
         buffer.append(suffix)

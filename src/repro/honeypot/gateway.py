@@ -40,6 +40,23 @@ class Gateway:
         self.factory.handle(conversation, is_injection=is_injection)
         return self.learner.observe(conversation)
 
+    def process(self, conversation: Conversation, *, is_injection: bool = True) -> int:
+        """Classify-or-learn in a single FSM walk.
+
+        Behaviourally identical to ``classify`` followed (on a miss) by
+        :meth:`handle_unknown`, but the model is walked once: the
+        classify walk's terminal state feeds the learner directly.  The
+        model cannot change between the two legacy calls, so the merged
+        path preserves every counter, buffer and refinement exactly.
+        """
+        learner = self.learner
+        node, consumed = learner.model.walk(conversation)
+        if consumed == len(conversation):
+            return node.node_id
+        self.n_proxied += 1
+        self.factory.handle(conversation, is_injection=is_injection)
+        return learner.observe_prewalked(conversation, node, consumed)
+
     def finalize(self) -> None:
         """End-of-stream hook: flush pending refinement buffers."""
         self.learner.flush()

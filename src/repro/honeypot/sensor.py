@@ -30,9 +30,9 @@ class HoneypotSensor:
         ground truth, consumed by the oracle if the conversation is
         proxied (sensors themselves cannot tell probes from attacks).
         """
-        path_id = self.gateway.classify(conversation)
+        path_id = self.gateway.process(conversation, is_injection=is_injection)
         if path_id != UNKNOWN_PATH_ID:
             self.n_handled_locally += 1
             return path_id
         self.n_proxied += 1
-        return self.gateway.handle_unknown(conversation, is_injection=is_injection)
+        return path_id

@@ -45,7 +45,12 @@ METRIC_CATALOGUE: dict[str, str] = {
     "lsh.unique_profiles": "gauge",
     "lsh.candidate_pairs": "counter",
     "lsh.pairs_verified": "counter",
+    "lsh.bucket_size": "histogram",
+    "lsh.buckets_skipped": "counter",
     "lsh.clusters": "gauge",
+    # sharded observation (only with ScenarioConfig.shards > 0)
+    "shards.observed": "counter",
+    "shards.events": "histogram",
     # scenario artifact cache (whole-run layer)
     "cache.hit": "counter",
     "cache.miss": "counter",
@@ -83,6 +88,8 @@ REQUIRED_SCENARIO_METRICS = frozenset(
         "lsh.unique_profiles",
         "lsh.candidate_pairs",
         "lsh.pairs_verified",
+        "lsh.bucket_size",
+        "lsh.buckets_skipped",
         "lsh.clusters",
         "executor.chunks",
         "executor.items",

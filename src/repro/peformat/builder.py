@@ -13,7 +13,10 @@ Section payloads are filled from a deterministic stream derived from the
 
 from __future__ import annotations
 
+import random
 import struct
+
+import numpy as np
 
 from repro.peformat.structures import (
     FILE_ALIGNMENT,
@@ -21,7 +24,7 @@ from repro.peformat.structures import (
     SECTION_ALIGNMENT,
 )
 from repro.util.hashing import stable_hash64
-from repro.util.rng import spawn_rng
+from repro.util.rng import derive_seed, spawn_rng
 from repro.util.validation import require
 
 _DOS_HEADER_SIZE = 0x40
@@ -123,14 +126,36 @@ def minimum_file_size(spec: PESpec) -> int:
     )
 
 
-def build_pe(spec: PESpec, content_seed: int) -> bytes:
-    """Emit a PE image for ``spec`` with payload drawn from ``content_seed``.
+#: Per-spec header/layout templates keyed by ``id(spec)``.  Everything
+#: up to the section payload fill is a pure function of the spec, and
+#: the landscape generator rebuilds the *same* spec object for every
+#: polymorphic instance of a variant — so the template computes once per
+#: spec instead of once per binary.  The cache holds a strong reference
+#: to the spec (keeping its id stable) and is cleared wholesale at the
+#: cap, which bounds memory under REPACK-style per-event spec churn.
+_TEMPLATE_CACHE: dict[int, tuple[PESpec, bytes, tuple[tuple[int, int], ...]]] = {}
+_TEMPLATE_CACHE_MAX = 256
 
-    The image is exactly ``spec.file_size`` bytes long (the spec's file
-    size must be a multiple of the 512-byte file alignment, as real
-    linker output is) and parses back to the spec's header features via
-    :func:`repro.peformat.parse_pe`.
+
+def _pe_template(spec: PESpec) -> tuple[bytes, tuple[tuple[int, int], ...]]:
+    """Validated image template plus the payload fill regions for ``spec``.
+
+    The template is the full ``spec.file_size`` image with headers,
+    section table and import directory in place and payload regions
+    zeroed; ``regions`` lists the non-empty ``(start, length)`` spans to
+    fill, in the exact order the scalar builder drew them.
     """
+    cached = _TEMPLATE_CACHE.get(id(spec))
+    if cached is not None and cached[0] is spec:
+        return cached[1], cached[2]
+    template, regions = _build_template(spec)
+    if len(_TEMPLATE_CACHE) >= _TEMPLATE_CACHE_MAX:
+        _TEMPLATE_CACHE.clear()
+    _TEMPLATE_CACHE[id(spec)] = (spec, template, regions)
+    return template, regions
+
+
+def _build_template(spec: PESpec) -> tuple[bytes, tuple[tuple[int, int], ...]]:
     require(
         spec.file_size % FILE_ALIGNMENT == 0,
         f"file_size must be a multiple of {FILE_ALIGNMENT}, got {spec.file_size}",
@@ -274,8 +299,8 @@ def build_pe(spec: PESpec, content_seed: int) -> bytes:
         raw_ptrs.append(raw_ptr)
         raw_ptr += raw
 
-    # --- Section payloads --------------------------------------------------
-    rng = spawn_rng(content_seed, "pe-content")
+    # --- Section payload regions (import blob placed, fills pending) ------
+    regions: list[tuple[int, int]] = []
     for i, (raw, ptr) in enumerate(zip(raw_sizes, raw_ptrs)):
         if i == n - 1:
             image[ptr : ptr + len(blob)] = blob
@@ -283,6 +308,83 @@ def build_pe(spec: PESpec, content_seed: int) -> bytes:
         else:
             fill_start, fill_len = ptr, raw
         if fill_len > 0:
-            image[fill_start : fill_start + fill_len] = rng.randbytes(fill_len)
+            regions.append((fill_start, fill_len))
 
+    return bytes(image), tuple(regions)
+
+
+#: Shared MT19937 bit generator the content fills stream from.  Its
+#: state is transplanted per build (see :func:`_content_generator`);
+#: image building is serial, so one module-level generator suffices.
+_MT19937 = np.random.MT19937()
+
+
+#: Whether numpy exposes the C ``init_by_array`` seeding shortcut used
+#: by the fast path below (private but stable across numpy 1.17+).
+_HAVE_LEGACY_SEEDING = hasattr(np.random.MT19937, "_legacy_seeding")
+
+
+def _content_generator(content_seed: int) -> np.random.MT19937:
+    """A numpy MT19937 positioned at the start of the content stream.
+
+    ``random.Random`` and numpy's ``MT19937`` are the same generator,
+    and both seed multi-word integers through ``init_by_array`` over the
+    int's little-endian 32-bit limbs — so seeding numpy with the same
+    key yields the exact word sequence ``spawn_rng(content_seed,
+    "pe-content")`` would produce, while the bulk draws run at C speed
+    instead of through ``randbytes``'s big-integer path.  Seeds below
+    2**32 (one-word keys, which numpy seeds differently) and numpy
+    builds without the seeding shortcut fall back to transplanting the
+    stdlib-seeded 624-word state; all paths are byte-identical.
+    """
+    seed = derive_seed(content_seed, "pe-content")
+    if _HAVE_LEGACY_SEEDING and seed >> 32:
+        key = np.array([seed & 0xFFFFFFFF, seed >> 32], dtype=np.uint32)
+        _MT19937._legacy_seeding(key)
+        return _MT19937
+    state = random.Random(seed).getstate()[1]
+    _MT19937.state = {
+        "bit_generator": "MT19937",
+        "state": {
+            "key": np.fromiter(state, np.uint32, count=625)[:624],
+            "pos": state[624],
+        },
+    }
+    return _MT19937
+
+
+def _fill_bytes(generator: np.random.MT19937, n: int) -> bytes:
+    """The next ``n`` bytes of the content stream.
+
+    Byte-identical to ``random.Random.randbytes(n)`` on the same MT
+    state: ``randbytes`` is ``getrandbits(8 * n)`` serialized
+    little-endian, i.e. ``ceil(n / 4)`` raw 32-bit words in draw order,
+    with the final partial word's *high* bits shifted down (that is how
+    ``getrandbits`` truncates its top word).
+    """
+    m = (n + 3) >> 2
+    data = generator.random_raw(m).astype("<u4").tobytes()
+    partial = n & 3
+    if not partial:
+        return data
+    tail = int.from_bytes(data[-4:], "little") >> (32 - (partial << 3))
+    return data[: (m - 1) << 2] + tail.to_bytes(partial, "little")
+
+
+def build_pe(spec: PESpec, content_seed: int) -> bytes:
+    """Emit a PE image for ``spec`` with payload drawn from ``content_seed``.
+
+    The image is exactly ``spec.file_size`` bytes long (the spec's file
+    size must be a multiple of the 512-byte file alignment, as real
+    linker output is) and parses back to the spec's header features via
+    :func:`repro.peformat.parse_pe`.  The spec-only part of the image
+    comes from a per-spec template (see :data:`_TEMPLATE_CACHE`); only
+    the payload fill is drawn per call, in the same region order and
+    lengths as the unbatched builder, so output bytes are unchanged.
+    """
+    template, regions = _pe_template(spec)
+    image = bytearray(template)
+    generator = _content_generator(content_seed)
+    for fill_start, fill_len in regions:
+        image[fill_start : fill_start + fill_len] = _fill_bytes(generator, fill_len)
     return bytes(image)

@@ -140,6 +140,9 @@ class AnubisService:
         config: ClusteringConfig | None = None,
         *,
         executor: Executor | None = None,
+        vectorize: bool = True,
     ) -> BehaviorClustering:
         """Run the scalable B-clustering over all analysed samples."""
-        return cluster_lsh(self.profiles(), config, executor=executor)
+        return cluster_lsh(
+            self.profiles(), config, executor=executor, vectorize=vectorize
+        )

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Hashable, Mapping, Sequence
 
+import numpy as np
+
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import current_tracer
 from repro.sandbox.behavior import BehaviorProfile
@@ -50,6 +52,9 @@ class ClusteringConfig:
     rows: int = 5
     minhash_seed: int = 2010
     minhash_backend: str = "python"
+    #: Candidate-generation guard: buckets larger than this emit no
+    #: pairs (None keeps every bucket; see :class:`~repro.sandbox.lsh.LSHIndex`).
+    max_bucket_size: int | None = None
 
     def __post_init__(self) -> None:
         require_probability(self.threshold, "threshold")
@@ -57,6 +62,10 @@ class ClusteringConfig:
         require(
             self.minhash_backend in ("python", "numpy"),
             f"unknown minhash backend {self.minhash_backend!r}",
+        )
+        require(
+            self.max_bucket_size is None or self.max_bucket_size >= 2,
+            "max_bucket_size must be >= 2 (or None)",
         )
 
     @property
@@ -206,23 +215,77 @@ def _pair_similar(
     return jaccard(feature_sets[i], feature_sets[j]) >= threshold
 
 
+def _verify_pairs_vectorized(
+    feature_sets: Sequence[set],
+    pairs: Sequence[tuple[int, int]],
+    threshold: float,
+) -> np.ndarray:
+    """Exact-Jaccard verdicts for all candidate pairs, as one bool vector.
+
+    Profiles are interned into a packed bit-matrix (one bit per distinct
+    feature) and intersection sizes come from ``popcount(row_i & row_j)``
+    over pair chunks.  The verdict for pair ``(i, j)`` equals
+    ``jaccard(feature_sets[i], feature_sets[j]) >= threshold`` bit for
+    bit: intersection and union are the same integers, and the float
+    division is the same IEEE-754 operation the scalar path performs.
+    """
+    vocabulary: dict = {}
+    rows = [
+        [vocabulary.setdefault(feature, len(vocabulary)) for feature in fs]
+        for fs in feature_sets
+    ]
+    matrix = np.zeros((len(feature_sets), max(1, len(vocabulary))), dtype=bool)
+    for i, codes in enumerate(rows):
+        matrix[i, codes] = True
+    packed = np.packbits(matrix, axis=1)
+    sizes = np.array([len(fs) for fs in feature_sets], dtype=np.int64)
+    n_pairs = len(pairs)
+    ii = np.fromiter((pair[0] for pair in pairs), dtype=np.intp, count=n_pairs)
+    jj = np.fromiter((pair[1] for pair in pairs), dtype=np.intp, count=n_pairs)
+    verdicts = np.empty(n_pairs, dtype=bool)
+    chunk = 8192
+    for start in range(0, n_pairs, chunk):
+        stop = min(start + chunk, n_pairs)
+        left, right = ii[start:stop], jj[start:stop]
+        inter = np.bitwise_count(packed[left] & packed[right]).sum(
+            axis=1, dtype=np.int64
+        )
+        union = sizes[left] + sizes[right] - inter
+        # Two empty sets have Jaccard 1.0 by convention; guard the division.
+        both_empty = union == 0
+        similarity = np.where(
+            both_empty, 1.0, inter / np.where(both_empty, 1, union)
+        )
+        verdicts[start:stop] = similarity >= threshold
+    return verdicts
+
+
 def cluster_lsh(
     profiles: Mapping[str, BehaviorProfile],
     config: ClusteringConfig | None = None,
     *,
     executor: Executor | None = None,
+    vectorize: bool = True,
 ) -> BehaviorClustering:
     """Scalable clustering: LSH candidates + exact verification + union-find.
 
-    With an ``executor`` (any backend), exact-Jaccard verification of
-    the LSH candidate pairs goes through the same chunked
-    ``executor.map`` call, so cluster assignments, the
-    ``n_exact_comparisons`` counter and the chunk-level ``executor.*``
-    telemetry are all identical across serial/thread/process.  Only the
-    executor-less path (``executor=None``) keeps the legacy
-    union-find-aware loop that skips pairs already linked through
-    earlier unions — it verifies fewer pairs, which changes the counter
-    but never the connected components.
+    With ``vectorize=True`` (the default) the hot paths run as batch
+    numpy kernels: MinHash signatures come from one
+    :meth:`~repro.sandbox.lsh.MinHasher.signature_matrix` call and
+    candidate pairs are verified with packed-bit intersection counts —
+    both bit-identical to the scalar paths, so cluster assignments and
+    the ``n_exact_comparisons`` counter match the ``executor`` path
+    exactly (every candidate pair is verified).
+
+    With ``vectorize=False`` and an ``executor`` (any backend),
+    exact-Jaccard verification of the LSH candidate pairs goes through
+    the same chunked ``executor.map`` call, so cluster assignments, the
+    comparison counter and the chunk-level ``executor.*`` telemetry are
+    all identical across serial/thread/process.  Only the scalar
+    executor-less path (``vectorize=False``, ``executor=None``) keeps
+    the legacy union-find-aware loop that skips pairs already linked
+    through earlier unions — it verifies fewer pairs, which changes the
+    counter but never the connected components.
     """
     config = config or ClusteringConfig()
     tracer = current_tracer()
@@ -234,21 +297,45 @@ def cluster_lsh(
         hasher = MinHasher(
             config.n_hashes, seed=config.minhash_seed, backend=config.minhash_backend
         )
-        index = LSHIndex(bands=config.bands, rows=config.rows)
+        index = LSHIndex(
+            bands=config.bands,
+            rows=config.rows,
+            max_bucket_size=config.max_bucket_size,
+        )
         hashed_sets: list[set[int]] = []
         feature_sets: list[set] = []
-        for i, features in enumerate(uniques):
+        for features in uniques:
             profile = BehaviorProfile(features)
-            hashed = profile.hashed_features()
-            hashed_sets.append(hashed)
+            hashed_sets.append(profile.hashed_features())
             feature_sets.append(set(features))
-            index.add(i, hasher.signature(hashed))
+        if vectorize:
+            signatures = hasher.signature_matrix(hashed_sets)
+            for i in range(len(uniques)):
+                index.add(i, tuple(int(v) for v in signatures[i]))
+        else:
+            for i, hashed in enumerate(hashed_sets):
+                index.add(i, hasher.signature(hashed))
         candidates = index.candidate_pairs()
         span.set(candidate_pairs=len(candidates))
+        bucket_hist = registry.histogram(
+            "lsh.bucket_size", buckets=obs_metrics.SIZE_BUCKETS
+        )
+        for size in index.bucket_sizes():
+            bucket_hist.observe(size)
+        registry.counter("lsh.buckets_skipped").inc(index.skipped_buckets)
     uf = _UnionFind(list(range(len(uniques))))
     comparisons = 0
     with tracer.span("lsh.verify") as span:
-        if executor is not None and candidates:
+        if vectorize and candidates:
+            ordered = list(candidates)
+            verdicts = _verify_pairs_vectorized(
+                feature_sets, ordered, config.threshold
+            )
+            comparisons = len(candidates)
+            for (i, j), similar in zip(ordered, verdicts):
+                if similar:
+                    uf.union(i, j)
+        elif executor is not None and candidates:
             verdicts = executor.map(
                 partial(_pair_similar, feature_sets, config.threshold), candidates
             )

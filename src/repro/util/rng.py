@@ -29,6 +29,21 @@ T = TypeVar("T")
 _MASK64 = (1 << 64) - 1
 
 
+def _seed_hasher(master_seed: int) -> "hashlib._Hash":
+    """A SHA-256 hasher pre-fed with the master seed's fixed prefix."""
+    hasher = hashlib.sha256()
+    hasher.update(master_seed.to_bytes(16, "little", signed=True))
+    return hasher
+
+
+def _update_names(hasher: "hashlib._Hash", names: tuple[str | int, ...]) -> None:
+    """Feed length-prefixed name tokens into ``hasher``."""
+    for name in names:
+        token = (name if type(name) is str else str(name)).encode("utf-8")
+        hasher.update(len(token).to_bytes(4, "little"))
+        hasher.update(token)
+
+
 def derive_seed(master_seed: int, *names: str | int) -> int:
     """Derive a 64-bit child seed from ``master_seed`` and a name path.
 
@@ -42,12 +57,8 @@ def derive_seed(master_seed: int, *names: str | int) -> int:
     True
     """
     require_type(master_seed, int, "master_seed")
-    hasher = hashlib.sha256()
-    hasher.update(master_seed.to_bytes(16, "little", signed=True))
-    for name in names:
-        token = str(name).encode("utf-8")
-        hasher.update(len(token).to_bytes(4, "little"))
-        hasher.update(token)
+    hasher = _seed_hasher(master_seed)
+    _update_names(hasher, names)
     return int.from_bytes(hasher.digest()[:8], "little") & _MASK64
 
 
@@ -65,12 +76,23 @@ class RandomSource:
     tree of names forms a hierarchical namespace of independent streams.
     """
 
-    __slots__ = ("_seed", "_path")
+    __slots__ = ("_seed", "_path", "_prefix")
 
     def __init__(self, seed: int, _path: tuple[str, ...] = ()) -> None:
         require_type(seed, int, "seed")
         self._seed = seed
         self._path = _path
+        # The (seed, path) prefix of every derivation from this source
+        # is constant, so it is hashed once here; per-draw derivations
+        # resume from a cheap ``copy()`` of this hasher.  The resulting
+        # digests are byte-identical to ``derive_seed(seed, *path, *n)``.
+        self._prefix = _seed_hasher(seed)
+        _update_names(self._prefix, _path)
+
+    def _derive(self, names: tuple[str | int, ...]) -> int:
+        hasher = self._prefix.copy()
+        _update_names(hasher, names)
+        return int.from_bytes(hasher.digest()[:8], "little") & _MASK64
 
     @property
     def seed(self) -> int:
@@ -88,11 +110,11 @@ class RandomSource:
 
     def rng(self, *names: str | int) -> random.Random:
         """Return a ``random.Random`` for the named substream."""
-        return spawn_rng(self._seed, *self._path, *names)
+        return random.Random(self._derive(names))
 
     def numpy(self, *names: str | int) -> np.random.Generator:
         """Return a ``numpy.random.Generator`` for the named substream."""
-        return np.random.default_rng(derive_seed(self._seed, *self._path, *names))
+        return np.random.default_rng(self._derive(names))
 
     def choice(self, items: Sequence[T], *names: str | int) -> T:
         """Draw one element of ``items`` from the named substream."""
@@ -105,6 +127,14 @@ class RandomSource:
         out = list(items)
         self.rng(*names).shuffle(out)
         return out
+
+    def __getstate__(self) -> tuple[int, tuple[str, ...]]:
+        # The cached prefix hasher is not picklable (and is pure
+        # derived state); rebuild it on load.
+        return (self._seed, self._path)
+
+    def __setstate__(self, state: tuple[int, tuple[str, ...]]) -> None:
+        self.__init__(*state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         path = "/".join(self._path) or "<root>"

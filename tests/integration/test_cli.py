@@ -59,6 +59,23 @@ class TestCli:
         assert "drift" in capsys.readouterr().out.lower()
 
 
+class TestExecutionFlags:
+    """--shards/--no-columnar change how the pipeline runs, never what
+    it computes: the headline numbers must be identical."""
+
+    def _headline(self, capsys, *extra):
+        assert main(["headline", *COMMON, *extra]) == 0
+        return capsys.readouterr().out
+
+    def test_shards_flag_is_result_invariant(self, capsys):
+        baseline = self._headline(capsys)
+        assert self._headline(capsys, "--shards", "4") == baseline
+
+    def test_no_columnar_flag_is_result_invariant(self, capsys):
+        baseline = self._headline(capsys)
+        assert self._headline(capsys, "--no-columnar") == baseline
+
+
 class TestObservabilityFlags:
     def test_metrics_out_writes_a_valid_snapshot(self, tmp_path):
         import json

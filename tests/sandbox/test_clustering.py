@@ -206,3 +206,71 @@ class TestClusterLshParallel:
         assert explicit.assignment == baseline.assignment
         assert explicit.n_exact_comparisons == explicit.n_candidate_pairs
         assert baseline.n_exact_comparisons <= explicit.n_exact_comparisons
+
+
+class TestClusterLshVectorized:
+    """The batch numpy kernels are bit-identical to the scalar paths."""
+
+    def _profiles(self):
+        profiles = {}
+        for tag in ("alpha", "beta", "gamma"):
+            profiles.update(family_profiles(tag, 12))
+        profiles["empty-1"] = profile()
+        profiles["empty-2"] = profile()
+        return profiles
+
+    def test_vectorized_matches_executor_path(self):
+        from repro.util.parallel import SerialExecutor
+
+        profiles = self._profiles()
+        vectorized = cluster_lsh(profiles)  # vectorize=True is the default
+        scalar = cluster_lsh(
+            profiles, executor=SerialExecutor(), vectorize=False
+        )
+        assert vectorized.assignment == scalar.assignment
+        assert vectorized.clusters == scalar.clusters
+        # both verify every candidate pair, so the counters agree too
+        assert vectorized.n_exact_comparisons == scalar.n_exact_comparisons
+        assert vectorized.n_candidate_pairs == scalar.n_candidate_pairs
+
+    def test_vectorized_matches_legacy_components(self):
+        profiles = self._profiles()
+        vectorized = cluster_lsh(profiles)
+        legacy = cluster_lsh(profiles, vectorize=False)
+        assert vectorized.assignment == legacy.assignment
+
+    def test_python_backend_matches_numpy(self):
+        profiles = self._profiles()
+        numpy_backed = cluster_lsh(profiles)
+        python_backed = cluster_lsh(
+            profiles, ClusteringConfig(minhash_backend="python")
+        )
+        assert python_backed.assignment == numpy_backed.assignment
+
+    def test_bucket_metrics_emitted(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        with obs_metrics.use(MetricsRegistry()) as registry:
+            cluster_lsh(self._profiles())
+        snapshot = registry.snapshot()
+        hist = snapshot.histograms["lsh.bucket_size"]
+        assert hist["count"] > 0
+        # No degenerate buckets here, so the guard skipped nothing —
+        # but the counter must exist regardless (schema contract).
+        assert snapshot.counter("lsh.buckets_skipped") == 0
+
+    def test_max_bucket_size_guard_applies(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        # 30 near-identical profiles (30 shared features, 1 own) land in
+        # the same bucket in most bands -> mega-buckets the guard drops.
+        profiles = family_profiles("alpha", 30, core=30, own=1)
+        config = ClusteringConfig(max_bucket_size=8)
+        with obs_metrics.use(MetricsRegistry()) as registry:
+            guarded = cluster_lsh(profiles, config)
+        assert registry.snapshot().counter("lsh.buckets_skipped") > 0
+        unguarded = cluster_lsh(profiles)
+        # Dropping oversized buckets can only reduce candidate pairs.
+        assert guarded.n_exact_comparisons < unguarded.n_exact_comparisons

@@ -112,3 +112,51 @@ class TestLSHIndex:
         stats = index.stats()
         assert stats["items"] == 2
         assert stats["largest_bucket"] == 2
+
+
+class TestBucketGuard:
+    def _collided(self, n, max_bucket_size=None):
+        """n items whose signatures all collide in every band."""
+        index = LSHIndex(bands=2, rows=2, max_bucket_size=max_bucket_size)
+        for i in range(n):
+            index.add(f"k{i}", (1, 2, 3, 4))
+        return index
+
+    def test_pairs_emitted_once_per_combination(self):
+        index = self._collided(4)
+        pairs = index.candidate_pairs()
+        # One 4-item bucket per band emits C(4,2) distinct pairs.
+        assert len(pairs) == 6
+        assert all(repr(a) < repr(b) for a, b in pairs)
+
+    def test_oversized_buckets_skipped_and_counted(self):
+        index = self._collided(5, max_bucket_size=4)
+        assert index.candidate_pairs() == set()
+        assert index.skipped_buckets == 2  # one oversized bucket per band
+
+    def test_bucket_at_bound_still_emits(self):
+        index = self._collided(4, max_bucket_size=4)
+        assert len(index.candidate_pairs()) == 6
+        assert index.skipped_buckets == 0
+
+    def test_guard_leaves_small_buckets_alone(self):
+        index = LSHIndex(bands=2, rows=2, max_bucket_size=2)
+        index.add("a", (1, 2, 3, 4))
+        index.add("b", (1, 2, 5, 6))
+        index.add("c", (7, 8, 5, 6))
+        assert index.candidate_pairs() == {("a", "b"), ("b", "c")}
+
+    def test_skip_count_reset_per_call(self):
+        index = self._collided(5, max_bucket_size=4)
+        index.candidate_pairs()
+        index.candidate_pairs()
+        assert index.skipped_buckets == 2  # tallies one pass, not cumulative
+
+    def test_bucket_sizes_histogram_fodder(self):
+        index = self._collided(3)
+        assert index.bucket_sizes() == [3, 3]  # one bucket per band
+        assert index.stats()["skipped_buckets"] == 0
+
+    def test_guard_bound_validated(self):
+        with pytest.raises(ValidationError):
+            LSHIndex(bands=2, rows=2, max_bucket_size=1)
