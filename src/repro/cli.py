@@ -51,6 +51,8 @@ The longitudinal toolkit lives under ``repro obs``::
     python -m repro obs tail events.jsonl --follow  # live event stream
     python -m repro obs export RUN --format prometheus
     python -m repro obs trace RUN --chrome t.json   # Perfetto export
+    python -m repro obs health RUN                  # SLO/anomaly report
+    python -m repro obs dashboard RUN               # sparkline dashboard
     python -m repro obs validate --runs results/runs
 """
 
@@ -132,6 +134,15 @@ def _build_parser() -> argparse.ArgumentParser:
             help="stream observation through N time-slice shards, "
             "dropping each shard's binaries before building the next "
             "(0 = unsharded; the dataset is bit-identical for any N)",
+        )
+        p.add_argument(
+            "--windows",
+            type=int,
+            default=4,
+            metavar="WEEKS",
+            help="fold per-window landscape telemetry over WEEKS-wide "
+            "time windows after the pipeline (0 = off; artifacts are "
+            "unaffected either way)",
         )
         p.add_argument(
             "--timings",
@@ -333,9 +344,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     export_p.add_argument(
         "--format",
-        choices=("prometheus", "chrome", "jsonl"),
+        choices=("prometheus", "openmetrics", "chrome", "jsonl"),
         default="prometheus",
-        help="prometheus: text exposition format; chrome: trace-event "
+        help="prometheus: text exposition format; openmetrics: the "
+        "OpenMetrics variant (# EOF terminated); chrome: trace-event "
         "JSON of the span tree; jsonl: one JSON object per sample",
     )
     export_p.add_argument(
@@ -382,6 +394,56 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the flamegraph-style text view (default when no --chrome)",
     )
 
+    health_p = obs_sub.add_parser(
+        "health",
+        help="SLO/anomaly health report of a stored run or manifest",
+    )
+    add_store(health_p)
+    health_p.add_argument("ref", help="run id, id prefix or manifest path")
+    health_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="REF",
+        help="also evaluate this run and gate only on findings NEW "
+        "relative to it (rule+target+window identity)",
+    )
+    health_p.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "critical"),
+        default="critical",
+        help="non-zero exit when a (new) finding at or above this "
+        "severity exists (default: critical)",
+    )
+    health_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report instead of the text view",
+    )
+
+    dash_p = obs_sub.add_parser(
+        "dashboard",
+        help="sparkline terminal view of a run's window series",
+    )
+    add_store(dash_p)
+    dash_p.add_argument(
+        "ref",
+        help="run id, manifest path or window-report path; with "
+        "--follow: an event log written by --events",
+    )
+    dash_p.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="treat REF as a live event log and redraw the dashboard "
+        "on every window.rollup event until interrupted",
+    )
+    dash_p.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the rendered dashboard to PATH instead of stdout",
+    )
+
     validate_p = obs_sub.add_parser(
         "validate", help="validate emitted JSON and/or every stored run"
     )
@@ -394,6 +456,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="JSONL",
         help="event log to validate (sequence gaps, unknown kinds); "
         "with --manifest it is also cross-checked against the span tree",
+    )
+    validate_p.add_argument(
+        "--windows",
+        default=None,
+        metavar="JSON",
+        help="window-report sidecar to validate; with --manifest its "
+        "fingerprint is also checked against the manifest's",
     )
     validate_p.add_argument(
         "--no-require-scenario",
@@ -416,6 +485,7 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
         progress=args.progress,
         columnar=args.columnar,
         shards=args.shards,
+        windows=args.windows,
     )
     # One registry for the whole session: the scenario build records
     # into it, and so do the cache load/store paths around the build.
@@ -454,11 +524,14 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
         else:
             path = run.manifest.write("manifest.json")
             log.info("manifest written", extra={"path": str(path)})
+            if run.windows is not None:
+                sidecar = run.windows.write("manifest.windows.json")
+                log.info("window report written", extra={"path": str(sidecar)})
     if args.store_run:
         if run.manifest is None:
             log.warning("run carries no manifest; nothing stored")
         else:
-            from repro.obs.history import RunStore
+            from repro.obs.history import RUN_ID_LENGTH, RunStore
 
             store = RunStore()
             # Only ingest the event log when it describes the run that
@@ -466,6 +539,14 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
             # whose manifest the session's (cache-only) log cannot
             # account for.
             events_path = args.events if args.events and not args.cache else None
+            if run.windows is not None:
+                # Written before add() so the index entry records it.
+                target = store.windows_path_for(
+                    run.manifest.fingerprint,
+                    run.manifest.content_id()[:RUN_ID_LENGTH],
+                )
+                target.parent.mkdir(parents=True, exist_ok=True)
+                run.windows.write(target)
             run_id = store.add(run.manifest, events_path=events_path)
             log.info(
                 "run stored", extra={"run_id": run_id, "store": str(store.root)}
@@ -602,6 +683,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             payload = json.loads(ref_path.read_text(encoding="utf-8"))
         else:
             payload = store.load_payload(args.ref)
+        try:
+            windows = store.load_windows(args.ref)
+        except Exception:  # bare snapshot files resolve to no sidecar
+            windows = None
+        if windows is not None:
+            payload = {**payload, "windows": windows}
         rendered = export_payload(payload, args.format)
         if args.out:
             Path(args.out).write_text(rendered, encoding="utf-8")
@@ -629,6 +716,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         if args.flame or not args.chrome:
             print(flame_view(tree))
         return 0
+    if args.obs_command == "health":
+        return _cmd_obs_health(args, store)
+    if args.obs_command == "dashboard":
+        return _cmd_obs_dashboard(args, store)
     if args.obs_command == "validate":
         from repro.obs.validate import main as validate_main
 
@@ -639,6 +730,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             forwarded += ["--manifest", args.manifest]
         if args.events:
             forwarded += ["--events", args.events]
+        if args.windows:
+            forwarded += ["--windows", args.windows]
         if not getattr(args, "require_scenario", True):
             forwarded += ["--no-require-scenario"]
         # Validate the store when asked for explicitly, when it exists,
@@ -648,6 +741,68 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             forwarded += ["--runs", str(store.root)]
         return validate_main(forwarded)
     raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
+def _cmd_obs_health(args: argparse.Namespace, store) -> int:
+    from repro.obs.health import SEVERITIES, evaluate_health, new_findings
+
+    def report_for(ref: str):
+        payload = _load_manifest_payload(store, ref)
+        return evaluate_health(payload, store.load_windows(ref))
+
+    report = report_for(args.ref)
+    baseline = report_for(args.baseline) if args.baseline else None
+    fresh = new_findings(report, baseline)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+        if baseline is not None:
+            print(f"{len(fresh)} new finding(s) vs baseline {args.baseline}")
+    floor = SEVERITIES.index(args.fail_on)
+    gated = [f for f in fresh if SEVERITIES.index(f.severity) >= floor]
+    return 1 if gated else 0
+
+
+def _cmd_obs_dashboard(args: argparse.Namespace, store) -> int:
+    import json
+
+    from repro.obs.dashboard import follow_dashboard, render_dashboard
+    from repro.obs.health import evaluate_health
+
+    if args.follow:
+        try:
+            follow_dashboard(args.ref, sys.stdout)
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        return 0
+    # REF may be a window report itself, or a manifest/run id whose
+    # sidecar the store resolves; a manifest also yields health findings.
+    windows = None
+    health = None
+    ref_path = Path(args.ref)
+    if ref_path.is_file():
+        payload = json.loads(ref_path.read_text(encoding="utf-8"))
+        if "window_weeks" in payload and "series" in payload:
+            windows = payload
+    if windows is None:
+        windows = store.load_windows(args.ref)
+        if windows is None:
+            print(
+                f"no window report for {args.ref}: run with --windows N "
+                "and --manifest/--store-run first",
+                file=sys.stderr,
+            )
+            return 1
+        manifest = _load_manifest_payload(store, args.ref)
+        health = evaluate_health(manifest, windows).as_dict()
+    rendered = render_dashboard(windows, health)
+    if args.out:
+        Path(args.out).write_text(rendered, encoding="utf-8")
+        print(f"wrote dashboard of {args.ref} to {args.out}")
+    else:
+        print(rendered, end="")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

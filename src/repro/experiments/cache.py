@@ -64,13 +64,25 @@ log = get_logger("experiments.cache")
 #:    (execution-only), ClusteringConfig grew max_bucket_size,
 #:    SGNetDataset carries a lazy columnar view, and the observable
 #:    dataclasses moved to ``slots=True`` (incompatible pickles).
-CACHE_FORMAT = 6
+#: 7: landscape health monitor — ScenarioConfig grew windows
+#:    (execution-only), ScenarioRun grew windows/health, RunManifest
+#:    grew health_summary (schema 5).
+CACHE_FORMAT = 7
 
 #: ScenarioConfig fields that cannot change results, only how fast they
 #: are computed or what telemetry they emit; they never contribute to
 #: any fingerprint.
 EXECUTION_ONLY_FIELDS = frozenset(
-    {"executor", "jobs", "profile", "events", "progress", "columnar", "shards"}
+    {
+        "executor",
+        "jobs",
+        "profile",
+        "events",
+        "progress",
+        "columnar",
+        "shards",
+        "windows",
+    }
 )
 
 #: Canonical-JSON reduction (shared with the run manifest's digests).

@@ -28,10 +28,12 @@ from repro.experiments.stages import StageContext, execute_stages
 from repro.honeypot.deployment import DeploymentConfig, SGNetDeployment
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs.health import HealthReport, evaluate_health
 from repro.obs.log import get_logger
 from repro.obs.manifest import RunManifest, build_manifest
-from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.metrics import SIZE_BUCKETS, MetricsRegistry, MetricsSnapshot
 from repro.obs.trace import Tracer, TraceSpan, use_tracer
+from repro.obs.windows import WindowReport, build_window_report
 from repro.sandbox.anubis import AnubisService
 from repro.sandbox.clustering import BehaviorClustering, ClusteringConfig
 from repro.sandbox.execution import SandboxConfig
@@ -93,6 +95,11 @@ class ScenarioConfig:
     #: draw comes from the event's own named substream, so the dataset
     #: is bit-identical for any shard count.
     shards: int = 0
+    #: Width, in weeks, of the landscape-telemetry windows folded after
+    #: the pipeline (0 = no windowed telemetry).  Execution-only: the
+    #: window report is derived *from* the artifacts and cannot change
+    #: them, so every setting shares one cache fingerprint.
+    windows: int = 4
 
     def __post_init__(self) -> None:
         require(self.n_weeks >= 4, "scenario needs at least 4 weeks")
@@ -100,6 +107,7 @@ class ScenarioConfig:
         require(self.executor in BACKENDS, f"unknown executor backend {self.executor!r}")
         require(self.jobs >= 0, "jobs must be >= 0 (0 = one worker per core)")
         require(self.shards >= 0, "shards must be >= 0 (0 = unsharded)")
+        require(self.windows >= 0, "windows must be >= 0 (0 = no windowed telemetry)")
 
 
 @dataclass
@@ -131,6 +139,10 @@ class ScenarioRun:
     #: ``"hit"`` (replayed from the stage store), ``"miss"`` (computed
     #: and stored) or ``"off"`` (computed, no store consulted).
     stage_cache: dict[str, str] = field(default_factory=dict)
+    #: Per-window landscape telemetry (``None`` with ``windows=0``).
+    windows: WindowReport | None = None
+    #: The run's SLO/health evaluation against the default rule set.
+    health: HealthReport | None = None
 
     def headline(self) -> dict[str, int]:
         """The §4/§4.1 headline numbers of this run."""
@@ -211,6 +223,7 @@ class PaperScenario:
         # cache layer too), so the manifest's event summary is the
         # *delta* emitted by this run, not the session totals.
         counts_before = bus.summary() if bus.recording else {}
+        fingerprint = scenario_fingerprint(self.seed, self.config)
         fingerprints = stage_fingerprints(self.seed, self.config)
         session = (
             StageCacheSession(stage_store, self.seed, self.config, fingerprints)
@@ -234,6 +247,32 @@ class PaperScenario:
                 executor=executor,
             )
             stage_cache = execute_stages(ctx, tracer, session=session)
+            window_report: WindowReport | None = None
+            if self.config.windows > 0:
+                # The windowed fold is derived telemetry, not a pipeline
+                # stage: it reads the finished artifacts, so it sits
+                # after the DAG and is never cached (cache="off").
+                with tracer.span("windows") as span:
+                    window_report = build_window_report(
+                        ctx["dataset"],
+                        ctx["epm"],
+                        ctx["bclusters"],
+                        ctx.grid,
+                        seed=self.seed,
+                        fingerprint=fingerprint,
+                        window_weeks=self.config.windows,
+                    )
+                    span.set(cache="off", windows=window_report.n_windows)
+                    self._emit_window_telemetry(registry, bus, window_report)
+                crossview_summary = window_report.crossview
+            else:
+                from repro.analysis.crossview import CrossView
+
+                crossview_summary = CrossView(
+                    ctx["dataset"], ctx["epm"], ctx["bclusters"]
+                ).summary()
+            for name in sorted(crossview_summary):
+                registry.gauge(f"crossview.{name}").set(crossview_summary[name])
 
         root = tracer.finish()
         run = ScenarioRun(
@@ -252,12 +291,36 @@ class PaperScenario:
             trace=root,
             metrics=registry.snapshot(),
             stage_cache=stage_cache,
+            windows=window_report,
         )
         from repro.experiments.regression import check_headline
 
         headline = run.headline()
-        for deviation in check_headline(headline):
+        deviations = check_headline(headline)
+        for deviation in deviations:
             bus.emit("golden.deviation", detail=deviation)
+        # Health is judged on what the run just recorded: the metric
+        # snapshot, its own golden deviations and the window series.
+        health = evaluate_health(
+            {"metrics": run.metrics.as_dict(), "golden_deviations": deviations},
+            window_report.as_dict() if window_report is not None else None,
+        )
+        run.health = health
+        for finding in health.findings:
+            registry.counter("health.findings", severity=finding.severity).inc()
+            bus.emit(
+                "health.finding",
+                rule=finding.rule,
+                severity=finding.severity,
+                target=finding.target,
+                value=finding.value,
+                window=finding.window,
+            )
+        bus.emit(
+            "health.summary", rules=health.rules_evaluated, **health.summary()
+        )
+        # Re-snapshot so the manifest's metrics include health.findings.
+        run.metrics = registry.snapshot()
         bus.emit("run.finish", seconds=round(root.seconds, 6), **headline)
         event_summary = None
         if bus.recording:
@@ -268,9 +331,10 @@ class PaperScenario:
             }
         run.manifest = build_manifest(
             run,
-            fingerprint=scenario_fingerprint(self.seed, self.config),
+            fingerprint=fingerprint,
             events=event_summary,
             stages=fingerprints,
+            health=health.summary(),
         )
         if owns_bus:
             bus.close()
@@ -279,6 +343,31 @@ class PaperScenario:
             extra={"seconds": round(root.seconds, 3), **headline},
         )
         return run
+
+    @staticmethod
+    def _emit_window_telemetry(registry, bus, report: WindowReport) -> None:
+        """Mirror a window report onto the metric registry and event bus.
+
+        One ``window.rollup`` event per window carries every series
+        value (what ``repro obs dashboard --follow`` folds back into a
+        live view); the gauges/histogram make the windowed shape
+        visible in plain metric snapshots and ``obs diff``.
+        """
+        registry.gauge("window.count").set(report.n_windows)
+        registry.gauge("window.weeks").set(report.window_weeks)
+        per_window_events = registry.histogram("window.events", SIZE_BUCKETS)
+        for value in report.series["events"]:
+            per_window_events.observe(value)
+        for window in range(report.n_windows):
+            bus.emit(
+                "window.rollup",
+                window=window,
+                fingerprint=report.fingerprint,
+                seed=report.seed,
+                window_weeks=report.window_weeks,
+                n_windows=report.n_windows,
+                **report.window_row(window),
+            )
 
 
 def small_scenario(seed: int = 2010, *, scale: float = 0.15, n_weeks: int = 30) -> ScenarioRun:

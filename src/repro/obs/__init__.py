@@ -26,10 +26,21 @@ near-free when off:
   the ``repro obs tail`` replay/follow reader and the ``--progress``
   renderer;
 * :mod:`repro.obs.export` — exporters of the recorded telemetry:
-  Prometheus text exposition, JSON-lines samples, Chrome traces;
+  Prometheus/OpenMetrics text expositions, JSON-lines samples, Chrome
+  traces;
 * :mod:`repro.obs.profile` — opt-in per-span CPU/RSS/GC probes plus
   span-tree exporters: Chrome trace-event JSON and a flamegraph-style
-  text view.
+  text view;
+* :mod:`repro.obs.windows` — per-window landscape telemetry: the
+  :class:`WindowReport` folding a run's artifacts into time-window
+  series (attack volume, new samples/patterns, cluster counts and
+  churn, cross-view agreement), persisted next to the run store;
+* :mod:`repro.obs.health` — the declarative SLO/health-rule engine
+  (static thresholds + EWMA z-score anomaly detection over window
+  series) behind ``repro obs health``;
+* :mod:`repro.obs.dashboard` — the sparkline terminal dashboard behind
+  ``repro obs dashboard`` (static render + ``--follow`` off the event
+  stream).
 
 Instrumented layers read the ambient registry/tracer
 (:func:`repro.obs.metrics.active`,
@@ -48,7 +59,21 @@ from repro.obs.events import (
     read_events,
     use_bus,
 )
-from repro.obs.export import export_payload, jsonl_text, prometheus_text
+from repro.obs.dashboard import render_dashboard, sparkline
+from repro.obs.export import (
+    export_payload,
+    jsonl_text,
+    openmetrics_text,
+    prometheus_text,
+)
+from repro.obs.health import (
+    DEFAULT_RULES,
+    HealthFinding,
+    HealthReport,
+    HealthRule,
+    evaluate_health,
+    new_findings,
+)
 from repro.obs.history import RunStore
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.manifest import RunManifest, build_manifest
@@ -61,14 +86,19 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import chrome_trace, flame_view, write_chrome_trace
 from repro.obs.trace import NULL_TRACER, Tracer, TraceSpan, current_tracer, use_tracer
+from repro.obs.windows import WINDOW_SERIES, WindowReport, build_window_report
 
 # repro.obs.validate is deliberately NOT imported here: it doubles as the
 # ``python -m repro.obs.validate`` CI entry point, and importing it from
 # the package __init__ would make runpy warn about the double import.
 
 __all__ = [
+    "DEFAULT_RULES",
     "EVENT_KINDS",
     "EventBus",
+    "HealthFinding",
+    "HealthReport",
+    "HealthRule",
     "LATENCY_BUCKETS",
     "ManifestDiff",
     "MetricsRegistry",
@@ -82,20 +112,28 @@ __all__ = [
     "SIZE_BUCKETS",
     "TraceSpan",
     "Tracer",
+    "WINDOW_SERIES",
+    "WindowReport",
     "active_bus",
     "build_manifest",
+    "build_window_report",
     "chrome_trace",
     "configure_logging",
     "current_tracer",
     "diff_manifests",
+    "evaluate_health",
     "export_payload",
     "flame_view",
     "get_logger",
     "iter_events",
     "jsonl_text",
+    "new_findings",
+    "openmetrics_text",
     "prometheus_text",
     "read_events",
+    "render_dashboard",
     "render_history",
+    "sparkline",
     "use_bus",
     "write_chrome_trace",
 ]

@@ -61,6 +61,9 @@ SEMANTIC_EVENT_KINDS = frozenset(
         "chunk.finish",
         "cluster.milestone",
         "golden.deviation",
+        "window.rollup",
+        "health.finding",
+        "health.summary",
         "run.finish",
     }
 )
@@ -119,6 +122,8 @@ class ManifestDiff:
     metric_deltas: dict[str, tuple[float, float]] = field(default_factory=dict)
     timing_deltas: list[TimingDelta] = field(default_factory=list)
     new_golden_deviations: list[str] = field(default_factory=list)
+    #: Per-severity health-summary counts that changed (schema >= 5).
+    health_deltas: dict[str, tuple[int, int]] = field(default_factory=dict)
 
     @property
     def same_config(self) -> bool:
@@ -160,6 +165,10 @@ class ManifestDiff:
         if self.new_golden_deviations:
             lines.append("NEW golden-headline deviations:")
             lines.extend(f"  {deviation}" for deviation in self.new_golden_deviations)
+        if self.health_deltas:
+            lines.append("health summary changed:")
+            for severity, (a, b) in sorted(self.health_deltas.items()):
+                lines.append(f"  {severity}: {a} -> {b}")
         if self.metric_deltas:
             lines.append("metric deltas (counters/gauges):")
             for key, (a, b) in sorted(self.metric_deltas.items()):
@@ -365,6 +374,14 @@ def diff_manifests(
         for deviation in b.get("golden_deviations", [])
         if deviation not in deviations_a
     ]
+
+    health_a = a.get("health_summary", {}) or {}
+    health_b = b.get("health_summary", {}) or {}
+    for severity in sorted(set(health_a) | set(health_b)):
+        ha = int(health_a.get(severity, 0))
+        hb = int(health_b.get(severity, 0))
+        if ha != hb:
+            diff.health_deltas[severity] = (ha, hb)
     return diff
 
 

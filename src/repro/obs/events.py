@@ -68,6 +68,9 @@ EVENT_KINDS = (
     "cluster.milestone",
     "golden.deviation",
     "worker.failure",
+    "window.rollup",
+    "health.finding",
+    "health.summary",
 )
 
 _KNOWN_KINDS = frozenset(EVENT_KINDS)

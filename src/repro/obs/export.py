@@ -8,6 +8,11 @@ external tooling expects:
   metrics snapshot (``repro_`` prefix, counters as ``_total``,
   histograms as cumulative ``_bucket{le=...}`` series), ready for a
   textfile collector or pushgateway.
+* :func:`openmetrics_text` — the OpenMetrics text format: the same
+  family rendering with the spec's hard requirements made explicit
+  (``_total`` sample suffix on counters, an explicit ``+Inf`` bucket on
+  every histogram, the mandatory ``# EOF`` terminator), for scrapers
+  that negotiate ``application/openmetrics-text``.
 * :func:`jsonl_samples` / :func:`jsonl_text` — one JSON object per
   sample, the lingua franca of log shippers.
 * Chrome traces reuse :func:`repro.obs.profile.chrome_trace` on the
@@ -30,7 +35,7 @@ from repro.obs.metrics import parse_key
 from repro.util.validation import require
 
 #: Formats :func:`export_payload` understands.
-EXPORT_FORMATS = ("prometheus", "jsonl", "chrome")
+EXPORT_FORMATS = ("prometheus", "openmetrics", "jsonl", "chrome")
 
 #: Prefix of every exported Prometheus metric name.
 PROMETHEUS_PREFIX = "repro_"
@@ -46,6 +51,16 @@ def metrics_section(payload: Mapping) -> dict:
 def span_tree_section(payload: Mapping) -> dict:
     """The span tree inside ``payload`` (empty for bare snapshots)."""
     return dict(payload.get("span_tree", {}))
+
+
+def window_series_section(payload: Mapping) -> dict:
+    """Window series attached to ``payload`` (empty when absent).
+
+    The CLI attaches a run's window-report sidecar under ``windows``
+    before exporting, so per-window landscape series ride along as
+    ``window_series{series=...,window=...}`` gauge samples.
+    """
+    return dict(dict(payload.get("windows", {})).get("series", {}))
 
 
 def _prom_name(name: str) -> str:
@@ -123,7 +138,29 @@ def prometheus_text(payload: Mapping) -> str:
         lines.append(
             f"{prom}_count{_prom_labels(labels)} {int(histogram.get('count', 0))}"
         )
+    series = window_series_section(payload)
+    if series:
+        prom = PROMETHEUS_PREFIX + "window_series"
+        lines.append(f"# TYPE {prom} gauge")
+        for name in sorted(series):
+            for window, value in enumerate(series[name]):
+                labels = {"series": name, "window": str(window)}
+                lines.append(f"{prom}{_prom_labels(labels)} {_format_value(value)}")
     return "\n".join(lines) + "\n"
+
+
+def openmetrics_text(payload: Mapping) -> str:
+    """OpenMetrics text exposition of a metrics snapshot or manifest.
+
+    The family rendering is shared with :func:`prometheus_text` — the
+    obs layer already emits counters as ``_total`` samples and closes
+    every histogram with an explicit ``+Inf`` bucket, both of which
+    OpenMetrics *requires* where Prometheus merely tolerates.  What the
+    spec adds on top is the mandatory ``# EOF`` terminator, the one
+    marker that lets a scraper distinguish a complete exposition from a
+    truncated one.
+    """
+    return prometheus_text(payload) + "# EOF\n"
 
 
 def jsonl_samples(payload: Mapping) -> Iterator[dict]:
@@ -149,6 +186,15 @@ def jsonl_samples(payload: Mapping) -> Iterator[dict]:
             "sum": float(histogram.get("sum", 0.0)),
             "buckets": dict(histogram.get("buckets", {})),
         }
+    series = window_series_section(payload)
+    for name in sorted(series):
+        for window, value in enumerate(series[name]):
+            yield {
+                "type": "gauge",
+                "name": "window.series",
+                "labels": {"series": name, "window": str(window)},
+                "value": value,
+            }
 
 
 def jsonl_text(payload: Mapping) -> str:
@@ -164,6 +210,8 @@ def export_payload(payload: Mapping, fmt: str) -> str:
     require(fmt in EXPORT_FORMATS, f"unknown export format {fmt!r}")
     if fmt == "prometheus":
         return prometheus_text(payload)
+    if fmt == "openmetrics":
+        return openmetrics_text(payload)
     if fmt == "jsonl":
         return jsonl_text(payload)
     tree = span_tree_section(payload)

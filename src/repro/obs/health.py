@@ -1,0 +1,427 @@
+"""The declarative SLO / health-rule engine over run telemetry.
+
+A :class:`HealthRule` names one invariant the landscape pipeline should
+uphold — "no worker ever failed", "the cross-view agreement never drops
+below 0.25", "the per-window event rate never jumps more than four
+trailing standard deviations" — and :func:`evaluate_health` checks a
+rule set against a run's manifest payload plus (when available) its
+:class:`~repro.obs.windows.WindowReport` series.  The result is a
+severity-ranked, deterministic :class:`HealthReport`: findings are a
+pure function of the evaluated payloads (never of wall-clock state), so
+serial/thread/process executions of one scenario produce byte-identical
+reports, digest-checked in the determinism tests.
+
+Three rule kinds cover the useful space:
+
+* ``max`` / ``min`` — static SLO thresholds.  Against a metric target
+  they yield at most one finding; against a window series they yield
+  one finding per offending window.
+* ``zscore`` — anomaly detection over a window series: each point is
+  scored against the exponentially weighted mean/variance (EWMA) of the
+  points before it, so a spike is flagged relative to the run's own
+  trailing behaviour rather than a fixed bound.
+
+Targets are addressed with a small URI-ish syntax shared with
+``repro obs history``: ``metric:<key>`` resolves through
+:func:`repro.obs.diff.metric_value` (exact snapshot keys, bare names
+summing labels, ``stage:<span>``, histogram quantiles), ``series:<name>``
+reads a window series, and ``golden:deviations`` counts the manifest's
+self-reported golden-headline deviations.
+
+The CLI front-end is ``repro obs health`` (see :mod:`repro.cli`), which
+CI runs as a gate: fail when a run carries findings at or above a
+severity that its baseline run did not.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.util.canonical import canonical_digest
+from repro.util.validation import require
+
+#: Health-report schema version; bump on incompatible layout changes.
+HEALTH_SCHEMA = 1
+
+#: Severities in ascending order of alarm.
+SEVERITIES = ("info", "warning", "critical")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: Rule kinds the engine evaluates.
+RULE_KINDS = ("max", "min", "zscore")
+
+#: EWMA smoothing factor for ``zscore`` rules: ~the last five windows
+#: dominate the trailing estimate.
+EWMA_ALPHA = 0.3
+
+#: ``zscore`` rules skip the first windows: a trailing estimate built
+#: from fewer points than this flags nothing (cold-start noise).
+MIN_HISTORY = 3
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One declarative invariant over a run's telemetry."""
+
+    name: str
+    severity: str
+    #: ``metric:<key>``, ``series:<name>`` or ``golden:deviations``.
+    target: str
+    kind: str
+    threshold: float
+    #: Human framing of why the rule exists (rendered with findings).
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        require(self.severity in SEVERITIES, f"unknown severity {self.severity!r}")
+        require(self.kind in RULE_KINDS, f"unknown rule kind {self.kind!r}")
+        require(
+            self.target.partition(":")[0] in ("metric", "series", "golden"),
+            f"unknown target scheme in {self.target!r}",
+        )
+        if self.kind == "zscore":
+            require(
+                self.target.startswith("series:"),
+                "zscore rules need a window series target",
+            )
+
+
+@dataclass(frozen=True)
+class HealthFinding:
+    """One rule violation: what fired, where, by how much."""
+
+    rule: str
+    severity: str
+    target: str
+    value: float
+    threshold: float
+    detail: str
+    #: Window index for series findings, ``None`` for whole-run ones.
+    window: int | None = None
+
+    def key(self) -> tuple[str, str, int | None]:
+        """Identity for baseline comparison (value magnitudes ignored)."""
+        return (self.rule, self.target, self.window)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "target": self.target,
+            "value": round(float(self.value), 9),
+            "threshold": round(float(self.threshold), 9),
+            "detail": self.detail,
+            "window": self.window,
+        }
+
+    def render(self) -> str:
+        where = f" [window {self.window}]" if self.window is not None else ""
+        line = (
+            f"{self.severity.upper():<8} {self.rule}: {self.target}{where} "
+            f"= {self.value:g} (threshold {self.threshold:g})"
+        )
+        return f"{line} — {self.detail}" if self.detail else line
+
+
+@dataclass
+class HealthReport:
+    """Severity-ranked findings of one rule-set evaluation."""
+
+    findings: list[HealthFinding] = field(default_factory=list)
+    rules_evaluated: int = 0
+    schema: int = HEALTH_SCHEMA
+
+    def summary(self) -> dict[str, int]:
+        """Finding counts per severity — the manifest's ``health_summary``."""
+        counts = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            counts[finding.severity] += 1
+        return counts
+
+    def worst(self) -> str | None:
+        """Highest severity present, ``None`` on a clean report."""
+        if not self.findings:
+            return None
+        return self.findings[0].severity
+
+    def at_or_above(self, severity: str) -> list[HealthFinding]:
+        """Findings at or above ``severity``."""
+        require(severity in SEVERITIES, f"unknown severity {severity!r}")
+        floor = _SEVERITY_RANK[severity]
+        return [f for f in self.findings if _SEVERITY_RANK[f.severity] >= floor]
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "rules_evaluated": self.rules_evaluated,
+            "summary": self.summary(),
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2)
+
+    def digest(self) -> str:
+        """Canonical content address (determinism-checked in tests)."""
+        return canonical_digest(self.as_dict())
+
+    def render(self) -> str:
+        """Human-readable report, most severe first."""
+        counts = self.summary()
+        head = ", ".join(
+            f"{counts[severity]} {severity}"
+            for severity in reversed(SEVERITIES)
+            if counts[severity]
+        )
+        lines = [
+            f"health: {len(self.findings)} finding(s) "
+            f"({head or 'clean'}) from {self.rules_evaluated} rule(s)"
+        ]
+        lines.extend(f"  {finding.render()}" for finding in self.findings)
+        return "\n".join(lines)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "HealthReport":
+        require(
+            payload.get("schema") == HEALTH_SCHEMA,
+            f"unsupported health report schema {payload.get('schema')!r}",
+        )
+        findings = [
+            HealthFinding(
+                rule=str(raw["rule"]),
+                severity=str(raw["severity"]),
+                target=str(raw["target"]),
+                value=float(raw["value"]),
+                threshold=float(raw["threshold"]),
+                detail=str(raw.get("detail", "")),
+                window=None if raw.get("window") is None else int(raw["window"]),
+            )
+            for raw in payload.get("findings", [])
+        ]
+        return cls(
+            findings=findings,
+            rules_evaluated=int(payload.get("rules_evaluated", 0)),
+        )
+
+
+#: The shipped rule set.  Deliberately conservative: every rule reads
+#: *deterministic* telemetry (no wall-clock metrics), so the in-run
+#: health report stays byte-identical across executor backends.
+#: Mirrored in ``docs/ARCHITECTURE.md``'s health-rule table.
+DEFAULT_RULES: tuple[HealthRule, ...] = (
+    HealthRule(
+        name="workers-healthy",
+        severity="critical",
+        target="metric:executor.worker_failures",
+        kind="max",
+        threshold=0,
+        detail="a parallel worker crashed and its chunk was re-run",
+    ),
+    HealthRule(
+        name="samples-collected",
+        severity="critical",
+        target="metric:honeypot.samples_collected",
+        kind="min",
+        threshold=1,
+        detail="the observation stage collected no binaries at all",
+    ),
+    HealthRule(
+        name="bclusters-exist",
+        severity="critical",
+        target="metric:lsh.clusters",
+        kind="min",
+        threshold=1,
+        detail="behavioural clustering produced no clusters",
+    ),
+    HealthRule(
+        name="lsh-guard-quiet",
+        severity="warning",
+        target="metric:lsh.buckets_skipped",
+        kind="max",
+        threshold=0,
+        detail="the LSH bucket-size guard dropped candidate pairs",
+    ),
+    HealthRule(
+        name="golden-headline",
+        severity="warning",
+        target="golden:deviations",
+        kind="max",
+        threshold=0,
+        detail="the run deviates from the paper's golden headline",
+    ),
+    HealthRule(
+        name="crossview-agreement-floor",
+        severity="warning",
+        target="series:agreement",
+        kind="min",
+        threshold=0.25,
+        detail="static and behavioural views disagree on this window "
+        "(poisoning or environment sensitivity — see PAPERS.md)",
+    ),
+    HealthRule(
+        name="event-rate-anomaly",
+        severity="warning",
+        target="series:events",
+        kind="zscore",
+        threshold=4.0,
+        detail="per-window attack volume jumped against its own trail",
+    ),
+    HealthRule(
+        name="bcluster-churn-anomaly",
+        severity="info",
+        target="series:b_churn",
+        kind="zscore",
+        threshold=4.0,
+        detail="behavioural cluster turnover spiked in this window",
+    ),
+)
+
+
+def _resolve_metric(manifest: Mapping, key: str) -> float | None:
+    # Deferred import: diff pulls the run store in, which health-only
+    # callers (the in-run evaluation) never need.
+    from repro.obs.diff import metric_value
+
+    return metric_value(manifest, key)
+
+
+def _series(windows: Mapping | None, name: str) -> list[float] | None:
+    if windows is None:
+        return None
+    values = windows.get("series", {}).get(name)
+    if values is None:
+        return None
+    return [float(v) for v in values]
+
+
+def _violates(kind: str, value: float, threshold: float) -> bool:
+    if kind == "max":
+        return value > threshold
+    return value < threshold  # "min"
+
+
+def _zscore_findings(
+    rule: HealthRule, values: Sequence[float]
+) -> list[HealthFinding]:
+    """EWMA-based anomaly scan: flag points far from their own trail.
+
+    Mean and variance are exponentially weighted with
+    :data:`EWMA_ALPHA`; each point is scored against the estimate built
+    from the points *before* it, so a spike does not mask itself.  The
+    arithmetic is plain float math on deterministic series — identical
+    on every backend.
+    """
+    findings: list[HealthFinding] = []
+    mean = 0.0
+    var = 0.0
+    for index, value in enumerate(values):
+        if index >= MIN_HISTORY and var > 0:
+            z = abs(value - mean) / math.sqrt(var)
+            if z > rule.threshold:
+                findings.append(
+                    HealthFinding(
+                        rule=rule.name,
+                        severity=rule.severity,
+                        target=rule.target,
+                        value=round(z, 6),
+                        threshold=rule.threshold,
+                        detail=rule.detail,
+                        window=index,
+                    )
+                )
+        if index == 0:
+            mean = value
+            var = 0.0
+        else:
+            delta = value - mean
+            mean += EWMA_ALPHA * delta
+            var = (1 - EWMA_ALPHA) * (var + EWMA_ALPHA * delta * delta)
+    return findings
+
+
+def evaluate_health(
+    manifest: Mapping,
+    windows: Mapping | None = None,
+    *,
+    rules: Sequence[HealthRule] = DEFAULT_RULES,
+) -> HealthReport:
+    """Check every rule; returns the severity-ranked report.
+
+    ``manifest`` is a run-manifest payload (or any mapping with
+    ``metrics`` / ``golden_deviations`` sections); ``windows`` is the
+    matching :meth:`~repro.obs.windows.WindowReport.as_dict` payload
+    when one exists.  Rules whose target is absent (no window report
+    stored, a metric the run never emitted) are skipped, not violated —
+    absence of telemetry is not an outage.
+    """
+    findings: list[HealthFinding] = []
+    for rule in rules:
+        scheme, _colon, key = rule.target.partition(":")
+        if rule.kind == "zscore":
+            values = _series(windows, key)
+            if values is not None:
+                findings.extend(_zscore_findings(rule, values))
+            continue
+        if scheme == "series":
+            values = _series(windows, key)
+            if values is None:
+                continue
+            for window, value in enumerate(values):
+                if _violates(rule.kind, value, rule.threshold):
+                    findings.append(
+                        HealthFinding(
+                            rule=rule.name,
+                            severity=rule.severity,
+                            target=rule.target,
+                            value=round(value, 6),
+                            threshold=rule.threshold,
+                            detail=rule.detail,
+                            window=window,
+                        )
+                    )
+            continue
+        if scheme == "golden":
+            value: float | None = float(len(manifest.get("golden_deviations", [])))
+        else:
+            value = _resolve_metric(manifest, key)
+        if value is None:
+            continue
+        if _violates(rule.kind, value, rule.threshold):
+            findings.append(
+                HealthFinding(
+                    rule=rule.name,
+                    severity=rule.severity,
+                    target=rule.target,
+                    value=round(value, 6),
+                    threshold=rule.threshold,
+                    detail=rule.detail,
+                )
+            )
+    findings.sort(
+        key=lambda f: (
+            -_SEVERITY_RANK[f.severity],
+            f.rule,
+            f.window if f.window is not None else -1,
+        )
+    )
+    return HealthReport(findings=findings, rules_evaluated=len(rules))
+
+
+def new_findings(
+    report: HealthReport, baseline: HealthReport | None
+) -> list[HealthFinding]:
+    """Findings in ``report`` whose identity is absent from ``baseline``.
+
+    Identity is :meth:`HealthFinding.key` — rule, target and window,
+    not the measured value — so a pre-existing warning drifting in
+    magnitude does not re-fire a gate, while the same rule tripping on
+    a *new* window does.
+    """
+    if baseline is None:
+        return list(report.findings)
+    known = {finding.key() for finding in baseline.findings}
+    return [f for f in report.findings if f.key() not in known]

@@ -9,6 +9,7 @@ overridable via ``$REPRO_RUNS_DIR``)::
       index.json                           # append-only entry list
       <fingerprint>/<run_id>.json          # one manifest per stored run
       <fingerprint>/<run_id>.events.jsonl  # the run's event log, if any
+      <fingerprint>/<run_id>.windows.json  # the run's window report, if any
 
 ``run_id`` is the first 16 hex chars of the manifest's canonical
 content digest (:meth:`RunManifest.content_id`), so the store is
@@ -85,7 +86,17 @@ class RunStore:
         """Where the run's ingested event log lives (may not exist)."""
         return self.root / fingerprint / f"{run_id}.events.jsonl"
 
-    def add(self, manifest: RunManifest, *, events_path: str | Path | None = None) -> str:
+    def windows_path_for(self, fingerprint: str, run_id: str) -> Path:
+        """Where the run's window-report sidecar lives (may not exist)."""
+        return self.root / fingerprint / f"{run_id}.windows.json"
+
+    def add(
+        self,
+        manifest: RunManifest,
+        *,
+        events_path: str | Path | None = None,
+        windows_path: str | Path | None = None,
+    ) -> str:
         """Store ``manifest``; returns its run id.
 
         Content-addressed and append-only: re-adding identical content
@@ -96,7 +107,9 @@ class RunStore:
         ``events_path`` optionally ingests the run's live event log
         (JSON lines) next to the manifest, so ``repro obs diff`` can
         attribute a divergence to the first diverging *event* rather
-        than only the first diverging stage.
+        than only the first diverging stage; ``windows_path`` likewise
+        ingests the run's window-report sidecar (the per-window
+        landscape series ``repro obs health``/``dashboard`` read).
         """
         require(isinstance(manifest, RunManifest), "can only store RunManifest")
         run_id = manifest.content_id()[:RUN_ID_LENGTH]
@@ -116,6 +129,9 @@ class RunStore:
             tmp.write_text(manifest.to_json() + "\n", encoding="utf-8")
             os.replace(tmp, path)
         has_events = self._ingest_events(manifest.fingerprint, run_id, events_path)
+        has_windows = self._ingest_sidecar(
+            self.windows_path_for(manifest.fingerprint, run_id), windows_path
+        )
         if already_stored:
             return run_id
         self._append_index(
@@ -127,6 +143,7 @@ class RunStore:
                 "library_version": manifest.library_version,
                 "golden_deviations": len(manifest.golden_deviations),
                 "events": has_events,
+                "windows": has_windows,
                 "path": str(path.relative_to(self.root)),
             }
         )
@@ -140,11 +157,16 @@ class RunStore:
         self, fingerprint: str, run_id: str, events_path: str | Path | None
     ) -> bool:
         """Copy a run's event log into the store; returns whether one exists."""
-        target = self.events_path_for(fingerprint, run_id)
-        if events_path is None:
+        return self._ingest_sidecar(
+            self.events_path_for(fingerprint, run_id), events_path
+        )
+
+    def _ingest_sidecar(self, target: Path, source: str | Path | None) -> bool:
+        """Copy a sidecar file into the store; returns whether one exists."""
+        if source is None:
             return target.is_file()
-        source = Path(events_path)
-        require(source.is_file(), f"event log {source} does not exist")
+        source = Path(source)
+        require(source.is_file(), f"sidecar {source} does not exist")
         target.parent.mkdir(parents=True, exist_ok=True)
         tmp = target.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_bytes(source.read_bytes())
@@ -208,6 +230,20 @@ class RunStore:
         if not events_path.is_file():
             return None
         return read_events(events_path)
+
+    def load_windows(self, ref: str) -> dict | None:
+        """The window-report payload of the run named by ``ref``, or ``None``.
+
+        Works for stored runs *and* bare manifest paths: the sidecar is
+        looked up next to the resolved manifest file as
+        ``<stem>.windows.json`` (so ``reference.json`` pairs with
+        ``reference.windows.json``).
+        """
+        manifest_path = self.resolve(ref)
+        windows_path = manifest_path.with_name(f"{manifest_path.stem}.windows.json")
+        if not windows_path.is_file():
+            return None
+        return json.loads(windows_path.read_text(encoding="utf-8"))
 
     def manifests(self, fingerprint: str | None = None) -> list[RunManifest]:
         """All stored manifests (optionally one configuration), in order."""

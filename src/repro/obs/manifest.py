@@ -42,11 +42,13 @@ from repro.util.validation import require
 #: 4: added ``stage_fingerprints`` (per-stage content addresses of the
 #:    incremental stage DAG) and the per-span ``cache`` attribute
 #:    (``hit``/``miss``/``off``) on pipeline-stage spans.
-MANIFEST_SCHEMA = 4
+#: 5: added ``health_summary`` (per-severity finding counts of the
+#:    run's SLO/health evaluation — see :mod:`repro.obs.health`).
+MANIFEST_SCHEMA = 5
 
 #: Schemas :meth:`RunManifest.from_dict` still reads (stored runs from
 #: earlier layouts stay loadable; missing fields take their defaults).
-SUPPORTED_MANIFEST_SCHEMAS = (1, 2, 3, 4)
+SUPPORTED_MANIFEST_SCHEMAS = (1, 2, 3, 4, 5)
 
 #: Which span (by name) produced which digested artifact — the walk
 #: order of the cross-run digest diff.  ``headline`` summarises the
@@ -79,6 +81,12 @@ class RunManifest:
     #: stage DAG (schema >= 4).  Two manifests agreeing on a stage's
     #: fingerprint are replayable from the same stage-store artifact.
     stage_fingerprints: dict[str, str] = field(default_factory=dict)
+    #: Per-severity finding counts of the run's health evaluation
+    #: (schema >= 5) — :meth:`repro.obs.health.HealthReport.summary`.
+    #: The full findings live on the event stream (``health.finding``);
+    #: the manifest keeps the roll-up so ``obs diff``/CI gates can spot
+    #: a run going unhealthy without replaying the stream.
+    health_summary: dict[str, int] = field(default_factory=dict)
     schema: int = MANIFEST_SCHEMA
 
     def as_dict(self) -> dict:
@@ -96,6 +104,7 @@ class RunManifest:
             "golden_deviations": list(self.golden_deviations),
             "event_summary": dict(sorted(self.event_summary.items())),
             "stage_fingerprints": dict(sorted(self.stage_fingerprints.items())),
+            "health_summary": dict(sorted(self.health_summary.items())),
         }
 
     def to_json(self) -> str:
@@ -137,6 +146,12 @@ class RunManifest:
                 str(stage): str(fingerprint)
                 for stage, fingerprint in dict(
                     payload.get("stage_fingerprints", {})
+                ).items()
+            },
+            health_summary={
+                str(severity): int(count)
+                for severity, count in dict(
+                    payload.get("health_summary", {})
                 ).items()
             },
             schema=int(payload["schema"]),
@@ -199,6 +214,7 @@ def build_manifest(
     fingerprint: str,
     events: Mapping[str, int] | None = None,
     stages: Mapping[str, str] | None = None,
+    health: Mapping[str, int] | None = None,
 ) -> RunManifest:
     """Assemble the manifest of a finished scenario run.
 
@@ -207,9 +223,11 @@ def build_manifest(
     :mod:`repro.experiments`; ``stages`` is the matching per-stage
     fingerprint map of the incremental stage DAG.  ``events`` is the
     per-kind count summary of the run's live event stream
-    (``EventBus.summary()``) when one was recorded.  The
-    golden-headline check is the one deliberate upward reference —
-    deferred and optional, so the obs layer still imports standalone.
+    (``EventBus.summary()``) when one was recorded; ``health`` the
+    per-severity summary of the run's health evaluation
+    (``HealthReport.summary()``).  The golden-headline check is the one
+    deliberate upward reference — deferred and optional, so the obs
+    layer still imports standalone.
     """
     import repro
 
@@ -233,4 +251,5 @@ def build_manifest(
         golden_deviations=golden_deviations,
         event_summary=dict(events) if events else {},
         stage_fingerprints=dict(stages) if stages else {},
+        health_summary=dict(health) if health else {},
     )

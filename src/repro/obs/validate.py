@@ -51,6 +51,20 @@ METRIC_CATALOGUE: dict[str, str] = {
     # sharded observation (only with ScenarioConfig.shards > 0)
     "shards.observed": "counter",
     "shards.events": "histogram",
+    # cross-view join of the M and B perspectives (analysis/crossview)
+    "crossview.joint_samples": "gauge",
+    "crossview.m_clusters": "gauge",
+    "crossview.b_clusters": "gauge",
+    "crossview.singleton_b_clusters": "gauge",
+    "crossview.rare_singletons": "gauge",
+    "crossview.singleton_anomalies": "gauge",
+    "crossview.environment_splits": "gauge",
+    # windowed landscape telemetry (only with ScenarioConfig.windows > 0)
+    "window.count": "gauge",
+    "window.weeks": "gauge",
+    "window.events": "histogram",
+    # SLO/health engine (labelled by severity=info|warning|critical)
+    "health.findings": "counter",
     # scenario artifact cache (whole-run layer)
     "cache.hit": "counter",
     "cache.miss": "counter",
@@ -91,6 +105,13 @@ REQUIRED_SCENARIO_METRICS = frozenset(
         "lsh.bucket_size",
         "lsh.buckets_skipped",
         "lsh.clusters",
+        "crossview.joint_samples",
+        "crossview.m_clusters",
+        "crossview.b_clusters",
+        "crossview.singleton_b_clusters",
+        "crossview.rare_singletons",
+        "crossview.singleton_anomalies",
+        "crossview.environment_splits",
         "executor.chunks",
         "executor.items",
         "executor.chunk_seconds",
@@ -204,6 +225,24 @@ def validate_manifest(payload: Mapping) -> list[str]:
                     )
         if isinstance(span_tree, Mapping):
             errors.extend(_check_span_cache_attributes(span_tree))
+    if isinstance(schema, int) and schema >= 5:
+        summary = payload.get("health_summary")
+        if not isinstance(summary, Mapping):
+            errors.append("manifest: health_summary must be a mapping (schema >= 5)")
+        else:
+            from repro.obs.health import SEVERITIES
+
+            for severity, count in summary.items():
+                if severity not in SEVERITIES:
+                    errors.append(
+                        f"manifest: health_summary severity {severity!r} is not "
+                        f"one of {SEVERITIES} (schema >= 5)"
+                    )
+                elif not isinstance(count, int) or count < 0:
+                    errors.append(
+                        f"manifest: health_summary[{severity!r}] must be a "
+                        "non-negative integer (schema >= 5)"
+                    )
     return errors
 
 
@@ -232,6 +271,52 @@ def _check_span_cache_attributes(tree: Mapping) -> list[str]:
                 f"manifest: stage span {child.get('name')!r} has cache "
                 f"attribute {status!r}, expected one of "
                 f"{sorted(SPAN_CACHE_STATUSES)} (schema >= 4)"
+            )
+    return errors
+
+
+def validate_windows(payload: Mapping, *, manifest: Mapping | None = None) -> list[str]:
+    """Errors in a window-report dict; empty list means valid.
+
+    Checks the schema version, that every documented series
+    (:data:`~repro.obs.windows.WINDOW_SERIES`) is present with exactly
+    ``n_windows`` points and no undocumented series sneaks in, and —
+    with the run's ``manifest`` payload on hand — that the report's
+    fingerprint matches the manifest's (a window sidecar must describe
+    the run it sits next to).
+    """
+    from repro.obs.windows import WINDOW_SERIES, WINDOWS_SCHEMA
+
+    errors: list[str] = []
+    if payload.get("schema") != WINDOWS_SCHEMA:
+        errors.append(
+            f"windows: schema is {payload.get('schema')!r}, expected {WINDOWS_SCHEMA}"
+        )
+    series = payload.get("series")
+    if not isinstance(series, Mapping):
+        errors.append("windows: series must be a mapping")
+        series = {}
+    n_windows = payload.get("n_windows")
+    if not isinstance(n_windows, int) or n_windows < 0:
+        errors.append("windows: n_windows must be a non-negative integer")
+        n_windows = None
+    for name in WINDOW_SERIES:
+        if name not in series:
+            errors.append(f"windows: documented series {name!r} missing")
+    for name in sorted(series):
+        if name not in WINDOW_SERIES:
+            errors.append(f"windows: undocumented series {name!r}")
+        elif n_windows is not None and len(series[name]) != n_windows:
+            errors.append(
+                f"windows: series {name!r} has {len(series[name])} point(s), "
+                f"expected n_windows={n_windows}"
+            )
+    if manifest is not None:
+        fingerprint = manifest.get("fingerprint")
+        if payload.get("fingerprint") != fingerprint:
+            errors.append(
+                f"windows: fingerprint {payload.get('fingerprint')!r} does not "
+                f"match the manifest's {fingerprint!r}"
             )
     return errors
 
@@ -406,6 +491,16 @@ def validate_run_store(root: str | Path) -> dict[str, list[str]]:
             lines = events_file.read_text(encoding="utf-8").splitlines()
             errors.extend(validate_events(lines))
             errors.extend(crosscheck_events(lines, payload))
+        windows_file = path.with_name(f"{path.stem}.windows.json")
+        if windows_file.is_file():
+            try:
+                windows_payload = json.loads(
+                    windows_file.read_text(encoding="utf-8")
+                )
+            except json.JSONDecodeError as error:
+                errors.append(f"windows sidecar does not parse: {error}")
+            else:
+                errors.extend(validate_windows(windows_payload, manifest=payload))
         if errors:
             failures[str(path)] = errors
     return failures
@@ -428,6 +523,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "and event summary",
     )
     parser.add_argument(
+        "--windows",
+        default=None,
+        metavar="JSON",
+        help="window-report sidecar to validate; with --manifest its "
+        "fingerprint is also checked against the manifest's",
+    )
+    parser.add_argument(
         "--runs",
         default=None,
         metavar="DIR",
@@ -440,9 +542,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="skip the required-scenario-metrics completeness check",
     )
     args = parser.parse_args(argv)
-    if not args.metrics and not args.manifest and not args.runs and not args.events:
+    if not any((args.metrics, args.manifest, args.runs, args.events, args.windows)):
         parser.error(
-            "nothing to validate: pass --metrics, --manifest, --events and/or --runs"
+            "nothing to validate: pass --metrics, --manifest, --events, "
+            "--windows and/or --runs"
         )
     errors: list[str] = []
     if args.metrics:
@@ -459,6 +562,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         errors.extend(validate_events(lines))
         if manifest_payload is not None:
             errors.extend(crosscheck_events(lines, manifest_payload))
+    if args.windows:
+        windows_payload = json.loads(Path(args.windows).read_text(encoding="utf-8"))
+        errors.extend(validate_windows(windows_payload, manifest=manifest_payload))
     if args.runs:
         for path, file_errors in sorted(validate_run_store(args.runs).items()):
             errors.extend(f"{path}: {error}" for error in file_errors)
@@ -466,7 +572,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(error, file=sys.stderr)
     if not errors:
         checked = [
-            p for p in (args.metrics, args.manifest, args.events, args.runs) if p
+            p
+            for p in (args.metrics, args.manifest, args.events, args.windows, args.runs)
+            if p
         ]
         print(f"ok: {', '.join(checked)} conform to the documented schema")
     return 1 if errors else 0

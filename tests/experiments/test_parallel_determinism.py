@@ -69,7 +69,15 @@ class TestBackendDeterminism:
         assert parallel_run.enrichment.stats() == serial_run.enrichment.stats()
 
     def test_timings_cover_all_stages(self, serial_run, parallel_run):
-        expected = {"deployment", "catalog", "observe", "enrich", "epm", "bcluster"}
+        expected = {
+            "deployment",
+            "catalog",
+            "observe",
+            "enrich",
+            "epm",
+            "bcluster",
+            "windows",
+        }
         for run in (serial_run, parallel_run):
             assert {stage.name for stage in run.timings.stages} == expected
             assert run.timings.total > 0
@@ -97,6 +105,18 @@ class TestBackendDeterminism:
 
         assert executor_counters(serial_run)  # instrumented at all
         assert executor_counters(parallel_run) == executor_counters(serial_run)
+
+    def test_window_report_bytes_identical(self, serial_run, parallel_run):
+        """The landscape window series are derived purely from artifacts,
+        so serial/thread/process runs must serialise to the same bytes."""
+        assert serial_run.windows is not None and parallel_run.windows is not None
+        assert parallel_run.windows.to_json() == serial_run.windows.to_json()
+        assert parallel_run.windows.digest() == serial_run.windows.digest()
+
+    def test_health_report_bytes_identical(self, serial_run, parallel_run):
+        assert serial_run.health is not None and parallel_run.health is not None
+        assert parallel_run.health.to_json() == serial_run.health.to_json()
+        assert parallel_run.health.digest() == serial_run.health.digest()
 
     def test_chunk_seconds_histogram_counts_identical(self, serial_run, parallel_run):
         serial_hist = serial_run.metrics.histograms["executor.chunk_seconds"]

@@ -317,7 +317,7 @@ class TestEventStreamCli:
         monkeypatch.chdir(tmp_path)
         log = tmp_path / "events.jsonl"
         assert main(["headline", *COMMON, "--events", str(log), "--manifest"]) == 0
-        manifest = next(tmp_path.glob("manifest*.json"))
+        manifest = tmp_path / "manifest.json"
         assert main(["obs", "validate", "--events", str(log),
                      "--manifest", str(manifest)]) == 0
         # drop a line: the sequence gap and the span crosscheck both fire
@@ -345,3 +345,118 @@ class TestEventStreamCli:
         out = capsys.readouterr().out
         assert "first diverging event" in out
         assert "seed=5" in out and "seed=6" in out
+
+
+class TestHealthDashboardCli:
+    """The landscape monitor front-ends: obs health / obs dashboard."""
+
+    @pytest.fixture()
+    def store_dir(self, tmp_path, monkeypatch):
+        runs = tmp_path / "runs"
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(runs))
+        monkeypatch.setenv("REPRO_FIXED_TIME", "2026-08-06T00:00:00Z")
+        return runs
+
+    def _stored_run(self, store_dir):
+        from repro.obs.history import RunStore
+
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        (entry,) = RunStore(store_dir).entries()
+        assert entry["windows"] is True  # the sidecar rode along
+        return entry["run_id"]
+
+    def test_health_renders_a_ranked_report(self, capsys, store_dir):
+        run_id = self._stored_run(store_dir)
+        capsys.readouterr()
+        code = main(["obs", "health", run_id])
+        out = capsys.readouterr().out
+        assert "health:" in out and "rule(s)" in out
+        assert code == 0  # the smoke run carries no critical findings
+
+    def test_health_json_is_the_report_payload(self, capsys, store_dir):
+        import json
+
+        run_id = self._stored_run(store_dir)
+        capsys.readouterr()
+        main(["obs", "health", run_id, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert set(payload["summary"]) == {"info", "warning", "critical"}
+
+    def test_health_gate_against_its_own_baseline_passes(self, capsys, store_dir):
+        run_id = self._stored_run(store_dir)
+        capsys.readouterr()
+        code = main(["obs", "health", run_id, "--baseline", run_id,
+                     "--fail-on", "info"])
+        assert code == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_health_fail_on_floor_trips_on_existing_findings(self, capsys, store_dir):
+        import json
+
+        run_id = self._stored_run(store_dir)
+        capsys.readouterr()
+        main(["obs", "health", run_id, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        expected = 1 if sum(payload["summary"].values()) else 0
+        assert main(["obs", "health", run_id, "--fail-on", "info"]) == expected
+
+    def test_dashboard_renders_sparklines(self, capsys, store_dir):
+        run_id = self._stored_run(store_dir)
+        capsys.readouterr()
+        assert main(["obs", "dashboard", run_id]) == 0
+        out = capsys.readouterr().out
+        assert "landscape dashboard" in out
+        assert "agreement" in out and "crossview:" in out and "health:" in out
+
+    def test_dashboard_out_writes_the_snapshot(self, store_dir, tmp_path):
+        run_id = self._stored_run(store_dir)
+        snapshot = tmp_path / "dashboard.txt"
+        assert main(["obs", "dashboard", run_id, "--out", str(snapshot)]) == 0
+        assert "landscape dashboard" in snapshot.read_text(encoding="utf-8")
+
+    def test_dashboard_without_a_window_report_fails_cleanly(
+        self, capsys, store_dir
+    ):
+        assert main(["headline", *COMMON, "--windows", "0", "--store-run"]) == 0
+        from repro.obs.history import RunStore
+
+        (entry,) = RunStore(store_dir).entries()
+        assert entry["windows"] is False
+        capsys.readouterr()
+        assert main(["obs", "dashboard", entry["run_id"]]) == 1
+        assert "no window report" in capsys.readouterr().err
+
+    def test_export_openmetrics_terminates_with_eof(self, capsys, store_dir):
+        run_id = self._stored_run(store_dir)
+        capsys.readouterr()
+        assert main(["obs", "export", run_id, "--format", "openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert out.endswith("# EOF\n")
+        assert "repro_window_series{" in out  # the sidecar rode along
+
+    def test_export_prometheus_carries_crossview_gauges(self, capsys, store_dir):
+        run_id = self._stored_run(store_dir)
+        capsys.readouterr()
+        assert main(["obs", "export", run_id]) == 0
+        assert "repro_crossview_joint_samples" in capsys.readouterr().out
+
+    def test_validate_windows_sidecar_file(self, capsys, store_dir, tmp_path,
+                                           monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["headline", *COMMON, "--manifest"]) == 0
+        manifest = tmp_path / "manifest.json"
+        windows = tmp_path / "manifest.windows.json"
+        assert windows.is_file()
+        assert main(["obs", "validate", "--manifest", str(manifest),
+                     "--windows", str(windows)]) == 0
+        # corrupt one series length: the validator must flag it
+        import json
+
+        payload = json.loads(windows.read_text(encoding="utf-8"))
+        payload["series"]["events"].append(0.0)
+        windows.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["obs", "validate", "--manifest", str(manifest),
+                     "--windows", str(windows)]) == 1
+        assert "events" in capsys.readouterr().err

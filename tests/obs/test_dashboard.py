@@ -1,0 +1,133 @@
+"""The sparkline dashboard: static render, accumulator, follow mode."""
+
+import io
+
+import pytest
+
+from repro.obs.dashboard import (
+    SPARK_CHARS,
+    DashboardAccumulator,
+    follow_dashboard,
+    render_dashboard,
+    sparkline,
+)
+from repro.obs.events import PipelineEvent
+from repro.obs.windows import WINDOW_SERIES
+from repro.util.validation import ValidationError
+
+
+class TestSparkline:
+    def test_empty_series_renders_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_all_low(self):
+        assert sparkline([5.0, 5.0, 5.0]) == SPARK_CHARS[0] * 3
+
+    def test_extremes_map_to_the_ramp_ends(self):
+        cells = sparkline([0.0, 10.0, 5.0])
+        assert cells[0] == SPARK_CHARS[0]
+        assert cells[1] == SPARK_CHARS[-1]
+        assert cells[2] not in (SPARK_CHARS[0], SPARK_CHARS[-1])
+
+    def test_one_cell_per_value(self):
+        assert len(sparkline([1.0, 2.0, 3.0, 4.0])) == 4
+
+
+def _payload() -> dict:
+    series = {name: [1.0, 2.0, 3.0] for name in WINDOW_SERIES}
+    series["agreement"] = [1.0, 0.5, 0.75]
+    return {
+        "schema": 1,
+        "fingerprint": "ab" * 32,
+        "seed": 2010,
+        "window_weeks": 4,
+        "n_windows": 3,
+        "series": series,
+        "crossview": {"joint_samples": 40, "m_clusters": 9},
+    }
+
+
+class TestRenderDashboard:
+    def test_needs_a_series_section(self):
+        with pytest.raises(ValidationError):
+            render_dashboard({"fingerprint": "ab" * 32})
+
+    def test_header_and_one_row_per_series(self):
+        text = render_dashboard(_payload())
+        head = text.splitlines()[0]
+        assert "fingerprint abababababababab" in head
+        assert "seed 2010" in head and "3 windows x 4w" in head
+        for name in WINDOW_SERIES:
+            assert f"  {name}" in text
+        assert "last=0.75 max=1" in text  # the agreement row
+
+    def test_crossview_line_is_sorted(self):
+        text = render_dashboard(_payload())
+        assert "  crossview: joint_samples=40 m_clusters=9" in text
+
+    def test_health_section_appended_when_given(self):
+        health = {
+            "summary": {"info": 0, "warning": 1, "critical": 0},
+            "findings": [
+                {
+                    "rule": "crossview-agreement-floor",
+                    "severity": "warning",
+                    "value": 0.1,
+                    "window": 1,
+                }
+            ],
+        }
+        text = render_dashboard(_payload(), health)
+        assert "  health: critical=0 info=0 warning=1" in text
+        assert "WARNING  crossview-agreement-floor [window 1] = 0.1" in text
+
+    def test_render_is_deterministic(self):
+        assert render_dashboard(_payload()) == render_dashboard(_payload())
+
+
+def _rollup(window: int, **extra) -> PipelineEvent:
+    fields = {
+        "window": window,
+        "fingerprint": "ab" * 32,
+        "seed": 7,
+        "window_weeks": 4,
+        "n_windows": 2,
+        "events": 10.0 * (window + 1),
+        "agreement": 0.9,
+    }
+    fields.update(extra)
+    return PipelineEvent(seq=window, t=float(window), kind="window.rollup", fields=fields)
+
+
+class TestDashboardAccumulator:
+    def test_ignores_other_kinds(self):
+        accumulator = DashboardAccumulator()
+        other = PipelineEvent(seq=0, t=0.0, kind="run.start", fields={"seed": 7})
+        assert accumulator.feed(other) is False
+        assert accumulator.payload()["series"] == {}
+
+    def test_rebuilds_the_report_layout(self):
+        accumulator = DashboardAccumulator()
+        assert accumulator.feed(_rollup(0)) is True
+        assert accumulator.feed(_rollup(1)) is True
+        payload = accumulator.payload()
+        assert payload["fingerprint"] == "ab" * 32
+        assert payload["seed"] == 7 and payload["n_windows"] == 2
+        assert payload["series"]["events"] == [10.0, 20.0]
+        assert "window" not in payload["series"]
+        render_dashboard(payload)  # renders without error
+
+
+class TestFollowDashboard:
+    def test_draws_one_frame_per_rollup(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            "".join(_rollup(window).to_json() + "\n" for window in range(3))
+        )
+        stream = io.StringIO()
+        frames = follow_dashboard(path, stream, poll_seconds=0.01, stop=lambda: True)
+        assert frames == 3
+        text = stream.getvalue()
+        assert text.count("landscape dashboard") == 3
+        # the final frame carries all three accumulated windows
+        assert "last=30 max=30" in text

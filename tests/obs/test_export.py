@@ -6,9 +6,11 @@ import pytest
 
 from repro.obs.export import (
     EXPORT_FORMATS,
+    _cumulative_buckets,
     export_payload,
     jsonl_samples,
     jsonl_text,
+    openmetrics_text,
     prometheus_text,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -57,6 +59,64 @@ class TestPrometheusText:
     def test_accepts_full_manifest_payload(self):
         payload = {"metrics": _snapshot(), "span_tree": {"name": "scenario"}}
         assert "repro_executor_items_total 42" in prometheus_text(payload)
+
+    def test_empty_histogram_renders_zero_rows(self):
+        registry = MetricsRegistry()
+        registry.histogram("executor.chunk_seconds")  # registered, never observed
+        lines = prometheus_text(registry.snapshot().as_dict()).splitlines()
+        buckets = [line for line in lines if "_bucket{" in line]
+        assert buckets and all(line.endswith(" 0") for line in buckets)
+        assert 'le="+Inf"' in buckets[-1]
+        assert "repro_executor_chunk_seconds_count 0" in lines
+        assert "repro_executor_chunk_seconds_sum 0.0" in lines
+
+    def test_zero_count_buckets_still_listed(self):
+        # A gap in the observations must not drop its bucket row: the
+        # cumulative count simply repeats across the empty bucket.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lsh.bucket_size", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(0.5)
+        histogram.observe(3.0)  # nothing lands in (1, 2]
+        rows = _cumulative_buckets(
+            registry.snapshot().as_dict()["histograms"]["lsh.bucket_size"]
+        )
+        assert rows == [("1", 1), ("2", 1), ("4", 2), ("+Inf", 2)]
+
+    def test_cumulative_buckets_of_an_empty_payload(self):
+        assert _cumulative_buckets({}) == [("+Inf", 0)]
+        assert _cumulative_buckets({"buckets": {"+inf": 3}}) == [("+Inf", 3)]
+
+    def test_window_series_section_rides_along(self):
+        payload = {
+            "metrics": _snapshot(),
+            "windows": {"series": {"events": [3.0, 7.0]}},
+        }
+        text = prometheus_text(payload)
+        assert "# TYPE repro_window_series gauge" in text
+        assert 'repro_window_series{series="events",window="0"} 3' in text
+        assert 'repro_window_series{series="events",window="1"} 7' in text
+        samples = [s for s in jsonl_samples(payload) if s["name"] == "window.series"]
+        assert [s["labels"]["window"] for s in samples] == ["0", "1"]
+
+
+class TestOpenMetricsText:
+    def test_is_the_prometheus_exposition_plus_eof(self):
+        snapshot = _snapshot()
+        text = openmetrics_text(snapshot)
+        assert text == prometheus_text(snapshot) + "# EOF\n"
+        assert text.endswith("\n# EOF\n")
+
+    def test_counters_carry_the_required_total_suffix(self):
+        assert "repro_executor_items_total 42" in openmetrics_text(_snapshot())
+
+    def test_every_histogram_closes_with_an_explicit_inf_bucket(self):
+        lines = openmetrics_text(_snapshot()).splitlines()
+        buckets = [line for line in lines if "_bucket{" in line]
+        assert any('le="+Inf"' in line for line in buckets)
+
+    def test_dispatches_through_export_payload(self):
+        snapshot = _snapshot()
+        assert export_payload(snapshot, "openmetrics") == openmetrics_text(snapshot)
 
 
 class TestJsonlText:
@@ -111,4 +171,4 @@ class TestExportPayload:
             export_payload(_snapshot(), "influx")
 
     def test_format_tuple_is_the_cli_contract(self):
-        assert EXPORT_FORMATS == ("prometheus", "jsonl", "chrome")
+        assert EXPORT_FORMATS == ("prometheus", "openmetrics", "jsonl", "chrome")

@@ -483,3 +483,77 @@ class TestHistogramQuantileHistory:
             "io.seconds{op=write}": dict(histogram),
         }
         assert metric_value(manifest.as_dict(), "io.seconds:p50") is None
+
+
+def _windows_payload(fingerprint: str = "ab" * 32) -> dict:
+    from repro.obs.windows import WINDOW_SERIES, WindowReport
+
+    return WindowReport(
+        fingerprint=fingerprint,
+        seed=7,
+        window_weeks=4,
+        n_windows=2,
+        series={name: [1.0, 2.0] for name in WINDOW_SERIES},
+        crossview={"joint_samples": 4},
+    ).as_dict()
+
+
+class TestStoredWindowReports:
+    """Window-report sidecar ingestion, lookup and validation."""
+
+    def _sidecar(self, tmp_path):
+        path = tmp_path / "windows.json"
+        path.write_text(
+            json.dumps(_windows_payload(), sort_keys=True, indent=2) + "\n"
+        )
+        return path
+
+    def test_add_ingests_and_load_windows_reads_back(self, tmp_path):
+        source = self._sidecar(tmp_path)
+        store = RunStore(tmp_path / "runs")
+        run_id = store.add(_manifest(), windows_path=source)
+        assert store.load_windows(run_id) == _windows_payload()
+        assert store.entries()[0]["windows"] is True
+
+    def test_sidecar_lands_next_to_the_manifest(self, tmp_path):
+        source = self._sidecar(tmp_path)
+        store = RunStore(tmp_path / "runs")
+        run_id = store.add(_manifest(), windows_path=source)
+        target = store.windows_path_for(_manifest().fingerprint, run_id)
+        assert target.is_file()
+        assert target.read_text() == source.read_text()
+
+    def test_load_windows_none_when_no_sidecar_stored(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        run_id = store.add(_manifest())
+        assert store.load_windows(run_id) is None
+        assert store.entries()[0]["windows"] is False
+
+    def test_load_windows_pairs_with_bare_manifest_paths(self, tmp_path):
+        # reference.json next to reference.windows.json — the CI layout
+        manifest_path = tmp_path / "reference.json"
+        manifest_path.write_text(_manifest().to_json() + "\n")
+        (tmp_path / "reference.windows.json").write_text(
+            json.dumps(_windows_payload()) + "\n"
+        )
+        store = RunStore(tmp_path / "runs")
+        assert store.load_windows(str(manifest_path)) == _windows_payload()
+
+    def test_store_with_window_sidecars_validates(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        store.add(_manifest(), windows_path=self._sidecar(tmp_path))
+        assert validate_run_store(store.root) == {}
+
+    def test_mismatched_sidecar_fingerprint_fails_validation(self, tmp_path):
+        source = tmp_path / "windows.json"
+        source.write_text(json.dumps(_windows_payload(fingerprint="cd" * 32)))
+        store = RunStore(tmp_path / "runs")
+        store.add(_manifest(), windows_path=source)
+        failures = validate_run_store(store.root)
+        flat = [error for errors in failures.values() for error in errors]
+        assert any("fingerprint" in error for error in flat)
+
+    def test_missing_sidecar_source_refused(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        with pytest.raises(ValidationError):
+            store.add(_manifest(), windows_path=tmp_path / "nope.json")

@@ -41,6 +41,7 @@ class TestRunManifest:
             "golden_deviations",
             "event_summary",
             "stage_fingerprints",
+            "health_summary",
         }
         assert payload["schema"] == MANIFEST_SCHEMA
 
@@ -141,6 +142,7 @@ class TestScenarioManifest:
             "enrich",
             "epm",
             "bcluster",
+            "windows",
         }
 
     def test_artifact_digests_are_deterministic_per_run(self, small_run):

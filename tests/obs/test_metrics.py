@@ -98,6 +98,40 @@ class TestHistogram:
         with pytest.raises(ValidationError):
             registry.histogram("t", buckets=(2.0, 1.0))
 
+    def test_quantile_extremes(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            hist.observe(value)
+        # q=0 interpolates to the lower edge of the first occupied
+        # bucket; q=1 to the upper bound of the last occupied one.
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 4.0
+        assert hist.quantile(0.0) <= hist.quantile(0.5) <= hist.quantile(1.0)
+
+    def test_quantile_of_overflow_observations_reports_last_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(1.0, 2.0))
+        hist.observe(50.0)  # lands in +inf
+        # The Prometheus convention: the overflow bucket has no upper
+        # edge, so the estimator reports the highest finite bound.
+        assert hist.quantile(1.0) == 2.0
+        assert hist.quantile(0.5) == 2.0
+
+    def test_quantile_of_empty_histogram_is_none(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(1.0, 2.0))
+        assert hist.quantile(0.0) is None
+        assert hist.quantile(1.0) is None
+
+    def test_quantile_rejects_out_of_range(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t")
+        with pytest.raises(ValidationError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValidationError):
+            hist.quantile(1.1)
+
 
 class TestSnapshot:
     def _populated(self) -> MetricsSnapshot:

@@ -1,0 +1,137 @@
+"""Windowed landscape telemetry: series shape, purity, round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs.windows import (
+    DEFAULT_WINDOW_WEEKS,
+    WINDOW_SERIES,
+    WindowReport,
+    build_window_report,
+)
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def report(small_run):
+    assert small_run.windows is not None  # windows=4 is the default
+    return small_run.windows
+
+
+class TestBuildWindowReport:
+    def test_covers_every_documented_series(self, report):
+        assert set(report.series) == set(WINDOW_SERIES)
+        for name in WINDOW_SERIES:
+            assert len(report.series[name]) == report.n_windows
+
+    def test_window_count_is_the_week_ceiling(self, small_run, report):
+        weeks = small_run.config.n_weeks
+        assert report.window_weeks == DEFAULT_WINDOW_WEEKS
+        assert report.n_windows == -(-weeks // DEFAULT_WINDOW_WEEKS)
+
+    def test_events_and_samples_series_sum_to_the_dataset(self, small_run, report):
+        assert sum(report.series["events"]) == len(small_run.dataset.events)
+        assert sum(report.series["new_samples"]) == len(small_run.dataset.samples)
+
+    def test_agreement_is_a_score_per_window(self, report):
+        assert all(0.0 <= value <= 1.0 for value in report.series["agreement"])
+
+    def test_churn_sums_to_distinct_active_clusters(self, small_run, report):
+        # Every cluster id is "fresh" in exactly one window, so total
+        # churn equals the number of distinct clusters ever active.
+        distinct_m = {
+            coords[2]
+            for coords in (
+                small_run.epm.coordinates(event.event_id)
+                for event in small_run.dataset.events
+            )
+            if coords[2] is not None
+        }
+        assert sum(report.series["m_churn"]) == len(distinct_m)
+        assert sum(report.series["b_churn"]) <= len(small_run.bclusters.clusters)
+        # ... and the first window's churn IS its active count.
+        assert report.series["m_churn"][0] == report.series["m_clusters"][0]
+        assert report.series["b_churn"][0] == report.series["b_clusters"][0]
+
+    def test_crossview_summary_rides_along(self, report):
+        assert set(report.crossview) == {
+            "joint_samples",
+            "m_clusters",
+            "b_clusters",
+            "singleton_b_clusters",
+            "rare_singletons",
+            "singleton_anomalies",
+            "environment_splits",
+        }
+
+    def test_rebuild_is_byte_identical(self, small_run, report):
+        rebuilt = build_window_report(
+            small_run.dataset,
+            small_run.epm,
+            small_run.bclusters,
+            small_run.grid,
+            seed=small_run.seed,
+            fingerprint=report.fingerprint,
+            window_weeks=report.window_weeks,
+        )
+        assert rebuilt.to_json() == report.to_json()
+        assert rebuilt.digest() == report.digest()
+
+    def test_single_window_folds_everything(self, small_run, report):
+        whole = build_window_report(
+            small_run.dataset,
+            small_run.epm,
+            small_run.bclusters,
+            small_run.grid,
+            seed=small_run.seed,
+            fingerprint=report.fingerprint,
+            window_weeks=small_run.config.n_weeks,
+        )
+        assert whole.n_windows == 1
+        assert whole.series["events"] == [float(len(small_run.dataset.events))]
+        assert whole.crossview == report.crossview
+
+    def test_window_weeks_must_be_positive(self, small_run):
+        with pytest.raises(ValidationError):
+            build_window_report(
+                small_run.dataset,
+                small_run.epm,
+                small_run.bclusters,
+                small_run.grid,
+                seed=small_run.seed,
+                fingerprint="ab" * 32,
+                window_weeks=0,
+            )
+
+
+class TestWindowReport:
+    def test_json_round_trip(self, report):
+        rebuilt = WindowReport.from_dict(json.loads(report.to_json()))
+        assert rebuilt.as_dict() == report.as_dict()
+        assert rebuilt.digest() == report.digest()
+
+    def test_write_and_load(self, report, tmp_path):
+        path = report.write(tmp_path / "windows.json")
+        assert WindowReport.load(path).as_dict() == report.as_dict()
+
+    def test_digest_is_content_sensitive(self, report):
+        bumped = WindowReport.from_dict(report.as_dict())
+        bumped.series["events"][0] += 1
+        assert bumped.digest() != report.digest()
+
+    def test_window_row_carries_every_series(self, report):
+        row = report.window_row(0)
+        assert set(row) == set(WINDOW_SERIES)
+        with pytest.raises(ValidationError):
+            report.window_row(report.n_windows)
+
+    def test_unknown_schema_rejected(self, report):
+        payload = report.as_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValidationError):
+            WindowReport.from_dict(payload)
+
+    def test_fingerprint_matches_the_manifest(self, small_run, report):
+        assert report.fingerprint == small_run.manifest.fingerprint
+        assert report.seed == small_run.seed
