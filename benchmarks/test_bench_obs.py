@@ -172,3 +172,78 @@ def test_bench_event_stream_overhead(results_dir, tmp_path):
     )
     # Target < 2%; assert with headroom for noisy shared runners.
     assert overhead < 0.25, f"event-stream overhead {overhead:.1%} is not near-free"
+
+
+def _stored_history(root, run, n_runs: int) -> "object":
+    """A run store holding ``n_runs`` replays of one smoke manifest."""
+    from repro.obs.history import RunStore
+    from repro.obs.manifest import RunManifest
+
+    store = RunStore(root)
+    payload = run.manifest.as_dict()
+    for position in range(n_runs):
+        clone = json.loads(json.dumps(payload))
+        clone["created_at"] = f"2026-08-01T00:{position:02d}:00Z"
+        store.add(RunManifest.from_dict(clone))
+    return store
+
+
+def test_bench_query_frame_overhead(results_dir, tmp_path):
+    """Warm longitudinal queries must stay near-free (< 2% target).
+
+    The query index makes ``repro obs query`` O(new runs): the first
+    query pays one full store materialization, every later one reads a
+    single JSON file.  This benches both arms over a 24-run store of
+    smoke manifests and records the warm-query cost as a fraction of
+    the smoke scenario itself in ``results/BENCH_obs_query.json``.
+    """
+    from repro.obs.query import build_frame, run_query
+
+    def scenario_run():
+        # A less-reduced smoke than SMOKE: the fixed per-query cost is
+        # compared against a build big enough for the ratio to be fair.
+        config = ScenarioConfig(n_weeks=16, scale=0.3)
+        started = time.perf_counter()
+        run = PaperScenario(seed=2010, config=config).run()
+        return time.perf_counter() - started, run
+
+    scenario_run()  # warm-up build
+    scenario_seconds, run = scenario_run()
+    store = _stored_history(tmp_path / "runs", run, n_runs=24)
+
+    targets = ["metric:lsh.clusters", "span:scenario", "golden:deviations"]
+    started = time.perf_counter()
+    cold_frame = build_frame(store)
+    cold_seconds = time.perf_counter() - started
+
+    warm_seconds = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        frame = build_frame(store)
+        result = run_query(frame, targets, agg="p50")
+        warm_seconds = min(warm_seconds, time.perf_counter() - started)
+
+    # The index really served the warm arm, and it cannot change the
+    # answer: indexed and direct constructions agree byte-for-byte.
+    assert len(frame) == 24 and len(result.rows) == 24
+    assert frame.digest() == cold_frame.digest()
+    assert frame.digest() == build_frame(store, use_index=False).digest()
+
+    overhead = warm_seconds / scenario_seconds
+    record = {
+        "schema": 1,
+        "generated_at": timestamp(),
+        "runs_indexed": len(frame),
+        "scenario_seconds": round(scenario_seconds, 4),
+        "cold_build_seconds": round(cold_seconds, 4),
+        "warm_query_seconds": round(warm_seconds, 4),
+        "overhead_fraction": round(overhead, 4),
+        "targets": targets,
+        "frame_digest": frame.digest(),
+    }
+    (results_dir / "BENCH_obs_query.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    # Target < 2% of a scenario build; assert with headroom for noisy
+    # shared runners.
+    assert overhead < 0.25, f"warm query overhead {overhead:.1%} is not near-free"

@@ -53,6 +53,9 @@ The longitudinal toolkit lives under ``repro obs``::
     python -m repro obs trace RUN --chrome t.json   # Perfetto export
     python -m repro obs health RUN                  # SLO/anomaly report
     python -m repro obs dashboard RUN               # sparkline dashboard
+    python -m repro obs query 'metric:lsh.clusters' --agg p50  # cross-run analytics
+    python -m repro obs regress --fail-on critical  # trend-aware regression scan
+    python -m repro obs cost A B                    # per-stage cost attribution
     python -m repro obs validate --runs results/runs
 """
 
@@ -294,6 +297,13 @@ def _build_parser() -> argparse.ArgumentParser:
     list_p.add_argument(
         "--fingerprint", default=None, help="only runs of this config fingerprint"
     )
+    list_p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the newest N runs (after the fingerprint filter)",
+    )
 
     diff_p = obs_sub.add_parser(
         "diff", help="compare two runs: digests, metrics, timings"
@@ -444,6 +454,130 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the rendered dashboard to PATH instead of stdout",
     )
 
+    query_p = obs_sub.add_parser(
+        "query",
+        help="cross-run analytics: select targets over every stored run",
+    )
+    add_store(query_p)
+    query_p.add_argument(
+        "targets",
+        nargs="+",
+        metavar="TARGET",
+        help="metric:<key>, series:<name>, golden:deviations or "
+        "span:<name>[/cpu_seconds|max_rss_kb|gc_collections]",
+    )
+    query_p.add_argument(
+        "--agg",
+        default=None,
+        metavar="AGG",
+        help="aggregate across runs: min, max, mean or pNN (e.g. p50)",
+    )
+    query_p.add_argument(
+        "--fingerprint",
+        default=None,
+        help="only runs of this config fingerprint (prefix, >= 4 chars)",
+    )
+    query_p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the newest N runs (after the fingerprint filter)",
+    )
+    query_p.add_argument(
+        "--include",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="also include this bare manifest file as a row (repeatable; "
+        "a <stem>.windows.json sidecar rides along)",
+    )
+    query_p.add_argument(
+        "--format",
+        choices=("table", "json", "openmetrics"),
+        default="table",
+        help="table: fixed-width text; json: machine-readable rows + "
+        "aggregates; openmetrics: one gauge sample per (run, target)",
+    )
+    query_p.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --format json",
+    )
+    query_p.add_argument(
+        "--no-index",
+        dest="use_index",
+        action="store_false",
+        help="bypass the persisted query index and load every manifest",
+    )
+
+    regress_p = obs_sub.add_parser(
+        "regress",
+        help="trend-aware regression scan over the stored run history",
+    )
+    add_store(regress_p)
+    regress_p.add_argument(
+        "--fingerprint",
+        default=None,
+        help="only scan runs of this config fingerprint (prefix)",
+    )
+    regress_p.add_argument(
+        "--targets",
+        action="append",
+        default=[],
+        metavar="TARGET",
+        help="restrict the rule set to these targets (repeatable; "
+        "default: every shipped rule)",
+    )
+    regress_p.add_argument(
+        "--include",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="also include this bare manifest file as a row, e.g. the "
+        "committed CI reference (repeatable)",
+    )
+    regress_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="REPORT.json",
+        help="gate only on findings whose (detector, target) identity "
+        "this previously saved report lacks",
+    )
+    regress_p.add_argument(
+        "--fail-on",
+        type=_severity_arg,
+        default="critical",
+        metavar="SEVERITY",
+        help="non-zero exit when a (new) finding at or above this "
+        "severity exists: info, warning/warn or critical/crit "
+        "(default: critical)",
+    )
+    regress_p.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable report JSON to PATH",
+    )
+    regress_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report instead of the text view",
+    )
+
+    cost_p = obs_sub.add_parser(
+        "cost",
+        help="per-stage cost attribution of a config delta between two runs",
+    )
+    add_store(cost_p)
+    cost_p.add_argument("ref_a", help="reference run: id, id prefix or manifest path")
+    cost_p.add_argument("ref_b", help="candidate run: id, id prefix or manifest path")
+    cost_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report instead of the text view",
+    )
+
     validate_p = obs_sub.add_parser(
         "validate", help="validate emitted JSON and/or every stored run"
     )
@@ -463,6 +597,19 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="JSON",
         help="window-report sidecar to validate; with --manifest its "
         "fingerprint is also checked against the manifest's",
+    )
+    validate_p.add_argument(
+        "--rebuild-index",
+        action="store_true",
+        help="regenerate a missing/corrupted run-store index.json from "
+        "the on-disk manifest tree before validating (refuses on "
+        "content-address mismatch)",
+    )
+    validate_p.add_argument(
+        "--query-index",
+        action="store_true",
+        help="also check the persisted query index matches a fresh "
+        "rebuild from the stored manifests",
     )
     validate_p.add_argument(
         "--no-require-scenario",
@@ -623,6 +770,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _severity_arg(text: str) -> str:
+    """Normalize a ``--fail-on`` severity (accepts warn/crit shorthands)."""
+    aliases = {"warn": "warning", "crit": "critical"}
+    value = aliases.get(text.lower(), text.lower())
+    if value not in ("info", "warning", "critical"):
+        raise argparse.ArgumentTypeError(
+            f"unknown severity {text!r}: expected info, warning or critical"
+        )
+    return value
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.diff import (
         DEFAULT_TIMING_TOLERANCE,
@@ -637,7 +795,24 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     )
 
     if args.obs_command == "list":
-        print(store.render_listing(store.entries(args.fingerprint)))
+        print(
+            store.render_listing(
+                store.entries(args.fingerprint, limit=args.limit)
+            )
+        )
+        return 0
+    if args.obs_command == "query":
+        return _cmd_obs_query(args, store)
+    if args.obs_command == "regress":
+        return _cmd_obs_regress(args, store)
+    if args.obs_command == "cost":
+        from repro.obs.query import attribute_cost
+
+        report = attribute_cost(
+            _load_manifest_payload(store, args.ref_a),
+            _load_manifest_payload(store, args.ref_b),
+        )
+        print(report.to_json() if args.json else report.render())
         return 0
     if args.obs_command == "diff":
 
@@ -734,13 +909,95 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             forwarded += ["--windows", args.windows]
         if not getattr(args, "require_scenario", True):
             forwarded += ["--no-require-scenario"]
+        if args.rebuild_index:
+            forwarded += ["--rebuild-index"]
+        if args.query_index:
+            forwarded += ["--query-index"]
         # Validate the store when asked for explicitly, when it exists,
         # or when there is nothing else to validate (then a missing
-        # store is a loud per-file error, not a silent pass).
-        if args.runs or store.index_path.is_file() or not forwarded:
+        # store is a loud per-file error, not a silent pass).  The
+        # index flags imply the store too: --rebuild-index exists
+        # precisely for stores whose index.json is gone.
+        if (
+            args.runs
+            or store.index_path.is_file()
+            or args.rebuild_index
+            or args.query_index
+            or not forwarded
+        ):
             forwarded += ["--runs", str(store.root)]
         return validate_main(forwarded)
     raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
+def _cmd_obs_query(args: argparse.Namespace, store) -> int:
+    from repro.obs.query import build_frame, run_query
+
+    frame = build_frame(
+        store, include=args.include, use_index=getattr(args, "use_index", True)
+    )
+    result = run_query(
+        frame,
+        args.targets,
+        agg=args.agg,
+        fingerprint=args.fingerprint,
+        limit=args.limit,
+    )
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
+        print(result.to_json())
+    elif fmt == "openmetrics":
+        print(result.to_openmetrics(), end="")
+    else:
+        print(result.render())
+    return 0
+
+
+def _cmd_obs_regress(args: argparse.Namespace, store) -> int:
+    import json
+
+    from repro.obs.query import build_frame
+    from repro.obs.regress import (
+        DEFAULT_RULES,
+        RegressionReport,
+        new_findings,
+        run_regression,
+    )
+
+    rules = DEFAULT_RULES
+    if args.targets:
+        rules = tuple(r for r in DEFAULT_RULES if r.target in args.targets)
+        if not rules:
+            print(
+                "no shipped rule matches --targets "
+                + ", ".join(args.targets)
+                + " (rules cover: "
+                + ", ".join(sorted({r.target for r in DEFAULT_RULES}))
+                + ")",
+                file=sys.stderr,
+            )
+            return 2
+    frame = build_frame(store, include=args.include)
+    report = run_regression(frame, rules=rules, fingerprint=args.fingerprint)
+    baseline = None
+    if args.baseline:
+        baseline = RegressionReport.from_dict(
+            json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        )
+    fresh = new_findings(report, baseline)
+    if args.report:
+        Path(args.report).write_text(report.to_json() + "\n", encoding="utf-8")
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+        if baseline is not None:
+            print(f"{len(fresh)} new finding(s) vs baseline {args.baseline}")
+    from repro.obs.health import SEVERITIES
+
+    floor = SEVERITIES.index(args.fail_on)
+    gated = [f for f in fresh if SEVERITIES.index(f.severity) >= floor]
+    return 1 if gated else 0
 
 
 def _cmd_obs_health(args: argparse.Namespace, store) -> int:

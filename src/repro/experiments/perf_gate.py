@@ -133,6 +133,64 @@ def check_scale_bench(scale_bench_path: str | Path, out) -> list[str]:
     return errors
 
 
+def check_regression_detector(cold_payload: Mapping, out) -> list[str]:
+    """Self-test of the longitudinal regression detector (gate-grade).
+
+    Warm replays skip recomputation and re-emit no semantic metrics, so
+    the gate cannot feed the detector its own warm runs; instead it
+    builds a synthetic history from the *cold* manifest — clones that
+    differ only in ``created_at`` (new content address, identical
+    telemetry) — and demands both detector guarantees the CI regression
+    gate rests on:
+
+    * byte-identical replays never alarm (a constant series is silent);
+    * an injected metric regression (``lsh.clusters`` tripled on the
+      newest run) is flagged on the right target.
+    """
+    from repro.obs.query import frame_from_payloads
+    from repro.obs.regress import METRIC_RULES, run_regression
+
+    def clone(stamp: str, bump: float = 1.0) -> dict:
+        payload = json.loads(json.dumps(dict(cold_payload)))
+        payload["created_at"] = stamp
+        if bump != 1.0:
+            gauges = payload.setdefault("metrics", {}).setdefault("gauges", {})
+            gauges["lsh.clusters"] = float(gauges.get("lsh.clusters", 0.0)) * bump
+        return payload
+
+    stamps = [f"2000-01-0{i}T00:00:00Z" for i in (1, 2, 3)]
+    errors: list[str] = []
+    silent = run_regression(
+        frame_from_payloads([clone(stamp) for stamp in stamps]),
+        rules=METRIC_RULES,
+    )
+    if silent.findings:
+        errors.append(
+            "regress: detector alarmed on byte-identical replay clones: "
+            + "; ".join(f.render() for f in silent.findings[:3])
+        )
+    noisy = run_regression(
+        frame_from_payloads(
+            [clone(stamp) for stamp in stamps]
+            + [clone("2000-01-04T00:00:00Z", bump=3.0)]
+        ),
+        rules=METRIC_RULES,
+    )
+    flagged = {finding.target for finding in noisy.findings}
+    if "metric:lsh.clusters" not in flagged:
+        errors.append(
+            "regress: detector missed an injected 3x lsh.clusters "
+            f"regression (flagged: {sorted(flagged) or 'nothing'})"
+        )
+    print(
+        "regression detector self-test: "
+        f"{len(silent.findings)} alarm(s) on replays, "
+        f"{len(noisy.findings)} on the injected regression",
+        file=out,
+    )
+    return errors
+
+
 def run_gate(
     *,
     bench_path: str | Path | None = None,
@@ -203,12 +261,15 @@ def run_gate(
                     "diverged from the cold run"
                 )
 
+    regress_errors = check_regression_detector(cold.manifest.as_dict(), out)
+    errors += regress_errors
+
     runs = (("cold", cold), ("warm", warm), (f"perturb:{PERTURB_KEY}", part))
     for label, run in runs:
         print(f"{label:<22} {observed_partition(run.stage_cache)}", file=out)
     if report_path is not None:
         report = {
-            "schema": 1,
+            "schema": 2,
             "seed": seed,
             "scale": scale,
             "weeks": weeks,
@@ -216,6 +277,11 @@ def run_gate(
             "observed": {label: observed_partition(run.stage_cache) for label, run in runs},
             "cold_stage_seconds": cold.timings.as_dict(),
             "cold_wall_seconds": cold_wall,
+            "regress": {
+                "checked": True,
+                "violations": regress_errors,
+                "ok": not regress_errors,
+            },
             "violations": errors,
             "ok": not errors,
         }

@@ -40,7 +40,18 @@ near-free when off:
   series) behind ``repro obs health``;
 * :mod:`repro.obs.dashboard` — the sparkline terminal dashboard behind
   ``repro obs dashboard`` (static render + ``--follow`` off the event
-  stream).
+  stream);
+* :mod:`repro.obs.query` — the longitudinal analytics frame: every
+  stored run materialized into one columnar, digest-checked
+  :class:`QueryFrame` (incrementally indexed in ``query_index.json``)
+  with ``metric:``/``series:``/``golden:``/``span:`` selectors, the
+  ``repro obs query`` engine and the per-stage cost-attribution join
+  behind ``repro obs cost``;
+* :mod:`repro.obs.regress` — trend-aware regression detection over the
+  frame's run-ordered series (trailing-median tolerance bands, EWMA
+  z-scores, two-sided Page-Hinkley changepoints) with
+  ``(detector, target)``-keyed baseline suppression, behind
+  ``repro obs regress`` and the perf gate's detector self-test.
 
 Instrumented layers read the ambient registry/tracer
 (:func:`repro.obs.metrics.active`,
@@ -85,6 +96,22 @@ from repro.obs.metrics import (
     MetricsSnapshot,
 )
 from repro.obs.profile import chrome_trace, flame_view, write_chrome_trace
+from repro.obs.query import (
+    CostReport,
+    QueryFrame,
+    QueryIndex,
+    QueryResult,
+    attribute_cost,
+    build_frame,
+    frame_from_payloads,
+    run_query,
+)
+from repro.obs.regress import (
+    RegressionFinding,
+    RegressionReport,
+    RegressRule,
+    run_regression,
+)
 from repro.obs.trace import NULL_TRACER, Tracer, TraceSpan, current_tracer, use_tracer
 from repro.obs.windows import WINDOW_SERIES, WindowReport, build_window_report
 
@@ -93,6 +120,7 @@ from repro.obs.windows import WINDOW_SERIES, WindowReport, build_window_report
 # the package __init__ would make runpy warn about the double import.
 
 __all__ = [
+    "CostReport",
     "DEFAULT_RULES",
     "EVENT_KINDS",
     "EventBus",
@@ -107,6 +135,12 @@ __all__ = [
     "NULL_REGISTRY",
     "NULL_TRACER",
     "PipelineEvent",
+    "QueryFrame",
+    "QueryIndex",
+    "QueryResult",
+    "RegressRule",
+    "RegressionFinding",
+    "RegressionReport",
     "RunManifest",
     "RunStore",
     "SIZE_BUCKETS",
@@ -115,6 +149,8 @@ __all__ = [
     "WINDOW_SERIES",
     "WindowReport",
     "active_bus",
+    "attribute_cost",
+    "build_frame",
     "build_manifest",
     "build_window_report",
     "chrome_trace",
@@ -124,6 +160,7 @@ __all__ = [
     "evaluate_health",
     "export_payload",
     "flame_view",
+    "frame_from_payloads",
     "get_logger",
     "iter_events",
     "jsonl_text",
@@ -133,6 +170,8 @@ __all__ = [
     "read_events",
     "render_dashboard",
     "render_history",
+    "run_query",
+    "run_regression",
     "sparkline",
     "use_bus",
     "write_chrome_trace",

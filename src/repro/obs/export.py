@@ -96,20 +96,51 @@ def _cumulative_buckets(payload: Mapping) -> list[tuple[str, int]]:
     return rows
 
 
-def prometheus_text(payload: Mapping) -> str:
-    """Prometheus text exposition of a metrics snapshot or manifest.
+#: Units derivable from a catalogued metric name, suffix -> unit.  The
+#: OpenMetrics spec ties ``# UNIT`` to the metric name's own suffix
+#: (``..._seconds`` may only declare ``seconds``), so the map is keyed
+#: by name ending rather than by a separate registry.
+_UNIT_SUFFIXES = (("seconds", "seconds"), ("bytes", "bytes"))
 
-    Counters become ``<name>_total``, histograms the conventional
-    cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple;
-    labels carry over from the rendered ``name{k=v}`` keys.  Output is
-    deterministically ordered (sorted by metric key).
+
+def _metric_unit(name: str) -> str | None:
+    """The unit a catalogued metric name self-declares, if any."""
+    from repro.obs.validate import METRIC_CATALOGUE
+
+    if name not in METRIC_CATALOGUE:
+        return None
+    tail = name.rsplit(".", 1)[-1].rsplit("_", 1)[-1]
+    for suffix, unit in _UNIT_SUFFIXES:
+        if tail == suffix:
+            return unit
+    return None
+
+
+def _family_header(name: str, kind: str, units: bool) -> list[str]:
+    """``# TYPE`` (and, in OpenMetrics mode, ``# UNIT``) family lines."""
+    prom = _prom_name(name)
+    lines = [f"# TYPE {prom} {kind}"]
+    if units:
+        unit = _metric_unit(name)
+        if unit is not None:
+            lines.append(f"# UNIT {prom} {unit}")
+    return lines
+
+
+def _exposition_lines(payload: Mapping, *, units: bool) -> list[str]:
+    """The shared family rendering behind both text expositions.
+
+    ``units`` turns on the OpenMetrics ``# UNIT`` metadata for
+    catalogued metrics whose names self-declare a unit (``*_seconds``,
+    ``*_bytes``); Prometheus has no UNIT line, so its exposition passes
+    ``False``.
     """
     metrics = metrics_section(payload)
     lines: list[str] = []
     for key in sorted(metrics.get("counters", {})):
         name, labels = parse_key(key)
         prom = _prom_name(name) + "_total"
-        lines.append(f"# TYPE {_prom_name(name)} counter")
+        lines.extend(_family_header(name, "counter", units))
         lines.append(
             f"{prom}{_prom_labels(labels)} "
             f"{_format_value(metrics['counters'][key])}"
@@ -117,7 +148,7 @@ def prometheus_text(payload: Mapping) -> str:
     for key in sorted(metrics.get("gauges", {})):
         name, labels = parse_key(key)
         prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} gauge")
+        lines.extend(_family_header(name, "gauge", units))
         lines.append(
             f"{prom}{_prom_labels(labels)} {_format_value(metrics['gauges'][key])}"
         )
@@ -125,7 +156,7 @@ def prometheus_text(payload: Mapping) -> str:
         name, labels = parse_key(key)
         prom = _prom_name(name)
         histogram = metrics["histograms"][key]
-        lines.append(f"# TYPE {prom} histogram")
+        lines.extend(_family_header(name, "histogram", units))
         for le, cumulative in _cumulative_buckets(histogram):
             le_label = 'le="%s"' % le
             lines.append(
@@ -146,7 +177,18 @@ def prometheus_text(payload: Mapping) -> str:
             for window, value in enumerate(series[name]):
                 labels = {"series": name, "window": str(window)}
                 lines.append(f"{prom}{_prom_labels(labels)} {_format_value(value)}")
-    return "\n".join(lines) + "\n"
+    return lines
+
+
+def prometheus_text(payload: Mapping) -> str:
+    """Prometheus text exposition of a metrics snapshot or manifest.
+
+    Counters become ``<name>_total``, histograms the conventional
+    cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple;
+    labels carry over from the rendered ``name{k=v}`` keys.  Output is
+    deterministically ordered (sorted by metric key).
+    """
+    return "\n".join(_exposition_lines(payload, units=False)) + "\n"
 
 
 def openmetrics_text(payload: Mapping) -> str:
@@ -155,12 +197,14 @@ def openmetrics_text(payload: Mapping) -> str:
     The family rendering is shared with :func:`prometheus_text` — the
     obs layer already emits counters as ``_total`` samples and closes
     every histogram with an explicit ``+Inf`` bucket, both of which
-    OpenMetrics *requires* where Prometheus merely tolerates.  What the
-    spec adds on top is the mandatory ``# EOF`` terminator, the one
-    marker that lets a scraper distinguish a complete exposition from a
-    truncated one.
+    OpenMetrics *requires* where Prometheus merely tolerates.  The spec
+    adds two pieces of metadata on top: ``# UNIT`` lines for catalogued
+    metrics whose names self-declare a unit (``*_seconds``/``*_bytes``),
+    and the mandatory ``# EOF`` terminator — always the last line — that
+    lets a scraper distinguish a complete exposition from a truncated
+    one.
     """
-    return prometheus_text(payload) + "# EOF\n"
+    return "\n".join(_exposition_lines(payload, units=True)) + "\n# EOF\n"
 
 
 def jsonl_samples(payload: Mapping) -> Iterator[dict]:

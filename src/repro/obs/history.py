@@ -69,14 +69,29 @@ class RunStore:
     def index_path(self) -> Path:
         return self.root / INDEX_NAME
 
-    def entries(self, fingerprint: str | None = None) -> list[dict]:
-        """Index entries in insertion (i.e. storage) order."""
+    def entries(
+        self, fingerprint: str | None = None, *, limit: int | None = None
+    ) -> list[dict]:
+        """Index entries, sorted by ``(created_at, run_id)``.
+
+        The sort makes listings and query frames deterministic across
+        filesystems and index rewrite history (insertion order is a
+        storage accident; ``created_at`` plus the content-derived run
+        id is reproducible).  ``limit`` keeps only the newest N entries
+        *after* the fingerprint filter.
+        """
         if not self.index_path.is_file():
             return []
         payload = json.loads(self.index_path.read_text(encoding="utf-8"))
         entries = list(payload.get("entries", []))
         if fingerprint is not None:
             entries = [e for e in entries if e.get("fingerprint") == fingerprint]
+        entries.sort(
+            key=lambda e: (str(e.get("created_at", "")), str(e.get("run_id", "")))
+        )
+        if limit is not None:
+            require(limit >= 1, f"limit must be >= 1, got {limit}")
+            entries = entries[-limit:]
         return entries
 
     def path_for(self, fingerprint: str, run_id: str) -> Path:
@@ -187,16 +202,32 @@ class RunStore:
         """Path of the manifest named by ``ref``.
 
         ``ref`` may be a filesystem path to a manifest JSON file, a full
-        run id, or an unambiguous run-id prefix (>= 4 chars).
+        run id, an unambiguous run-id prefix (>= 4 chars), or a
+        fingerprint-qualified ``<fingerprint-prefix>/<run-id-prefix>``
+        pair — the qualified form disambiguates a run-id prefix shared
+        across configurations.
         """
         as_path = Path(ref)
         if as_path.is_file():
             return as_path
-        require(len(ref) >= 4, f"run id prefix {ref!r} too short (need >= 4 chars)")
+        fingerprint, slash, run_ref = ref.rpartition("/")
+        if not slash:
+            fingerprint = ""
+            run_ref = ref
+        require(
+            len(run_ref) >= 4,
+            f"run id prefix {run_ref!r} too short (need >= 4 chars)",
+        )
+        if fingerprint:
+            require(
+                len(fingerprint) >= 4,
+                f"fingerprint prefix {fingerprint!r} too short (need >= 4 chars)",
+            )
         matches = [
             entry
             for entry in self.entries()
-            if entry.get("run_id", "").startswith(ref)
+            if entry.get("run_id", "").startswith(run_ref)
+            and entry.get("fingerprint", "").startswith(fingerprint)
         ]
         require(bool(matches), f"no stored run matches {ref!r} under {self.root}")
         require(
@@ -205,6 +236,65 @@ class RunStore:
             + ", ".join(sorted(e["run_id"] for e in matches)),
         )
         return self.root / matches[0]["path"]
+
+    def rebuild_index(self) -> int:
+        """Regenerate ``index.json`` from the on-disk manifest tree.
+
+        Recovery for a deleted or corrupted index: every
+        ``<fingerprint>/<run_id>.json`` under the root is re-read and
+        re-indexed.  Each manifest must still live at its content
+        address — a file whose canonical digest no longer matches its
+        directory/name is refused (the tree was edited in place, and
+        silently indexing it would launder the corruption).  Returns
+        the number of runs indexed.
+        """
+        entries: list[dict] = []
+        for path in sorted(self.root.glob("*/*.json")):
+            if path.name.endswith((".events.jsonl", ".windows.json")):
+                continue
+            manifest = RunManifest.from_dict(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+            run_id = manifest.content_id()[:RUN_ID_LENGTH]
+            require(
+                path.stem == run_id,
+                f"stored manifest {path} digests to {run_id}: content no "
+                "longer matches its address (edited in place?)",
+            )
+            require(
+                path.parent.name == manifest.fingerprint,
+                f"stored manifest {path} carries fingerprint "
+                f"{manifest.fingerprint[:12]}..: wrong directory",
+            )
+            entries.append(
+                {
+                    "run_id": run_id,
+                    "fingerprint": manifest.fingerprint,
+                    "seed": manifest.seed,
+                    "created_at": manifest.created_at,
+                    "library_version": manifest.library_version,
+                    "golden_deviations": len(manifest.golden_deviations),
+                    "events": self.events_path_for(
+                        manifest.fingerprint, run_id
+                    ).is_file(),
+                    "windows": self.windows_path_for(
+                        manifest.fingerprint, run_id
+                    ).is_file(),
+                    "path": str(path.relative_to(self.root)),
+                }
+            )
+        entries.sort(
+            key=lambda e: (str(e.get("created_at", "")), str(e.get("run_id", "")))
+        )
+        payload = {"schema": INDEX_SCHEMA, "entries": entries}
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.index_path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.index_path)
+        log.info("index rebuilt", extra={"runs": len(entries)})
+        return len(entries)
 
     def load(self, ref: str) -> RunManifest:
         """The stored manifest named by ``ref`` (see :meth:`resolve`)."""

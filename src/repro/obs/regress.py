@@ -1,0 +1,544 @@
+"""Trend-aware regression detection over the cross-run frame.
+
+``obs diff`` answers "did this run move against *that* run"; the drift
+gate it powers is only as good as its single committed reference.  This
+module replaces that pairwise check with changepoint-style detection
+over the **run-ordered series** a :class:`~repro.obs.query.QueryFrame`
+yields per configuration fingerprint — the longitudinal analogue of
+:mod:`repro.obs.health`'s in-run rule engine:
+
+* ``band`` — tolerance bands around the trailing median, the same
+  semantics as ``obs diff``'s timing flags (ratio tolerance plus an
+  absolute noise floor) but anchored to the history's median rather
+  than one reference value.  Catches step changes immediately, even
+  from a perfectly constant history.
+* ``ewma`` — the EWMA z-score scan of ``health.py``, pointed across
+  runs instead of across windows: each run is scored against the
+  exponentially weighted mean/variance of the runs before it.  Catches
+  drifts a band around the median absorbs.
+* ``page_hinkley`` — a two-sided Page-Hinkley changepoint test, the
+  classic sequential drift detector (see the online-clustering papers
+  in PAPERS.md): cumulative deviation from the running mean, drift
+  margin ``delta``, alarm threshold ``lambda``, both scaled by the
+  series' own magnitude so one rule set serves counts and seconds
+  alike.  Catches slow creeps no single step trips.
+
+Findings carry ``(detector, target)`` identity keys so a baseline
+report suppresses known regressions the way ``health.new_findings``
+does — CI gates only on *new* ones.  Timing targets (``span:``) default
+to ``warning`` severity: wall-clock is machine-dependent, and the CI
+gate runs ``--fail-on critical`` so hosts cannot turn the build red,
+while semantic metric targets gate at ``critical``.
+
+The CLI front-end is ``repro obs regress`` (see :mod:`repro.cli`); the
+perf gate (:mod:`repro.experiments.perf_gate`) runs the same detectors
+over its replay matrix as a self-test.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.obs.health import SEVERITIES, _SEVERITY_RANK
+from repro.obs.query import QueryFrame, aggregate, parse_target
+from repro.util.canonical import canonical_digest
+from repro.util.validation import require
+
+#: Regression-report schema version; bump on incompatible changes.
+REGRESS_SCHEMA = 1
+
+#: Detectors the engine runs (``RegressRule.detectors`` entries).
+DETECTORS = ("band", "ewma", "page_hinkley")
+
+#: EWMA smoothing factor (same trailing window as the health engine).
+EWMA_ALPHA = 0.3
+
+#: Runs of history a trailing estimate needs before EWMA/Page-Hinkley
+#: may flag anything — three points, like ``health.MIN_HISTORY``.
+MIN_HISTORY = 3
+
+#: Band defaults mirror ``repro.obs.diff``: flag when a value leaves
+#: ``[median/tolerance, median*tolerance]`` and the absolute move also
+#: clears the noise floor.
+DEFAULT_TIMING_TOLERANCE = 1.5
+DEFAULT_METRIC_TOLERANCE = 1.25
+TIMING_NOISE_FLOOR = 0.05
+
+#: Page-Hinkley margins, relative to the series' running mean magnitude:
+#: drift allowance ``delta`` and alarm threshold ``lambda``.
+PH_DELTA_REL = 0.02
+PH_LAMBDA_REL = 0.25
+
+
+@dataclass(frozen=True)
+class RegressRule:
+    """One target's regression policy: which detectors, how touchy."""
+
+    name: str
+    #: ``metric:``/``series:``/``golden:``/``span:`` selector.
+    target: str
+    severity: str
+    detectors: tuple[str, ...] = DETECTORS
+    #: Band ratio tolerance (>= 1.0) around the trailing median.
+    tolerance: float = DEFAULT_METRIC_TOLERANCE
+    #: Absolute band floor: moves smaller than this never flag.
+    noise_floor: float = 0.0
+    #: EWMA z-score alarm threshold.
+    zscore: float = 4.0
+    #: Page-Hinkley relative drift margin and alarm threshold.
+    ph_delta: float = PH_DELTA_REL
+    ph_lambda: float = PH_LAMBDA_REL
+    #: Human framing of why the target matters (rendered with findings).
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        require(self.severity in SEVERITIES, f"unknown severity {self.severity!r}")
+        require(bool(self.detectors), f"rule {self.name!r} runs no detectors")
+        for detector in self.detectors:
+            require(detector in DETECTORS, f"unknown detector {detector!r}")
+        require(self.tolerance >= 1.0, "band tolerance must be >= 1.0")
+        parse_target(self.target)  # fail fast on a malformed selector
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One detector alarm: which run moved, on which target, how far."""
+
+    detector: str
+    rule: str
+    target: str
+    severity: str
+    fingerprint: str
+    #: The run the detector flagged.
+    run_id: str
+    #: Position of that run in its fingerprint's run-ordered series.
+    position: int
+    value: float
+    #: Detector-specific reference: band median, EWMA mean, PH mean.
+    reference: float
+    #: Detector-specific score: band ratio, z-score, PH statistic.
+    score: float
+    threshold: float
+    detail: str = ""
+
+    def key(self) -> tuple[str, str]:
+        """Identity for baseline suppression: ``(detector, target)``.
+
+        Deliberately coarse — no run id, no position — so a known
+        regression stays suppressed as later runs keep re-tripping the
+        same detector on the same target, exactly like a health
+        baseline absorbing a known warning.
+        """
+        return (self.detector, self.target)
+
+    def as_dict(self) -> dict:
+        return {
+            "detector": self.detector,
+            "rule": self.rule,
+            "target": self.target,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint,
+            "run_id": self.run_id,
+            "position": self.position,
+            "value": round(float(self.value), 9),
+            "reference": round(float(self.reference), 9),
+            "score": round(float(self.score), 9),
+            "threshold": round(float(self.threshold), 9),
+            "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        line = (
+            f"{self.severity.upper():<8} {self.target} [{self.detector}] "
+            f"run {self.run_id} (#{self.position}): {self.value:g} "
+            f"vs {self.reference:g} (score {self.score:g}, "
+            f"threshold {self.threshold:g})"
+        )
+        return f"{line} — {self.detail}" if self.detail else line
+
+
+@dataclass
+class RegressionReport:
+    """Severity-ranked detector alarms of one frame scan."""
+
+    findings: list[RegressionFinding] = field(default_factory=list)
+    rules_evaluated: int = 0
+    runs_scanned: int = 0
+    fingerprints_scanned: int = 0
+    schema: int = REGRESS_SCHEMA
+
+    def summary(self) -> dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            counts[finding.severity] += 1
+        return counts
+
+    def worst(self) -> str | None:
+        if not self.findings:
+            return None
+        return self.findings[0].severity
+
+    def at_or_above(self, severity: str) -> list[RegressionFinding]:
+        require(severity in SEVERITIES, f"unknown severity {severity!r}")
+        floor = _SEVERITY_RANK[severity]
+        return [f for f in self.findings if _SEVERITY_RANK[f.severity] >= floor]
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "rules_evaluated": self.rules_evaluated,
+            "runs_scanned": self.runs_scanned,
+            "fingerprints_scanned": self.fingerprints_scanned,
+            "summary": self.summary(),
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2)
+
+    def digest(self) -> str:
+        """Canonical content address (determinism-checked in tests)."""
+        return canonical_digest(self.as_dict())
+
+    def render(self) -> str:
+        counts = self.summary()
+        head = ", ".join(
+            f"{counts[severity]} {severity}"
+            for severity in reversed(SEVERITIES)
+            if counts[severity]
+        )
+        lines = [
+            f"regress: {len(self.findings)} finding(s) ({head or 'clean'}) "
+            f"from {self.rules_evaluated} rule(s) over {self.runs_scanned} "
+            f"run(s) in {self.fingerprints_scanned} configuration(s)"
+        ]
+        lines.extend(f"  {finding.render()}" for finding in self.findings)
+        return "\n".join(lines)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RegressionReport":
+        require(
+            payload.get("schema") == REGRESS_SCHEMA,
+            f"unsupported regression report schema {payload.get('schema')!r}",
+        )
+        findings = [
+            RegressionFinding(
+                detector=str(raw["detector"]),
+                rule=str(raw["rule"]),
+                target=str(raw["target"]),
+                severity=str(raw["severity"]),
+                fingerprint=str(raw.get("fingerprint", "")),
+                run_id=str(raw["run_id"]),
+                position=int(raw["position"]),
+                value=float(raw["value"]),
+                reference=float(raw["reference"]),
+                score=float(raw["score"]),
+                threshold=float(raw["threshold"]),
+                detail=str(raw.get("detail", "")),
+            )
+            for raw in payload.get("findings", [])
+        ]
+        return cls(
+            findings=findings,
+            rules_evaluated=int(payload.get("rules_evaluated", 0)),
+            runs_scanned=int(payload.get("runs_scanned", 0)),
+            fingerprints_scanned=int(payload.get("fingerprints_scanned", 0)),
+        )
+
+
+def _metric_rule(name: str, target: str, detail: str) -> RegressRule:
+    return RegressRule(
+        name=name,
+        target=target,
+        severity="critical",
+        tolerance=DEFAULT_METRIC_TOLERANCE,
+        detail=detail,
+    )
+
+
+def _timing_rule(name: str, target: str) -> RegressRule:
+    # Wall-clock is machine-dependent: warning severity, the looser
+    # obs-diff timing tolerance, and a noise floor so sub-50ms jitter
+    # never alarms.  CI gates at critical, so these inform, not gate.
+    return RegressRule(
+        name=name,
+        target=target,
+        severity="warning",
+        tolerance=DEFAULT_TIMING_TOLERANCE,
+        noise_floor=TIMING_NOISE_FLOOR,
+        detail="wall-clock trend (machine-dependent; never gates CI)",
+    )
+
+
+#: Semantic metric rules: deterministic telemetry, gate-grade.
+METRIC_RULES: tuple[RegressRule, ...] = (
+    _metric_rule(
+        "bcluster-count",
+        "metric:lsh.clusters",
+        "behavioural cluster count moved against its own history",
+    ),
+    _metric_rule(
+        "epm-pattern-count",
+        "metric:epm.patterns_discovered",
+        "EPM pattern count moved against its own history",
+    ),
+    _metric_rule(
+        "sample-volume",
+        "metric:honeypot.samples_collected",
+        "collected-binary volume moved against its own history",
+    ),
+    _metric_rule(
+        "golden-deviation-count",
+        "golden:deviations",
+        "golden-headline deviation count moved against its own history",
+    ),
+)
+
+#: Timing rules over the pipeline's span probes: informational trend.
+TIMING_RULES: tuple[RegressRule, ...] = (
+    _timing_rule("scenario-seconds", "span:scenario"),
+    _timing_rule("observe-seconds", "span:observe"),
+    _timing_rule("epm-seconds", "span:epm"),
+    _timing_rule("bcluster-seconds", "span:bcluster"),
+)
+
+#: The shipped rule set.  Mirrored in ``docs/ARCHITECTURE.md``.
+DEFAULT_RULES: tuple[RegressRule, ...] = METRIC_RULES + TIMING_RULES
+
+
+def band_scan(rule: RegressRule, series: Sequence[float]) -> list[dict]:
+    """Trailing-median tolerance band: flag steps out of the corridor.
+
+    Each point is compared against the median of the points *before*
+    it, so a step cannot mask itself; one point of history suffices
+    (the ``obs diff`` pairwise check is the two-run special case).
+    """
+    alarms: list[dict] = []
+    for position in range(1, len(series)):
+        history = sorted(series[:position])
+        mid = len(history) // 2
+        median = (
+            history[mid]
+            if len(history) % 2
+            else (history[mid - 1] + history[mid]) / 2.0
+        )
+        value = series[position]
+        if abs(value - median) <= rule.noise_floor:
+            continue
+        if median == 0:
+            ratio = math.inf if value else 1.0
+        else:
+            ratio = max(value / median, median / value) if value > 0 else math.inf
+            if value < 0 or median < 0:  # mixed signs: always out of band
+                ratio = math.inf
+        if ratio > rule.tolerance:
+            alarms.append(
+                {
+                    "position": position,
+                    "value": value,
+                    "reference": median,
+                    "score": ratio,
+                    "threshold": rule.tolerance,
+                }
+            )
+    return alarms
+
+
+def ewma_scan(rule: RegressRule, series: Sequence[float]) -> list[dict]:
+    """EWMA z-score scan across runs (health.py's math, run-ordered)."""
+    alarms: list[dict] = []
+    mean = 0.0
+    var = 0.0
+    for position, value in enumerate(series):
+        if position >= MIN_HISTORY and var > 0:
+            z = abs(value - mean) / math.sqrt(var)
+            if z > rule.zscore:
+                alarms.append(
+                    {
+                        "position": position,
+                        "value": value,
+                        "reference": mean,
+                        "score": round(z, 6),
+                        "threshold": rule.zscore,
+                    }
+                )
+        if position == 0:
+            mean = value
+            var = 0.0
+        else:
+            delta = value - mean
+            mean += EWMA_ALPHA * delta
+            var = (1 - EWMA_ALPHA) * (var + EWMA_ALPHA * delta * delta)
+    return alarms
+
+
+def page_hinkley_scan(rule: RegressRule, series: Sequence[float]) -> list[dict]:
+    """Two-sided Page-Hinkley changepoint test over a run-ordered series.
+
+    The upward statistic accumulates ``value - mean - delta`` and alarms
+    when it exceeds its own running minimum by ``lambda``; the downward
+    side mirrors it.  ``delta``/``lambda`` are relative to the series'
+    running mean magnitude (fallback 1.0 near zero), so counts in the
+    thousands and seconds in the tenths share one rule.  Both
+    statistics stay at zero on a constant series — byte-identical
+    replays can never alarm.
+    """
+    alarms: list[dict] = []
+    mean = 0.0
+    m_up = 0.0
+    min_up = 0.0
+    m_down = 0.0
+    max_down = 0.0
+    for position, value in enumerate(series):
+        mean += (value - mean) / (position + 1)
+        scale = max(abs(mean), 1.0)
+        delta = rule.ph_delta * scale
+        alarm_at = rule.ph_lambda * scale
+        m_up += value - mean - delta
+        min_up = min(min_up, m_up)
+        m_down += value - mean + delta
+        max_down = max(max_down, m_down)
+        if position + 1 < MIN_HISTORY:
+            continue
+        ph_up = m_up - min_up
+        ph_down = max_down - m_down
+        score = max(ph_up, ph_down)
+        if score > alarm_at:
+            alarms.append(
+                {
+                    "position": position,
+                    "value": value,
+                    "reference": mean,
+                    "score": round(score, 6),
+                    "threshold": round(alarm_at, 6),
+                }
+            )
+            # Restart the test after an alarm so one changepoint does
+            # not cascade into an alarm on every subsequent run.
+            m_up = min_up = m_down = max_down = 0.0
+    return alarms
+
+
+_SCANNERS = {
+    "band": band_scan,
+    "ewma": ewma_scan,
+    "page_hinkley": page_hinkley_scan,
+}
+
+
+def _scalar_series(
+    frame: QueryFrame, target: str
+) -> tuple[list[float], list[int]]:
+    """Run-ordered scalar series for ``target`` plus row positions.
+
+    ``series:`` targets (per-window vectors) are reduced per run by
+    their mean, so the cross-run series tracks "this run's typical
+    window".  Rows without the telemetry are skipped, keeping the
+    detectors blind to absence rather than treating it as zero.
+    """
+    values: list[float] = []
+    positions: list[int] = []
+    for position, value in enumerate(frame.column(target)):
+        if isinstance(value, list):
+            value = aggregate(value, "mean")
+        if value is None:
+            continue
+        values.append(float(value))
+        positions.append(position)
+    return values, positions
+
+
+def run_regression(
+    frame: QueryFrame,
+    *,
+    rules: Sequence[RegressRule] = DEFAULT_RULES,
+    fingerprint: str | None = None,
+) -> RegressionReport:
+    """Scan the frame with every rule's detectors; ranked report out.
+
+    Series are built **per configuration fingerprint** — cross-config
+    values are not comparable — and a fingerprint needs at least two
+    runs to have a trend at all.  ``fingerprint`` restricts the scan to
+    one configuration (prefix match, as in :meth:`QueryFrame.filter`).
+    """
+    if fingerprint is not None:
+        frame = frame.filter(fingerprint=fingerprint)
+    findings: list[RegressionFinding] = []
+    groups = {
+        fp: group for fp, group in frame.grouped().items() if len(group) >= 2
+    }
+    for fp, group in groups.items():
+        for rule in rules:
+            series, positions = _scalar_series(group, rule.target)
+            if len(series) < 2:
+                continue
+            for detector in rule.detectors:
+                for alarm in _SCANNERS[detector](rule, series):
+                    row = group.rows[positions[alarm["position"]]]
+                    findings.append(
+                        RegressionFinding(
+                            detector=detector,
+                            rule=rule.name,
+                            target=rule.target,
+                            severity=rule.severity,
+                            fingerprint=fp,
+                            run_id=row.run_id,
+                            position=alarm["position"],
+                            value=float(alarm["value"]),
+                            reference=float(alarm["reference"]),
+                            score=float(alarm["score"]),
+                            threshold=float(alarm["threshold"]),
+                            detail=rule.detail,
+                        )
+                    )
+    findings.sort(
+        key=lambda f: (
+            -_SEVERITY_RANK[f.severity],
+            f.target,
+            f.detector,
+            f.position,
+        )
+    )
+    return RegressionReport(
+        findings=findings,
+        rules_evaluated=len(rules),
+        runs_scanned=len(frame),
+        fingerprints_scanned=len(groups),
+    )
+
+
+def new_findings(
+    report: RegressionReport, baseline: RegressionReport | None
+) -> list[RegressionFinding]:
+    """Findings whose ``(detector, target)`` key the baseline lacks.
+
+    The longitudinal cousin of ``health.new_findings``: a known
+    regression (already triaged, recorded in the committed baseline
+    report) never re-trips the gate as history accumulates, while a
+    fresh detector/target pairing does.
+    """
+    if baseline is None:
+        return list(report.findings)
+    known = {finding.key() for finding in baseline.findings}
+    return [f for f in report.findings if f.key() not in known]
+
+
+def relabel_timing_rules(
+    rules: Sequence[RegressRule], severity: str
+) -> tuple[RegressRule, ...]:
+    """The rule set with every ``span:`` rule's severity replaced.
+
+    The perf gate runs on one machine against its own freshly produced
+    matrix, where timing *is* meaningful — it promotes timing rules to
+    gate-grade with this helper instead of forking the rule set.
+    """
+    require(severity in SEVERITIES, f"unknown severity {severity!r}")
+    return tuple(
+        replace(rule, severity=severity)
+        if rule.target.startswith("span:")
+        else rule
+        for rule in rules
+    )

@@ -536,6 +536,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="also validate every stored run under this run-store root",
     )
     parser.add_argument(
+        "--rebuild-index",
+        action="store_true",
+        help="with --runs: regenerate a missing/corrupted index.json from "
+        "the on-disk manifest tree before validating (refuses on content-"
+        "address mismatch)",
+    )
+    parser.add_argument(
+        "--query-index",
+        action="store_true",
+        help="with --runs: also check the persisted query index matches a "
+        "fresh rebuild from the stored manifests",
+    )
+    parser.add_argument(
         "--no-require-scenario",
         dest="require_scenario",
         action="store_false",
@@ -547,6 +560,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             "nothing to validate: pass --metrics, --manifest, --events, "
             "--windows and/or --runs"
         )
+    if (args.rebuild_index or args.query_index) and not args.runs:
+        parser.error("--rebuild-index/--query-index need --runs")
     errors: list[str] = []
     if args.metrics:
         payload = json.loads(Path(args.metrics).read_text(encoding="utf-8"))
@@ -566,8 +581,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         windows_payload = json.loads(Path(args.windows).read_text(encoding="utf-8"))
         errors.extend(validate_windows(windows_payload, manifest=manifest_payload))
     if args.runs:
+        if args.rebuild_index:
+            from repro.obs.history import RunStore
+
+            try:
+                count = RunStore(args.runs).rebuild_index()
+            except ValueError as error:
+                errors.append(f"rebuild-index: {error}")
+            else:
+                print(f"rebuilt index under {args.runs}: {count} run(s)")
         for path, file_errors in sorted(validate_run_store(args.runs).items()):
             errors.extend(f"{path}: {error}" for error in file_errors)
+        if args.query_index:
+            from repro.obs.query import validate_query_index
+
+            errors.extend(validate_query_index(args.runs))
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:

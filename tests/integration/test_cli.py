@@ -460,3 +460,167 @@ class TestHealthDashboardCli:
         assert main(["obs", "validate", "--manifest", str(manifest),
                      "--windows", str(windows)]) == 1
         assert "events" in capsys.readouterr().err
+
+
+class TestLongitudinalCli:
+    """obs query/regress/cost/list --limit and the index maintenance."""
+
+    @pytest.fixture()
+    def store_dir(self, tmp_path, monkeypatch):
+        runs = tmp_path / "runs"
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(runs))
+        monkeypatch.setenv("REPRO_FIXED_TIME", "2026-08-06T00:00:00Z")
+        return runs
+
+    def _seeded_store(self, store_dir, bump: float = 1.0):
+        """One real run plus three synthetic replays at later stamps.
+
+        The replays are byte-identical except ``created_at`` (and, with
+        ``bump``, a scaled ``lsh.clusters`` on the newest) — the cheap
+        way to grow a >= 3-run longitudinal record under one config.
+        """
+        import json
+
+        from repro.obs.history import RunStore
+        from repro.obs.manifest import RunManifest
+
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        store = RunStore(store_dir)
+        (entry,) = store.entries()
+        payload = store.load_payload(entry["run_id"])
+        for day, factor in ((7, 1.0), (8, 1.0), (9, bump)):
+            clone = json.loads(json.dumps(payload))
+            clone["created_at"] = f"2026-08-{day:02d}T00:00:00Z"
+            if factor != 1.0:
+                gauges = clone["metrics"]["gauges"]
+                gauges["lsh.clusters"] = gauges["lsh.clusters"] * factor
+            store.add(RunManifest.from_dict(clone))
+        return store
+
+    def test_query_p50_json_over_the_stored_history(self, capsys, store_dir):
+        import json
+
+        self._seeded_store(store_dir)
+        capsys.readouterr()
+        argv = ["obs", "query", "metric:lsh.clusters", "--agg", "p50", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 4
+        (value,) = {
+            row["values"]["metric:lsh.clusters"] for row in payload["rows"]
+        }
+        assert payload["aggregates"]["metric:lsh.clusters"] == value
+        # Same store, second construction: the frame digest must agree.
+        assert main(argv) == 0
+        again = json.loads(capsys.readouterr().out)
+        assert again["frame_digest"] == payload["frame_digest"]
+
+    def test_query_table_and_openmetrics_renderings(self, capsys, store_dir):
+        self._seeded_store(store_dir)
+        capsys.readouterr()
+        assert main(
+            ["obs", "query", "metric:lsh.clusters", "span:scenario",
+             "--agg", "max"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "metric:lsh.clusters" in out and "span:scenario" in out
+        assert main(
+            ["obs", "query", "metric:lsh.clusters", "--format", "openmetrics"]
+        ) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[-1] == "# EOF"
+        assert any("repro_query{" in line for line in lines)
+
+    def test_regress_is_silent_on_byte_identical_replays(self, capsys, store_dir):
+        self._seeded_store(store_dir)
+        capsys.readouterr()
+        assert main(["obs", "regress", "--fail-on", "warn"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_regress_flags_injected_regression_then_baseline_absorbs(
+        self, capsys, store_dir, tmp_path
+    ):
+        self._seeded_store(store_dir, bump=3.0)
+        capsys.readouterr()
+        report_path = tmp_path / "regress_report.json"
+        assert main(
+            ["obs", "regress", "--fail-on", "warn", "--report",
+             str(report_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "metric:lsh.clusters" in out
+        assert report_path.is_file()
+        # Re-gating against the triaged report suppresses the known
+        # (detector, target) pairs: nothing new, exit 0.
+        assert main(
+            ["obs", "regress", "--fail-on", "warn", "--baseline",
+             str(report_path)]
+        ) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_regress_unknown_target_lists_the_covered_ones(self, capsys,
+                                                           store_dir):
+        assert main(["obs", "regress", "--targets", "metric:nope"]) == 2
+        err = capsys.readouterr().err
+        assert "rules cover" in err and "metric:lsh.clusters" in err
+
+    def test_list_limit_keeps_the_newest_runs(self, capsys, store_dir):
+        self._seeded_store(store_dir)
+        capsys.readouterr()
+        assert main(["obs", "list", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "2026-08-09" in out and "2026-08-06" not in out
+
+    def test_cost_attributes_a_clustering_change_to_bcluster(
+        self, capsys, store_dir
+    ):
+        from repro.experiments.scenario import PaperScenario, ScenarioConfig
+        from repro.obs.history import RunStore
+        from repro.sandbox.clustering import ClusteringConfig
+
+        base = dict(n_weeks=16, scale=0.06)
+        run_a = PaperScenario(seed=5, config=ScenarioConfig(**base)).run()
+        run_b = PaperScenario(
+            seed=5,
+            config=ScenarioConfig(
+                clustering=ClusteringConfig(threshold=0.5), **base
+            ),
+        ).run()
+        store = RunStore(store_dir)
+        id_a = store.add(run_a.manifest)
+        id_b = store.add(run_b.manifest)
+        capsys.readouterr()
+        assert main(["obs", "cost", id_a, id_b]) == 0
+        out = capsys.readouterr().out
+        assert "clustering.threshold" in out
+        assert "bcluster" in out
+        assert "attributed cost" in out
+
+    def test_cost_of_a_repeat_run_is_labelled(self, capsys, store_dir):
+        from repro.obs.history import RunStore
+
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        (entry,) = RunStore(store_dir).entries()
+        capsys.readouterr()
+        assert main(["obs", "cost", entry["run_id"], entry["run_id"]]) == 0
+        assert "repeat runs" in capsys.readouterr().out
+
+    def test_validate_rebuilds_the_index_and_checks_the_query_index(
+        self, capsys, store_dir
+    ):
+        import json
+
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        assert main(["obs", "query", "metric:lsh.clusters"]) == 0  # warm index
+        capsys.readouterr()
+        (store_dir / "index.json").unlink()
+        assert main(["obs", "validate", "--rebuild-index", "--query-index"]) == 0
+        assert "rebuilt index" in capsys.readouterr().out
+        # A hand-edited query index must fail the --query-index check.
+        query_index = store_dir / "query_index.json"
+        payload = json.loads(query_index.read_text(encoding="utf-8"))
+        payload["rows"][0]["manifest"]["metrics"]["gauges"]["lsh.clusters"] = -1.0
+        query_index.write_text(json.dumps(payload), encoding="utf-8")
+        assert main(["obs", "validate", "--query-index"]) == 1
+        assert "does not match" in capsys.readouterr().err

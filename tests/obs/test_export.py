@@ -100,11 +100,47 @@ class TestPrometheusText:
 
 
 class TestOpenMetricsText:
-    def test_is_the_prometheus_exposition_plus_eof(self):
+    def test_is_the_prometheus_exposition_plus_unit_metadata_and_eof(self):
         snapshot = _snapshot()
         text = openmetrics_text(snapshot)
-        assert text == prometheus_text(snapshot) + "# EOF\n"
+        # Same samples as the Prometheus exposition: only UNIT metadata
+        # lines and the EOF terminator are OpenMetrics-specific.
+        prometheus_lines = prometheus_text(snapshot).splitlines()
+        extra = [
+            line
+            for line in text.splitlines()
+            if line not in prometheus_lines
+        ]
+        assert extra == ["# UNIT repro_executor_chunk_seconds seconds", "# EOF"]
         assert text.endswith("\n# EOF\n")
+
+    def test_unit_line_for_catalogued_seconds_metric(self):
+        lines = openmetrics_text(_snapshot()).splitlines()
+        unit = lines.index("# UNIT repro_executor_chunk_seconds seconds")
+        # UNIT must sit inside its family block, right after TYPE.
+        assert lines[unit - 1] == "# TYPE repro_executor_chunk_seconds histogram"
+
+    def test_no_unit_line_for_unitless_or_uncatalogued_metrics(self):
+        lines = openmetrics_text(_snapshot()).splitlines()
+        units = [line for line in lines if line.startswith("# UNIT")]
+        # executor.items (a count) and epm.patterns (uncatalogued name in
+        # this synthetic snapshot) must not invent units.
+        assert units == ["# UNIT repro_executor_chunk_seconds seconds"]
+
+    def test_eof_terminator_is_always_last(self):
+        # Including when window series (appended after the metric
+        # families) ride along — the regression this test pins down.
+        payload = {
+            "metrics": _snapshot(),
+            "windows": {"series": {"events": [3.0, 7.0]}},
+        }
+        lines = openmetrics_text(payload).splitlines()
+        assert lines[-1] == "# EOF"
+        assert lines.count("# EOF") == 1
+        assert 'repro_window_series{series="events",window="1"} 7' in lines
+
+    def test_prometheus_exposition_has_no_unit_lines(self):
+        assert "# UNIT" not in prometheus_text(_snapshot())
 
     def test_counters_carry_the_required_total_suffix(self):
         assert "repro_executor_items_total 42" in openmetrics_text(_snapshot())

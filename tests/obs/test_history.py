@@ -557,3 +557,140 @@ class TestStoredWindowReports:
         store = RunStore(tmp_path / "runs")
         with pytest.raises(ValidationError):
             store.add(_manifest(), windows_path=tmp_path / "nope.json")
+
+
+class TestResolveEdgeCases:
+    def _synthetic_index(self, store, entries):
+        payload = {"schema": 1, "entries": entries}
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.index_path.write_text(json.dumps(payload), encoding="utf-8")
+
+    def test_too_short_prefix_names_the_requirement(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.add(_manifest())
+        with pytest.raises(ValidationError, match="too short"):
+            store.resolve("abc")
+
+    def test_unknown_prefix_names_the_store_root(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.add(_manifest())
+        with pytest.raises(ValidationError, match="no stored run matches"):
+            store.resolve("feedbeef")
+
+    def test_ambiguous_prefix_lists_every_match(self, tmp_path):
+        store = RunStore(tmp_path)
+        self._synthetic_index(
+            store,
+            [
+                {"run_id": "deadbeefaaaaaaaa", "fingerprint": "ab" * 32,
+                 "path": f"{'ab' * 32}/deadbeefaaaaaaaa.json"},
+                {"run_id": "deadbeefbbbbbbbb", "fingerprint": "cd" * 32,
+                 "path": f"{'cd' * 32}/deadbeefbbbbbbbb.json"},
+            ],
+        )
+        with pytest.raises(ValidationError, match="ambiguous run ref") as info:
+            store.resolve("deadbeef")
+        assert "deadbeefaaaaaaaa" in str(info.value)
+        assert "deadbeefbbbbbbbb" in str(info.value)
+
+    def test_fingerprint_qualifier_disambiguates(self, tmp_path):
+        store = RunStore(tmp_path)
+        self._synthetic_index(
+            store,
+            [
+                {"run_id": "deadbeefaaaaaaaa", "fingerprint": "ab" * 32,
+                 "path": f"{'ab' * 32}/deadbeefaaaaaaaa.json"},
+                {"run_id": "deadbeefbbbbbbbb", "fingerprint": "cd" * 32,
+                 "path": f"{'cd' * 32}/deadbeefbbbbbbbb.json"},
+            ],
+        )
+        resolved = store.resolve("abab/deadbeef")
+        assert resolved.name == "deadbeefaaaaaaaa.json"
+        assert resolved.parent.name == "ab" * 32
+
+    def test_qualified_ref_resolves_a_stored_run(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.add(_manifest())
+        store.add(_manifest(fingerprint="cd" * 32))
+        resolved = store.resolve(f"abab/{run_id[:6]}")
+        assert resolved == store.path_for("ab" * 32, run_id)
+
+    def test_qualified_ref_error_paths(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.add(_manifest())
+        with pytest.raises(ValidationError, match="fingerprint prefix"):
+            store.resolve(f"ab/{run_id[:6]}")  # fp prefix too short
+        with pytest.raises(ValidationError, match="too short"):
+            store.resolve(f"abab/{run_id[:2]}")  # run prefix too short
+        with pytest.raises(ValidationError, match="no stored run matches"):
+            store.resolve(f"cdcd/{run_id[:6]}")  # wrong configuration
+
+
+class TestRebuildIndex:
+    def test_regenerates_a_deleted_index_identically(self, tmp_path):
+        store = RunStore(tmp_path)
+        for day in (2, 1, 3):
+            store.add(_manifest(created_at=f"2026-01-0{day}T00:00:00Z"))
+        before = store.index_path.read_text(encoding="utf-8")
+        store.index_path.unlink()
+        assert store.rebuild_index() == 3
+        assert store.index_path.read_text(encoding="utf-8") == before
+
+    def test_sidecar_flags_survive_the_rebuild(self, tmp_path):
+        source = tmp_path / "windows.json"
+        source.write_text(json.dumps(_windows_payload()))
+        store = RunStore(tmp_path / "runs")
+        store.add(_manifest(), windows_path=source)
+        store.index_path.unlink()
+        store.rebuild_index()
+        (entry,) = store.entries()
+        assert entry["windows"] is True
+        assert entry["events"] is False
+
+    def test_edited_manifest_refused_not_laundered(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = _manifest()
+        run_id = store.add(manifest)
+        path = store.path_for(manifest.fingerprint, run_id)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["seed"] = 8
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ValidationError, match="no longer matches"):
+            store.rebuild_index()
+
+    def test_manifest_in_the_wrong_directory_refused(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = _manifest()
+        run_id = store.add(manifest)
+        path = store.path_for(manifest.fingerprint, run_id)
+        stray = store.path_for("cd" * 32, run_id)
+        stray.parent.mkdir(parents=True)
+        stray.write_text(path.read_text(encoding="utf-8"), encoding="utf-8")
+        with pytest.raises(ValidationError, match="wrong directory"):
+            store.rebuild_index()
+
+    def test_empty_tree_rebuilds_an_empty_index(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        assert store.rebuild_index() == 0
+        assert store.entries() == []
+
+
+class TestEntriesOrdering:
+    def test_entries_sorted_by_created_at_regardless_of_add_order(self, tmp_path):
+        store = RunStore(tmp_path)
+        for day in (3, 1, 2):
+            store.add(_manifest(created_at=f"2026-01-0{day}T00:00:00Z"))
+        stamps = [e["created_at"] for e in store.entries()]
+        assert stamps == sorted(stamps)
+
+    def test_limit_keeps_the_newest_entries(self, tmp_path):
+        store = RunStore(tmp_path)
+        for day in (1, 2, 3):
+            store.add(_manifest(created_at=f"2026-01-0{day}T00:00:00Z"))
+        newest = store.entries(limit=2)
+        assert [e["created_at"][:10] for e in newest] == [
+            "2026-01-02",
+            "2026-01-03",
+        ]
+        with pytest.raises(ValidationError):
+            store.entries(limit=0)
