@@ -247,3 +247,83 @@ def test_bench_query_frame_overhead(results_dir, tmp_path):
     # Target < 2% of a scenario build; assert with headroom for noisy
     # shared runners.
     assert overhead < 0.25, f"warm query overhead {overhead:.1%} is not near-free"
+
+
+def _timed_ring_run(ring: int, repeats: int = 3) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time for the smoke scenario with a ring
+    transport of the given capacity attached (0 = no ring)."""
+    best = float("inf")
+    run = None
+    for _ in range(repeats):
+        config = ScenarioConfig(ring=ring, **SMOKE)
+        started = time.perf_counter()
+        run = PaperScenario(seed=2010, config=config).run()
+        best = min(best, time.perf_counter() - started)
+    return best, run
+
+
+def test_bench_sketch_and_ring_overhead(results_dir):
+    """Streaming sketches and the ring transport must stay near-free
+    (< 2% target).
+
+    The bounded-telemetry PR adds two always-on costs: every chunk and
+    LSH bucket is folded into a DDSketch, and a ring transport (when
+    attached) pays a deque append plus drop accounting per event.  This
+    times the smoke scenario with a deliberately tiny ring (capacity 16,
+    so eviction accounting is exercised on most events) against no
+    ring at all, micro-times the raw sketch observe path, and records
+    both in ``results/BENCH_obs_sketch.json``.
+    """
+    from repro.obs.sketch import QuantileSketch
+
+    _timed_ring_run(0, repeats=1)  # warm-up
+    plain_seconds, plain = _timed_ring_run(0)
+    ring_seconds, ringed = _timed_ring_run(16)
+
+    # The sketches really ran on both arms and reduced identically:
+    # bucket sizes are artifact-derived, so the payloads are
+    # byte-identical (the mergeable-sketch digest guarantee).
+    assert (
+        ringed.metrics.sketches["lsh.bucket_size_sketch"]
+        == plain.metrics.sketches["lsh.bucket_size_sketch"]
+    )
+    assert ringed.metrics.sketches["executor.chunk_seconds_sketch"]["count"] > 0
+    # The ring really evicted, and every eviction is accounted: the
+    # manifest's per-kind map mirrors the events.dropped counters
+    # (validate_manifest cross-checks the same invariant).
+    ring_drops = ringed.manifest.event_drops.get("ring", {})
+    assert sum(ring_drops.values()) > 0
+    from repro.obs.validate import validate_manifest
+
+    assert validate_manifest(ringed.manifest.as_dict()) == []
+    # ... and none of it can change any artifact.
+    assert ringed.headline() == plain.headline()
+    assert ringed.manifest.artifact_digests == plain.manifest.artifact_digests
+
+    # Raw observe cost, amortised over 100k values: the per-event bill
+    # every instrumented hot loop pays.
+    sketch = QuantileSketch()
+    values = [0.1 + (index % 997) * 0.013 for index in range(100_000)]
+    started = time.perf_counter()
+    for value in values:
+        sketch.observe(value)
+    observe_seconds = time.perf_counter() - started
+    assert sketch.count == len(values)
+
+    overhead = ring_seconds / plain_seconds - 1.0
+    record = {
+        "schema": 1,
+        "generated_at": timestamp(),
+        "plain_seconds": round(plain_seconds, 4),
+        "ring_seconds": round(ring_seconds, 4),
+        "overhead_fraction": round(overhead, 4),
+        "ring_capacity": 16,
+        "ring_drops": sum(ring_drops.values()),
+        "sketch_observe_seconds_per_100k": round(observe_seconds, 4),
+        "sketch_bins": len(sketch.bins),
+    }
+    (results_dir / "BENCH_obs_sketch.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    # Target < 2%; assert with headroom for noisy shared runners.
+    assert overhead < 0.25, f"sketch/ring overhead {overhead:.1%} is not near-free"

@@ -212,6 +212,30 @@ def _build_parser() -> argparse.ArgumentParser:
             "tail it with 'repro obs tail PATH --follow'",
         )
         p.add_argument(
+            "--events-max-bytes",
+            type=int,
+            metavar="N",
+            default=None,
+            help="rotate the --events log when it reaches N bytes "
+            "(rotated-away events are recorded in the manifest's "
+            "drop accounting)",
+        )
+        p.add_argument(
+            "--events-backups",
+            type=int,
+            metavar="N",
+            default=1,
+            help="rotated --events generations to keep (default 1)",
+        )
+        p.add_argument(
+            "--ring",
+            type=int,
+            metavar="N",
+            default=0,
+            help="also keep the last N events in a bounded in-memory "
+            "ring (0 = off); evictions are counted, never silent",
+        )
+        p.add_argument(
             "--progress",
             action="store_true",
             help="render live per-stage progress (chunk/item counts, "
@@ -454,6 +478,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the rendered dashboard to PATH instead of stdout",
     )
 
+    top_p = obs_sub.add_parser(
+        "top",
+        help="resource/throughput view of a run's event stream",
+    )
+    top_p.add_argument(
+        "path",
+        help="event log written by --events (works mid-run)",
+    )
+    top_p.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep polling the log and redraw a frame per work event "
+        "(chunk/stage finish, drops) until interrupted",
+    )
+    top_p.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the rendered frame to PATH instead of stdout",
+    )
+
     query_p = obs_sub.add_parser(
         "query",
         help="cross-run analytics: select targets over every stored run",
@@ -629,6 +675,9 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
         jobs=args.jobs,
         profile=args.profile,
         events=args.events,
+        events_max_bytes=args.events_max_bytes,
+        events_backups=args.events_backups,
+        ring=args.ring,
         progress=args.progress,
         columnar=args.columnar,
         shards=args.shards,
@@ -640,10 +689,18 @@ def _run_scenario(args: argparse.Namespace) -> ScenarioRun:
     # cache hits/misses around the build land on the stream too.
     registry = MetricsRegistry()
     bus: obs_events.EventBus | obs_events.NullEventBus = obs_events.NULL_BUS
-    if args.events or args.progress:
+    if args.events or args.progress or args.ring:
         transports: list = []
         if args.events:
-            transports.append(obs_events.FileTransport(args.events))
+            transports.append(
+                obs_events.FileTransport(
+                    args.events,
+                    max_bytes=args.events_max_bytes,
+                    backups=args.events_backups,
+                )
+            )
+        if args.ring:
+            transports.append(obs_events.RingTransport(args.ring))
         if args.progress:
             transports.append(obs_events.ProgressRenderer(sys.stderr))
         bus = obs_events.EventBus(transports)
@@ -895,6 +952,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return _cmd_obs_health(args, store)
     if args.obs_command == "dashboard":
         return _cmd_obs_dashboard(args, store)
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
     if args.obs_command == "validate":
         from repro.obs.validate import main as validate_main
 
@@ -1057,6 +1116,25 @@ def _cmd_obs_dashboard(args: argparse.Namespace, store) -> int:
     if args.out:
         Path(args.out).write_text(rendered, encoding="utf-8")
         print(f"wrote dashboard of {args.ref} to {args.out}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from repro.obs.events import iter_events
+    from repro.obs.top import follow_top, top_from_events
+
+    if args.follow:
+        try:
+            follow_top(args.path, sys.stdout)
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        return 0
+    rendered = top_from_events(iter_events(args.path))
+    if args.out:
+        Path(args.out).write_text(rendered, encoding="utf-8")
+        print(f"wrote top view of {args.path} to {args.out}")
     else:
         print(rendered, end="")
     return 0

@@ -67,7 +67,11 @@ log = get_logger("experiments.cache")
 #: 7: landscape health monitor — ScenarioConfig grew windows
 #:    (execution-only), ScenarioRun grew windows/health, RunManifest
 #:    grew health_summary (schema 5).
-CACHE_FORMAT = 7
+#: 8: bounded-memory telemetry — ScenarioConfig grew
+#:    events_max_bytes/events_backups/ring (execution-only),
+#:    MetricsSnapshot grew sketches/watermarks (schema 2), RunManifest
+#:    grew event_drops (schema 6).
+CACHE_FORMAT = 8
 
 #: ScenarioConfig fields that cannot change results, only how fast they
 #: are computed or what telemetry they emit; they never contribute to
@@ -78,6 +82,9 @@ EXECUTION_ONLY_FIELDS = frozenset(
         "jobs",
         "profile",
         "events",
+        "events_max_bytes",
+        "events_backups",
+        "ring",
         "progress",
         "columnar",
         "shards",

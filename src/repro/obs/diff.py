@@ -40,6 +40,7 @@ from typing import Iterator, Mapping
 from repro.obs.history import RunStore
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import base_name, quantile_from_payload
+from repro.obs.sketch import sketch_quantile_from_payload
 
 #: Stage wall-time ratio above which a timing delta counts as a regression.
 DEFAULT_TIMING_TOLERANCE = 1.5
@@ -71,7 +72,9 @@ SEMANTIC_EVENT_KINDS = frozenset(
 #: Event fields that legitimately differ between two runs of the same
 #: configuration (wall times, backend/worker identity) — stripped
 #: before comparing.
-VOLATILE_EVENT_FIELDS = frozenset({"seconds", "backend", "executor", "jobs"})
+VOLATILE_EVENT_FIELDS = frozenset(
+    {"seconds", "backend", "executor", "jobs", "rss_kb"}
+)
 
 
 def _payload(manifest: RunManifest | Mapping) -> dict:
@@ -391,10 +394,11 @@ def metric_value(payload: Mapping, metric: str) -> float | None:
     ``metric`` is either ``stage:<span name>`` (wall seconds of that
     span in the trace), an exact snapshot key (labels included, e.g.
     ``epm.clusters{dimension=mu}``), a bare metric name, which sums
-    every labelled counter/gauge sharing that base name, or a histogram
-    quantile as ``<histogram key>:pNN`` (e.g.
-    ``executor.chunk_seconds:p50``), estimated by interpolation within
-    the recorded buckets.
+    every labelled counter/gauge sharing that base name, or a
+    distribution quantile as ``<key>:pNN`` (e.g.
+    ``executor.chunk_seconds:p50``) — resolved against the histogram
+    section first (interpolated within the recorded buckets), then the
+    sketch section (guaranteed-relative-error estimate).
     """
     if metric.startswith("stage:"):
         name = metric.split(":", 1)[1]
@@ -407,15 +411,19 @@ def metric_value(payload: Mapping, metric: str) -> float | None:
         key, percent = match.group(1), float(match.group(2))
         if not 0.0 <= percent <= 100.0:
             return None
-        histograms = payload.get("metrics", {}).get("histograms", {})
-        candidates = (
-            [histograms[key]]
-            if key in histograms
-            else [value for k, value in histograms.items() if base_name(k) == key]
-        )
-        if len(candidates) != 1:  # absent, or ambiguous across labels
-            return None
-        return quantile_from_payload(candidates[0], percent / 100.0)
+        for section, estimator in (
+            ("histograms", quantile_from_payload),
+            ("sketches", sketch_quantile_from_payload),
+        ):
+            series = payload.get("metrics", {}).get(section, {})
+            candidates = (
+                [series[key]]
+                if key in series
+                else [value for k, value in series.items() if base_name(k) == key]
+            )
+            if len(candidates) == 1:
+                return estimator(candidates[0], percent / 100.0)
+        return None  # absent, or ambiguous across labels
     scalars = _scalar_metrics(payload.get("metrics", {}))
     if metric in scalars:
         return scalars[metric]

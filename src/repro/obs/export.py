@@ -6,8 +6,10 @@ external tooling expects:
 
 * :func:`prometheus_text` — the Prometheus text exposition format of a
   metrics snapshot (``repro_`` prefix, counters as ``_total``,
-  histograms as cumulative ``_bucket{le=...}`` series), ready for a
-  textfile collector or pushgateway.
+  histograms as cumulative ``_bucket{le=...}`` series, streaming
+  sketches as ``summary`` families with quantile samples, watermarks as
+  gauges), ready for a textfile collector or pushgateway.  Label values
+  are escaped per the exposition grammar (backslash, quote, newline).
 * :func:`openmetrics_text` — the OpenMetrics text format: the same
   family rendering with the spec's hard requirements made explicit
   (``_total`` sample suffix on counters, an explicit ``+Inf`` bucket on
@@ -32,6 +34,7 @@ import re
 from typing import Iterator, Mapping
 
 from repro.obs.metrics import parse_key
+from repro.obs.sketch import sketch_quantile_from_payload
 from repro.util.validation import require
 
 #: Formats :func:`export_payload` understands.
@@ -39,6 +42,9 @@ EXPORT_FORMATS = ("prometheus", "openmetrics", "jsonl", "chrome")
 
 #: Prefix of every exported Prometheus metric name.
 PROMETHEUS_PREFIX = "repro_"
+
+#: Quantiles a streaming sketch exports as summary samples.
+SKETCH_EXPORT_QUANTILES = (0.5, 0.9, 0.99)
 
 
 def metrics_section(payload: Mapping) -> dict:
@@ -68,8 +74,25 @@ def _prom_name(name: str) -> str:
     return PROMETHEUS_PREFIX + re.sub(r"[^a-zA-Z0-9_]", "_", name)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition-format grammar.
+
+    Backslash, double quote and newline are the three characters the
+    Prometheus/OpenMetrics text format requires escaping inside quoted
+    label values; anything else passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
-    parts = [f'{key}="{labels[key]}"' for key in sorted(labels)]
+    parts = [
+        f'{key}="{_escape_label_value(labels[key])}"' for key in sorted(labels)
+    ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -169,6 +192,34 @@ def _exposition_lines(payload: Mapping, *, units: bool) -> list[str]:
         lines.append(
             f"{prom}_count{_prom_labels(labels)} {int(histogram.get('count', 0))}"
         )
+    for key in sorted(metrics.get("sketches", {})):
+        name, labels = parse_key(key)
+        prom = _prom_name(name)
+        sketch = metrics["sketches"][key]
+        lines.extend(_family_header(name, "summary", units))
+        for q in SKETCH_EXPORT_QUANTILES:
+            estimate = sketch_quantile_from_payload(sketch, q)
+            if estimate is None:
+                continue
+            q_label = 'quantile="%s"' % repr(float(q))
+            lines.append(
+                f"{prom}{_prom_labels(labels, q_label)} {repr(float(estimate))}"
+            )
+        lines.append(
+            f"{prom}_sum{_prom_labels(labels)} "
+            f"{repr(float(sketch.get('sum', 0.0)))}"
+        )
+        lines.append(
+            f"{prom}_count{_prom_labels(labels)} {int(sketch.get('count', 0))}"
+        )
+    for key in sorted(metrics.get("watermarks", {})):
+        name, labels = parse_key(key)
+        prom = _prom_name(name)
+        lines.extend(_family_header(name, "gauge", units))
+        lines.append(
+            f"{prom}{_prom_labels(labels)} "
+            f"{_format_value(metrics['watermarks'][key])}"
+        )
     series = window_series_section(payload)
     if series:
         prom = PROMETHEUS_PREFIX + "window_series"
@@ -229,6 +280,28 @@ def jsonl_samples(payload: Mapping) -> Iterator[dict]:
             "count": int(histogram.get("count", 0)),
             "sum": float(histogram.get("sum", 0.0)),
             "buckets": dict(histogram.get("buckets", {})),
+        }
+    for key in sorted(metrics.get("sketches", {})):
+        name, labels = parse_key(key)
+        sketch = metrics["sketches"][key]
+        yield {
+            "type": "sketch",
+            "name": name,
+            "labels": labels,
+            "count": int(sketch.get("count", 0)),
+            "sum": float(sketch.get("sum", 0.0)),
+            "quantiles": {
+                repr(float(q)): sketch_quantile_from_payload(sketch, q)
+                for q in SKETCH_EXPORT_QUANTILES
+            },
+        }
+    for key in sorted(metrics.get("watermarks", {})):
+        name, labels = parse_key(key)
+        yield {
+            "type": "watermark",
+            "name": name,
+            "labels": labels,
+            "value": metrics["watermarks"][key],
         }
     series = window_series_section(payload)
     for name in sorted(series):

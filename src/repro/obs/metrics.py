@@ -1,4 +1,4 @@
-"""The metrics registry: counters, gauges, fixed-bucket histograms.
+"""The metrics registry: counters, gauges, histograms, sketches, watermarks.
 
 One :class:`MetricsRegistry` accumulates every instrument of a run.
 Instruments are addressed by a metric name plus optional labels
@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
+from repro.obs.sketch import DEFAULT_ALPHA, DEFAULT_MAX_BINS, QuantileSketch
 from repro.util.validation import require
 
 #: Default histogram buckets for latency-style observations (seconds).
@@ -179,6 +180,69 @@ class Histogram:
         return {"buckets": cumulative, "count": self.count, "sum": self.total}
 
 
+class Sketch:
+    """A streaming-quantile instrument over an unbounded value range.
+
+    Thin registry wrapper around :class:`~repro.obs.sketch.QuantileSketch`:
+    same ``observe`` verb as :class:`Histogram`, but resolution is a
+    guaranteed *relative* error (``alpha``) instead of fixed buckets,
+    and memory is capped at ``max_bins`` no matter how long the run is.
+    Use it for series whose range scales with the run (chunk seconds,
+    LSH bucket sizes, event inter-arrival gaps); keep histograms for
+    series with a known, documented range.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(
+        self, alpha: float = DEFAULT_ALPHA, max_bins: int = DEFAULT_MAX_BINS
+    ) -> None:
+        self.state = QuantileSketch(alpha=alpha, max_bins=max_bins)
+
+    @property
+    def count(self) -> int:
+        return self.state.count
+
+    def observe(self, value: float) -> None:
+        """Record one observation (must be >= 0)."""
+        self.state.observe(value)
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (within ``alpha`` relative error)."""
+        return self.state.quantile(q)
+
+    def merge(self, payload: Mapping) -> None:
+        """Fold another sketch's :meth:`as_dict` payload into this one."""
+        self.state.merge(payload)
+
+    def as_dict(self) -> dict:
+        """Deterministic plain-dict export (see :mod:`repro.obs.sketch`)."""
+        return self.state.as_dict()
+
+
+class Watermark:
+    """A high-water mark: keeps the maximum of every update.
+
+    Unlike a :class:`Gauge` (last write wins — the right semantics for
+    replayed point-in-time values), a watermark merge is commutative,
+    so per-worker peaks (RSS, queue depth, backlog) fold into the same
+    run-level value regardless of chunk completion order.
+    """
+
+    __slots__ = ("value", "count")
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self.count: int = 0
+
+    def update(self, value: float) -> None:
+        """Raise the mark to ``value`` if it is the new peak."""
+        value = float(value)
+        if self.count == 0 or value > self.value:
+            self.value = value
+        self.count += 1
+
+
 def _bucket_quantile(
     bounds: tuple[float, ...], counts: Sequence[int], total: int, q: float
 ) -> float | None:
@@ -221,7 +285,13 @@ def quantile_from_payload(payload: Mapping, q: float) -> float | None:
 
 
 #: Snapshot schema version; bump on incompatible layout changes.
-SNAPSHOT_SCHEMA = 1
+#: 2: added ``sketches`` and ``watermarks`` sections (PR 9).
+SNAPSHOT_SCHEMA = 2
+
+#: Snapshot schemas :meth:`MetricsSnapshot.from_dict` accepts.  Schema
+#: 1 payloads (no sketch/watermark sections) load as empty sections, so
+#: stored runs written before the bump stay queryable.
+SUPPORTED_SNAPSHOT_SCHEMAS = (1, 2)
 
 
 @dataclass
@@ -237,6 +307,8 @@ class MetricsSnapshot:
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
     histograms: dict[str, dict] = field(default_factory=dict)
+    sketches: dict[str, dict] = field(default_factory=dict)
+    watermarks: dict[str, float] = field(default_factory=dict)
 
     def counter(self, name: str, **labels: object) -> float:
         """Value of one counter (0 if never touched)."""
@@ -245,6 +317,10 @@ class MetricsSnapshot:
     def gauge(self, name: str, **labels: object) -> float:
         """Value of one gauge (0 if never set)."""
         return self.gauges.get(metric_key(name, labels), 0)
+
+    def watermark(self, name: str, **labels: object) -> float:
+        """Value of one high-water mark (0 if never updated)."""
+        return self.watermarks.get(metric_key(name, labels), 0)
 
     def total(self, name: str) -> float:
         """Sum of one counter across all label combinations."""
@@ -256,7 +332,13 @@ class MetricsSnapshot:
         """Every distinct metric name present, labels stripped."""
         return {
             base_name(key)
-            for section in (self.counters, self.gauges, self.histograms)
+            for section in (
+                self.counters,
+                self.gauges,
+                self.histograms,
+                self.sketches,
+                self.watermarks,
+            )
             for key in section
         }
 
@@ -267,6 +349,8 @@ class MetricsSnapshot:
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
             "histograms": dict(sorted(self.histograms.items())),
+            "sketches": dict(sorted(self.sketches.items())),
+            "watermarks": dict(sorted(self.watermarks.items())),
         }
 
     def to_json(self) -> str:
@@ -277,13 +361,15 @@ class MetricsSnapshot:
     def from_dict(cls, payload: Mapping) -> "MetricsSnapshot":
         """Rebuild a snapshot from its :meth:`as_dict` form."""
         require(
-            payload.get("schema") == SNAPSHOT_SCHEMA,
+            payload.get("schema") in SUPPORTED_SNAPSHOT_SCHEMAS,
             f"unsupported metrics snapshot schema {payload.get('schema')!r}",
         )
         return cls(
             counters=dict(payload.get("counters", {})),
             gauges=dict(payload.get("gauges", {})),
             histograms=dict(payload.get("histograms", {})),
+            sketches=dict(payload.get("sketches", {})),
+            watermarks=dict(payload.get("watermarks", {})),
         )
 
 
@@ -297,6 +383,8 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._sketches: dict[str, Sketch] = {}
+        self._watermarks: dict[str, Watermark] = {}
         self._create_lock = threading.Lock()
 
     def counter(self, name: str, **labels: object) -> Counter:
@@ -335,12 +423,44 @@ class MetricsRegistry:
         )
         return instrument
 
+    def sketch(
+        self,
+        name: str,
+        alpha: float = DEFAULT_ALPHA,
+        max_bins: int = DEFAULT_MAX_BINS,
+        **labels: object,
+    ) -> Sketch:
+        """The quantile sketch for ``(name, labels)``; shape fixes on
+        creation (merges require an identical ``(alpha, max_bins)``)."""
+        key = metric_key(name, labels)
+        instrument = self._sketches.get(key)
+        if instrument is None:
+            with self._create_lock:
+                instrument = self._sketches.setdefault(key, Sketch(alpha, max_bins))
+        require(
+            instrument.state.alpha == float(alpha)
+            and instrument.state.max_bins == int(max_bins),
+            f"sketch {key!r} already exists with a different shape",
+        )
+        return instrument
+
+    def watermark(self, name: str, **labels: object) -> Watermark:
+        """The high-water mark for ``(name, labels)``, created on use."""
+        key = metric_key(name, labels)
+        instrument = self._watermarks.get(key)
+        if instrument is None:
+            with self._create_lock:
+                instrument = self._watermarks.setdefault(key, Watermark())
+        return instrument
+
     def snapshot(self) -> MetricsSnapshot:
         """Freeze the current state into a plain-data snapshot."""
         return MetricsSnapshot(
             counters={key: c.value for key, c in sorted(self._counters.items())},
             gauges={key: g.value for key, g in sorted(self._gauges.items())},
             histograms={key: h.as_dict() for key, h in sorted(self._histograms.items())},
+            sketches={key: s.as_dict() for key, s in sorted(self._sketches.items())},
+            watermarks={key: w.value for key, w in sorted(self._watermarks.items())},
         )
 
     def merge_snapshot(self, snapshot: "MetricsSnapshot | Mapping") -> None:
@@ -363,6 +483,17 @@ class MetricsRegistry:
             name, labels = parse_key(key)
             bounds, _counts = _payload_buckets(hist_payload)
             self.histogram(name, buckets=bounds, **labels).merge(hist_payload)
+        for key, sketch_payload in payload.get("sketches", {}).items():
+            name, labels = parse_key(key)
+            self.sketch(
+                name,
+                alpha=float(sketch_payload.get("alpha", DEFAULT_ALPHA)),
+                max_bins=int(sketch_payload.get("max_bins", DEFAULT_MAX_BINS)),
+                **labels,
+            ).merge(sketch_payload)
+        for key, value in payload.get("watermarks", {}).items():
+            name, labels = parse_key(key)
+            self.watermark(name, **labels).update(value)
 
 
 class _NullInstrument:
@@ -377,6 +508,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def update(self, value: float) -> None:
         pass
 
 
@@ -400,6 +534,18 @@ class NullMetricsRegistry:
         buckets: tuple[float, ...] = LATENCY_BUCKETS,
         **labels: object,
     ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def sketch(
+        self,
+        name: str,
+        alpha: float = DEFAULT_ALPHA,
+        max_bins: int = DEFAULT_MAX_BINS,
+        **labels: object,
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def watermark(self, name: str, **labels: object) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def snapshot(self) -> MetricsSnapshot:

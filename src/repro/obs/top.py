@@ -1,0 +1,234 @@
+"""``repro obs top``: a live resource/throughput view of one run.
+
+Where ``repro obs dashboard`` shows the *landscape* (window series),
+``top`` shows the *machinery*: event throughput, chunk latencies and
+the per-worker resource watermarks riding on ``chunk.finish`` events,
+plus the drop accounting of any bounded transports.  Everything is
+derived from the event stream alone — no manifest required — so it
+works mid-run on a partially written log.
+
+The static render is a pure function of the accumulated state (no
+wall-clock reads; rates come from the events' own monotonic stamps), so
+``repro obs top events.jsonl --out top.txt`` doubles as a deterministic
+CI artifact.  With ``--follow`` it rides :func:`iter_events`'s tail
+mode — which survives log rotation — and redraws a frame per
+throughput-relevant event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import IO, Callable, Mapping
+
+from repro.obs.dashboard import sparkline
+from repro.obs.events import PipelineEvent, iter_events
+
+#: Trailing samples kept per sparkline series (bounds accumulator memory).
+TOP_WINDOW = 48
+
+#: Event kinds that trigger a redraw in follow mode.  High-frequency
+#: bookkeeping kinds (cache.*) update the counters silently; redrawing
+#: only on work-completion events keeps frame volume proportional to
+#: chunks, not to cache traffic.
+REDRAW_KINDS = frozenset(
+    {
+        "chunk.finish",
+        "stage.finish",
+        "window.rollup",
+        "worker.failure",
+        "transport.drop",
+        "run.finish",
+    }
+)
+
+
+class TopAccumulator:
+    """Folds a run's event stream into the ``top`` view's state.
+
+    Memory is O(:data:`TOP_WINDOW`): counters plus bounded deques of the
+    most recent chunk latencies, resident-set watermarks and event
+    inter-arrival gaps.  Feeding the same events always produces the
+    same :meth:`snapshot` (insertion-order independent sections are
+    sorted at render time).
+    """
+
+    def __init__(self, window: int = TOP_WINDOW) -> None:
+        self.meta: dict = {}
+        self.kind_counts: dict[str, int] = {}
+        self.n_events = 0
+        self.t_first: float | None = None
+        self.t_last: float | None = None
+        self.chunk_seconds: deque[float] = deque(maxlen=window)
+        self.rss_kb: deque[float] = deque(maxlen=window)
+        self.gaps: deque[float] = deque(maxlen=window)
+        self.peak_rss_kb = 0.0
+        self.items_done = 0
+        self.current_stage: str | None = None
+        self.stages_done = 0
+        self.failures = 0
+        self.drops: dict[str, dict[str, int]] = {}
+        self.finished = False
+
+    def feed(self, event: PipelineEvent) -> bool:
+        """Ingest one event; True when a follow frame should redraw."""
+        self.n_events += 1
+        self.kind_counts[event.kind] = self.kind_counts.get(event.kind, 0) + 1
+        t = float(event.t)
+        if self.t_first is None:
+            self.t_first = t
+        elif self.t_last is not None and t >= self.t_last:
+            self.gaps.append(t - self.t_last)
+        self.t_last = t
+        fields = event.fields
+        if event.kind == "run.start":
+            for key in ("seed", "weeks", "scale", "executor"):
+                if key in fields:
+                    self.meta[key] = fields[key]
+        elif event.kind == "chunk.finish":
+            if "seconds" in fields:
+                self.chunk_seconds.append(float(fields["seconds"]))
+            if fields.get("rss_kb") is not None:
+                rss = float(fields["rss_kb"])
+                self.rss_kb.append(rss)
+                self.peak_rss_kb = max(self.peak_rss_kb, rss)
+            self.items_done += int(fields.get("items", 0))
+        elif event.kind == "stage.start":
+            self.current_stage = str(fields.get("stage", "?"))
+        elif event.kind == "stage.finish":
+            self.stages_done += 1
+            if self.current_stage == str(fields.get("stage")):
+                self.current_stage = None
+        elif event.kind == "worker.failure":
+            self.failures += 1
+        elif event.kind == "transport.drop":
+            transport = str(fields.get("transport", "?"))
+            sink = self.drops.setdefault(transport, {})
+            for kind, count in dict(fields.get("kinds", {})).items():
+                sink[str(kind)] = sink.get(str(kind), 0) + int(count)
+        elif event.kind == "run.finish":
+            self.finished = True
+        return event.kind in REDRAW_KINDS
+
+    def rate(self) -> float:
+        """Whole-stream event throughput (events per second)."""
+        if self.t_first is None or self.t_last is None:
+            return 0.0
+        elapsed = self.t_last - self.t_first
+        if elapsed <= 0:
+            return 0.0
+        return (self.n_events - 1) / elapsed
+
+    def snapshot(self) -> dict:
+        """Plain-dict form of the accumulated state (render input)."""
+        return {
+            "meta": dict(self.meta),
+            "n_events": self.n_events,
+            "rate": self.rate(),
+            "gaps": list(self.gaps),
+            "chunk_seconds": list(self.chunk_seconds),
+            "rss_kb": list(self.rss_kb),
+            "peak_rss_kb": self.peak_rss_kb,
+            "items_done": self.items_done,
+            "current_stage": self.current_stage,
+            "stages_done": self.stages_done,
+            "failures": self.failures,
+            "drops": {
+                transport: dict(sorted(kinds.items()))
+                for transport, kinds in sorted(self.drops.items())
+            },
+            "kind_counts": dict(sorted(self.kind_counts.items())),
+            "finished": self.finished,
+        }
+
+
+def _number(value: float) -> str:
+    return f"{float(value):g}"
+
+
+def render_top(state: Mapping) -> str:
+    """The ``top`` frame for one accumulator snapshot.
+
+    Deterministic: a pure function of ``state`` — sorted sections, no
+    wall-clock — so a frame rendered from a finished log is a stable CI
+    artifact.
+    """
+    meta = dict(state.get("meta", {}))
+    status = "finished" if state.get("finished") else (
+        f"stage {state['current_stage']}"
+        if state.get("current_stage")
+        else "running"
+    )
+    lines = [
+        "repro top"
+        f" · seed {meta.get('seed', '-')}"
+        f" · {meta.get('weeks', '?')}w x{meta.get('scale', '?')}"
+        f" · executor {meta.get('executor', '-')}"
+        f" · {status}",
+        "",
+        f"  events   n={int(state.get('n_events', 0))}"
+        f" rate={_number(state.get('rate', 0.0))}/s"
+        f"  gap {sparkline([float(v) for v in state.get('gaps', [])])}",
+        f"  chunks   n={len(state.get('chunk_seconds', []))}"
+        f" items={int(state.get('items_done', 0))}"
+        f"  sec {sparkline([float(v) for v in state.get('chunk_seconds', [])])}",
+    ]
+    rss = [float(v) for v in state.get("rss_kb", [])]
+    if rss:
+        lines.append(
+            f"  rss_kb   last={_number(rss[-1])}"
+            f" peak={_number(state.get('peak_rss_kb', 0.0))}"
+            f"  rss {sparkline(rss)}"
+        )
+    lines.append(
+        f"  stages   done={int(state.get('stages_done', 0))}"
+        f" failures={int(state.get('failures', 0))}"
+    )
+    drops = dict(state.get("drops", {}))
+    if drops:
+        for transport in sorted(drops):
+            kinds = drops[transport]
+            total = sum(int(v) for v in kinds.values())
+            detail = " ".join(f"{k}={int(kinds[k])}" for k in sorted(kinds))
+            lines.append(f"  drops    {transport}={total} ({detail})")
+    else:
+        lines.append("  drops    none")
+    counts = dict(state.get("kind_counts", {}))
+    if counts:
+        lines.append(
+            "  kinds    "
+            + " ".join(f"{kind}={int(counts[kind])}" for kind in sorted(counts))
+        )
+    return "\n".join(lines) + "\n"
+
+
+def top_from_events(events) -> str:
+    """Static render: fold a whole event iterable, return one frame."""
+    accumulator = TopAccumulator()
+    for event in events:
+        accumulator.feed(event)
+    return render_top(accumulator.snapshot())
+
+
+def follow_top(
+    path,
+    stream: IO[str],
+    *,
+    poll_seconds: float = 0.2,
+    stop: Callable[[], bool] | None = None,
+) -> int:
+    """Tail ``path`` and redraw the ``top`` frame per work event.
+
+    Frames are separated by a blank line (artifact-file friendly) and
+    the loop inherits :func:`iter_events`'s rotation/truncation
+    handling, so a size-rotated log keeps feeding frames.  Returns the
+    number of frames drawn.
+    """
+    accumulator = TopAccumulator()
+    frames = 0
+    for event in iter_events(path, follow=True, poll_seconds=poll_seconds, stop=stop):
+        if accumulator.feed(event):
+            frames += 1
+            stream.write(render_top(accumulator.snapshot()))
+            stream.write("\n")
+            stream.flush()
+    return frames

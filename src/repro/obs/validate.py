@@ -20,7 +20,11 @@ from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.obs.manifest import MANIFEST_SCHEMA, SUPPORTED_MANIFEST_SCHEMAS
-from repro.obs.metrics import SNAPSHOT_SCHEMA, base_name
+from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
+    SUPPORTED_SNAPSHOT_SCHEMAS,
+    base_name,
+)
 
 #: Every documented metric name and its kind.  One entry per name in
 #: ``docs/ARCHITECTURE.md``'s catalogue table — keep the two in sync.
@@ -46,11 +50,15 @@ METRIC_CATALOGUE: dict[str, str] = {
     "lsh.candidate_pairs": "counter",
     "lsh.pairs_verified": "counter",
     "lsh.bucket_size": "histogram",
+    "lsh.bucket_size_sketch": "sketch",
     "lsh.buckets_skipped": "counter",
     "lsh.clusters": "gauge",
     # sharded observation (only with ScenarioConfig.shards > 0)
     "shards.observed": "counter",
     "shards.events": "histogram",
+    "shards.events_sketch": "sketch",
+    "shards.shard_events": "watermark",
+    "shards.staged_observations": "watermark",
     # cross-view join of the M and B perspectives (analysis/crossview)
     "crossview.joint_samples": "gauge",
     "crossview.m_clusters": "gauge",
@@ -80,9 +88,17 @@ METRIC_CATALOGUE: dict[str, str] = {
     "executor.chunks": "counter",
     "executor.items": "counter",
     "executor.chunk_seconds": "histogram",
+    "executor.chunk_seconds_sketch": "sketch",
     "executor.worker_failures": "counter",
     # labelled by backend=serial|thread|process
     "executor.jobs": "gauge",
+    # resource watermarks (commutative max-merges; RSS is Unix-only)
+    "executor.chunk_backlog": "watermark",
+    "executor.event_queue_depth": "watermark",
+    "worker.peak_rss_kb": "watermark",
+    # bounded event transports (labelled by kind=<event>,transport=<name>)
+    "events.dropped": "counter",
+    "events.interarrival": "sketch",
 }
 
 #: Metrics every scenario run must emit, regardless of scale.
@@ -115,7 +131,10 @@ REQUIRED_SCENARIO_METRICS = frozenset(
         "executor.chunks",
         "executor.items",
         "executor.chunk_seconds",
+        "executor.chunk_seconds_sketch",
+        "executor.chunk_backlog",
         "executor.jobs",
+        "lsh.bucket_size_sketch",
     }
 )
 
@@ -123,6 +142,8 @@ _KIND_SECTIONS = (
     ("counters", "counter"),
     ("gauges", "gauge"),
     ("histograms", "histogram"),
+    ("sketches", "sketch"),
+    ("watermarks", "watermark"),
 )
 
 
@@ -137,9 +158,10 @@ def validate_metrics(
     :data:`REQUIRED_SCENARIO_METRICS` actually appears.
     """
     errors: list[str] = []
-    if payload.get("schema") != SNAPSHOT_SCHEMA:
+    if payload.get("schema") not in SUPPORTED_SNAPSHOT_SCHEMAS:
         errors.append(
-            f"metrics: schema is {payload.get('schema')!r}, expected {SNAPSHOT_SCHEMA}"
+            f"metrics: schema is {payload.get('schema')!r}, expected one of "
+            f"{SUPPORTED_SNAPSHOT_SCHEMAS} (current: {SNAPSHOT_SCHEMA})"
         )
     seen: set[str] = set()
     for section, kind in _KIND_SECTIONS:
@@ -153,9 +175,63 @@ def validate_metrics(
                 errors.append(
                     f"metrics: {name!r} emitted as {kind}, documented as {documented}"
                 )
+    for key, sketch in payload.get("sketches", {}).items():
+        errors.extend(_check_sketch_payload(key, sketch))
     if require_scenario:
         for name in sorted(REQUIRED_SCENARIO_METRICS - seen):
             errors.append(f"metrics: required scenario metric {name!r} missing")
+    return errors
+
+
+def _check_sketch_payload(key: str, payload: object) -> list[str]:
+    """Structural errors in one exported sketch payload.
+
+    Internal-consistency checks only (shape, count accounting) — the
+    relative-error guarantee itself is property-tested, not validated
+    per run.
+    """
+    if not isinstance(payload, Mapping):
+        return [f"metrics: sketch {key!r} payload must be a mapping"]
+    errors: list[str] = []
+    alpha = payload.get("alpha")
+    if not isinstance(alpha, (int, float)) or not 0.0 < float(alpha) < 1.0:
+        errors.append(f"metrics: sketch {key!r} alpha {alpha!r} not in (0, 1)")
+    max_bins = payload.get("max_bins")
+    if not isinstance(max_bins, int) or max_bins < 2:
+        errors.append(f"metrics: sketch {key!r} max_bins {max_bins!r} < 2")
+    bins = payload.get("bins", {})
+    if not isinstance(bins, Mapping):
+        errors.append(f"metrics: sketch {key!r} bins must be a mapping")
+        bins = {}
+    binned = 0
+    for index, count in bins.items():
+        try:
+            int(index)
+        except (TypeError, ValueError):
+            errors.append(f"metrics: sketch {key!r} bin index {index!r} not an int")
+        if not isinstance(count, int) or count < 1:
+            errors.append(
+                f"metrics: sketch {key!r} bin {index!r} count {count!r} "
+                "must be a positive integer"
+            )
+        else:
+            binned += count
+    if isinstance(max_bins, int) and len(bins) > max_bins:
+        errors.append(
+            f"metrics: sketch {key!r} holds {len(bins)} bins, over its "
+            f"max_bins={max_bins} cap"
+        )
+    zeros = payload.get("zeros", 0)
+    count = payload.get("count", 0)
+    if (
+        isinstance(zeros, int)
+        and isinstance(count, int)
+        and zeros + binned != count
+    ):
+        errors.append(
+            f"metrics: sketch {key!r} count {count} != zeros {zeros} + "
+            f"binned {binned} (observations lost)"
+        )
     return errors
 
 
@@ -243,6 +319,71 @@ def validate_manifest(payload: Mapping) -> list[str]:
                         f"manifest: health_summary[{severity!r}] must be a "
                         "non-negative integer (schema >= 5)"
                     )
+    if isinstance(schema, int) and schema >= 6:
+        errors.extend(_check_event_drops(payload))
+    return errors
+
+
+def _check_event_drops(payload: Mapping) -> list[str]:
+    """Schema-6 drop-accounting errors: structure of ``event_drops``
+    plus its reconciliation against the ``events.dropped`` counters.
+
+    Every dropped event must be accounted twice and consistently: the
+    manifest's per-transport map and the metric counters (folded from
+    the same :meth:`~repro.obs.events.EventBus.drop_counts` call) have
+    to agree in both directions.
+    """
+    from repro.obs.events import EVENT_KINDS
+    from repro.obs.metrics import parse_key
+
+    errors: list[str] = []
+    drops = payload.get("event_drops")
+    if not isinstance(drops, Mapping):
+        return ["manifest: event_drops must be a mapping (schema >= 6)"]
+    known = frozenset(EVENT_KINDS)
+    flat: dict[tuple[str, str], int] = {}
+    for transport, kinds in drops.items():
+        if not isinstance(kinds, Mapping):
+            errors.append(
+                f"manifest: event_drops[{transport!r}] must be a mapping"
+            )
+            continue
+        for kind, count in kinds.items():
+            if kind not in known:
+                errors.append(
+                    f"manifest: event_drops[{transport!r}] names unknown "
+                    f"event kind {kind!r}"
+                )
+            if not isinstance(count, int) or count < 1:
+                errors.append(
+                    f"manifest: event_drops[{transport!r}][{kind!r}] must "
+                    "be a positive integer"
+                )
+            else:
+                flat[(str(transport), str(kind))] = count
+    metrics = payload.get("metrics")
+    if not (isinstance(metrics, Mapping) and metrics):
+        return errors
+    counted: dict[tuple[str, str], int] = {}
+    for key, value in metrics.get("counters", {}).items():
+        name, labels = parse_key(key)
+        if name == "events.dropped":
+            counted[(labels.get("transport", "?"), labels.get("kind", "?"))] = int(
+                value
+            )
+    for (transport, kind), claimed in sorted(flat.items()):
+        if counted.get((transport, kind)) != claimed:
+            errors.append(
+                f"manifest: event_drops claims {claimed} dropped "
+                f"{kind!r} on {transport!r}, the events.dropped counter "
+                f"says {counted.get((transport, kind))}"
+            )
+    for (transport, kind), value in sorted(counted.items()):
+        if (transport, kind) not in flat:
+            errors.append(
+                f"manifest: events.dropped counter for {kind!r} on "
+                f"{transport!r} ({value}) has no event_drops entry"
+            )
     return errors
 
 
@@ -325,16 +466,18 @@ def validate_events(lines: Sequence[str]) -> list[str]:
     """Errors in a JSON-lines event log; empty list means valid.
 
     Checks every line parses, carries the current event schema and a
-    known kind, that sequence numbers are contiguous from 0 (a gap
-    means a transport dropped an event), and that timestamps never go
-    backwards (the bus clock is monotonic; forwarded worker events are
-    re-stamped on merge).
+    known kind, that sequence numbers are contiguous (a gap means a
+    transport dropped an event mid-stream), and that timestamps never
+    go backwards (the bus clock is monotonic; forwarded worker events
+    are re-stamped on merge).  The expected sequence starts at the
+    first record's ``seq`` rather than 0, so a size-rotated log — whose
+    older lines moved to a backup file — still validates.
     """
     from repro.obs.events import EVENT_SCHEMA, EVENT_KINDS
 
     known = frozenset(EVENT_KINDS)
     errors: list[str] = []
-    expected_seq = 0
+    expected_seq: int | None = None
     last_t = float("-inf")
     for number, line in enumerate(lines, start=1):
         if not line.strip():
@@ -353,6 +496,8 @@ def validate_events(lines: Sequence[str]) -> list[str]:
         if kind not in known:
             errors.append(f"events line {number}: unknown event kind {kind!r}")
         seq = record.get("seq")
+        if expected_seq is None:
+            expected_seq = seq if isinstance(seq, int) else 0  # rotated logs
         if seq != expected_seq:
             errors.append(
                 f"events line {number}: seq is {seq!r}, expected {expected_seq} "
@@ -360,7 +505,7 @@ def validate_events(lines: Sequence[str]) -> list[str]:
             )
             if isinstance(seq, int):
                 expected_seq = seq
-        expected_seq += 1
+        expected_seq = (expected_seq or 0) + 1
         t = record.get("t")
         if not isinstance(t, (int, float)):
             errors.append(f"events line {number}: t is {t!r}, expected a number")
@@ -389,7 +534,10 @@ def crosscheck_events(lines: Sequence[str], manifest: Mapping) -> list[str]:
     ``event_summary`` (schema >= 3, when present) must be covered by
     the log.  The log may carry *extra* events — the CLI's session bus
     also records cache interactions that happen around the run — but it
-    can never carry fewer than the manifest claims.
+    can never carry fewer than the manifest claims *plus* whatever the
+    manifest's ``event_drops`` (schema >= 6) admits the file sink
+    rotated away: kept + dropped >= claimed, per kind.  Overflow may
+    lose events from a sink, never from the accounting.
     """
     errors: list[str] = []
     counts: dict[str, int] = {}
@@ -403,20 +551,29 @@ def crosscheck_events(lines: Sequence[str], manifest: Mapping) -> list[str]:
         kind = str(record.get("kind"))
         counts[kind] = counts.get(kind, 0) + 1
     n_spans = _count_spans(manifest.get("span_tree", {}))
+    file_drops = manifest.get("event_drops", {})
+    file_drops = (
+        dict(file_drops.get("file", {})) if isinstance(file_drops, Mapping) else {}
+    )
     n_finishes = counts.get("stage.finish", 0)
-    if n_finishes != n_spans:
+    n_dropped_finishes = int(file_drops.get("stage.finish", 0))
+    if n_finishes + n_dropped_finishes < n_spans or n_finishes > n_spans:
         errors.append(
-            f"events/manifest: {n_finishes} stage.finish event(s) but "
-            f"{n_spans} non-root span(s) in the manifest span tree"
+            f"events/manifest: {n_finishes} stage.finish event(s) "
+            f"(+{n_dropped_finishes} drop-accounted) but {n_spans} "
+            "non-root span(s) in the manifest span tree"
         )
     summary = manifest.get("event_summary")
     if isinstance(summary, Mapping):
         for kind in sorted(summary):
             claimed = int(summary[kind])
-            if counts.get(kind, 0) < claimed:
+            kept = counts.get(kind, 0)
+            dropped = int(file_drops.get(kind, 0))
+            if kept + dropped < claimed:
                 errors.append(
                     f"events/manifest: event_summary claims {claimed} "
-                    f"{kind!r} event(s), the log has {counts.get(kind, 0)}"
+                    f"{kind!r} event(s), the log has {kept} and only "
+                    f"{dropped} are drop-accounted"
                 )
     return errors
 

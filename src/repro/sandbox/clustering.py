@@ -320,8 +320,13 @@ def cluster_lsh(
         bucket_hist = registry.histogram(
             "lsh.bucket_size", buckets=obs_metrics.SIZE_BUCKETS
         )
+        # The sketch tracks the same series with relative-error bins:
+        # at 100x-1000x scale bucket sizes outgrow the fixed SIZE
+        # buckets, while the sketch keeps tail quantiles meaningful.
+        bucket_sketch = registry.sketch("lsh.bucket_size_sketch")
         for size in index.bucket_sizes():
             bucket_hist.observe(size)
+            bucket_sketch.observe(size)
         registry.counter("lsh.buckets_skipped").inc(index.skipped_buckets)
     uf = _UnionFind(list(range(len(uniques))))
     comparisons = 0

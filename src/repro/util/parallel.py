@@ -124,6 +124,18 @@ class _ChunkOutcome:
     #: The exception a mapped call raised, or ``None``.  Partial
     #: ``results``/``metrics`` up to the failure still ride along.
     error: Exception | None = None
+    #: Peak RSS of the executing process after the chunk ran (kB), or
+    #: ``None`` where :mod:`resource` is unavailable (non-Unix).
+    rss_kb: float | None = None
+
+
+def _peak_rss_kb() -> float | None:
+    """This process's peak RSS in kilobytes (``None`` off-Unix)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix
+        return None
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def _run_chunk(
@@ -162,6 +174,7 @@ def _run_chunk(
         results=results,
         metrics=metrics,
         error=error,
+        rss_kb=_peak_rss_kb() if capture_telemetry else None,
     )
 
 
@@ -178,7 +191,13 @@ def _install_worker_bus(queue) -> None:
 
 
 def _finish_chunk(
-    backend: str, index: int, n_items: int, outcome: _ChunkOutcome, registry, bus
+    backend: str,
+    index: int,
+    n_chunks: int,
+    n_items: int,
+    outcome: _ChunkOutcome,
+    registry,
+    bus,
 ) -> None:
     """Merge one chunk's telemetry into the coordinator's registry/bus.
 
@@ -187,18 +206,29 @@ def _finish_chunk(
     across serial/thread/process runs of the same scenario — a labelled
     key per backend would defeat exactly that check.  The backend still
     rides on every chunk event for human consumption.
+
+    Resource watermarks merge here too: ``worker.peak_rss_kb`` is the
+    max across every chunk's executing process, and
+    ``executor.chunk_backlog`` is the peak count of planned-but-not-
+    gathered chunks — both commutative max-merges, so the values do not
+    depend on chunk completion order.
     """
     if outcome.metrics is not None:
         registry.merge_snapshot(outcome.metrics)
     registry.counter("executor.chunks").inc()
     registry.counter("executor.items").inc(n_items)
     registry.histogram("executor.chunk_seconds").observe(outcome.elapsed)
+    registry.sketch("executor.chunk_seconds_sketch").observe(outcome.elapsed)
+    registry.watermark("executor.chunk_backlog").update(n_chunks - index - 1)
+    if outcome.rss_kb is not None:
+        registry.watermark("worker.peak_rss_kb").update(outcome.rss_kb)
     bus.emit(
         "chunk.finish",
         backend=backend,
         chunk=index,
         items=n_items,
         seconds=round(outcome.elapsed, 6),
+        rss_kb=outcome.rss_kb,
     )
     if outcome.error is not None:
         registry.counter("executor.worker_failures").inc()
@@ -218,7 +248,7 @@ def _map_inline(
     results: list[R] = []
     for index, chunk in enumerate(chunks):
         outcome = _run_chunk(fn, chunk, capture)
-        _finish_chunk(backend, index, len(chunk), outcome, registry, bus)
+        _finish_chunk(backend, index, len(chunks), len(chunk), outcome, registry, bus)
         if outcome.error is not None:
             raise outcome.error
         results.extend(outcome.results)
@@ -263,15 +293,26 @@ class _PoolExecutor:
 
     @staticmethod
     def _drain_events(queue, bus, *, final: bool = False) -> None:
-        """Forward queued worker events onto the coordinator's bus."""
+        """Forward queued worker events onto the coordinator's bus.
+
+        The count drained in one pass is the worker->parent queue's
+        observed depth; its peak lands in the ``executor.event_queue_depth``
+        watermark so a backed-up channel is visible after the run.
+        """
         if queue is None:
             return
+        drained = 0
         while True:
             try:
                 payload = queue.get(timeout=0.05) if final else queue.get_nowait()
             except queue_module.Empty:
-                return
+                break
             bus.forward(payload)
+            drained += 1
+        if drained:
+            obs_metrics.active().watermark("executor.event_queue_depth").update(
+                drained
+            )
 
     @staticmethod
     def _close_channel(queue) -> None:
@@ -311,7 +352,13 @@ class _PoolExecutor:
                     outcome = future.result()
                     self._drain_events(queue, bus)
                     _finish_chunk(
-                        self.backend, index, len(chunk), outcome, registry, bus
+                        self.backend,
+                        index,
+                        len(chunks),
+                        len(chunk),
+                        outcome,
+                        registry,
+                        bus,
                     )
                     if outcome.error is not None:
                         if first_error is None:

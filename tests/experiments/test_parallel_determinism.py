@@ -124,6 +124,30 @@ class TestBackendDeterminism:
         # values are wall-clock (free to differ); counts are structural
         assert parallel_hist["count"] == serial_hist["count"] > 0
 
+    def test_bucket_size_sketch_bit_identical(self, serial_run, parallel_run):
+        """LSH bucket sizes are integers derived purely from artifacts,
+        so the per-worker sketches must reduce to byte-identical
+        payloads (``sum`` included) on every backend — the digest-level
+        parity the mergeable-sketch design promises."""
+        serial = serial_run.metrics.sketches["lsh.bucket_size_sketch"]
+        parallel = parallel_run.metrics.sketches["lsh.bucket_size_sketch"]
+        assert serial["count"] > 0
+        assert parallel == serial
+
+    def test_chunk_seconds_sketch_counts_identical(self, serial_run, parallel_run):
+        serial = serial_run.metrics.sketches["executor.chunk_seconds_sketch"]
+        parallel = parallel_run.metrics.sketches["executor.chunk_seconds_sketch"]
+        # observed values are wall-clock; the observation count is not
+        assert parallel["count"] == serial["count"] > 0
+
+    def test_chunk_backlog_watermark_identical(self, serial_run, parallel_run):
+        """The backlog high-water mark depends only on the chunk plan
+        (worst remaining-chunk count), never on completion order."""
+        assert (
+            parallel_run.metrics.watermarks["executor.chunk_backlog"]
+            == serial_run.metrics.watermarks["executor.chunk_backlog"]
+        )
+
 
 class TestBatchSubmissionEquivalence:
     """submit_batch must be indistinguishable from sequential submit."""

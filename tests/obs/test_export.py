@@ -208,3 +208,66 @@ class TestExportPayload:
 
     def test_format_tuple_is_the_cli_contract(self):
         assert EXPORT_FORMATS == ("prometheus", "openmetrics", "jsonl", "chrome")
+
+
+def _sketchy_snapshot():
+    registry = MetricsRegistry()
+    sketch = registry.sketch("executor.chunk_seconds_sketch")
+    for value in (1.0, 2.0, 4.0, 8.0):
+        sketch.observe(value)
+    registry.watermark("worker.peak_rss_kb").update(51200)
+    return registry.snapshot().as_dict()
+
+
+class TestLabelEscaping:
+    def _labelled(self, value):
+        registry = MetricsRegistry()
+        registry.counter("epm.patterns", dimension=value).inc(1)
+        return prometheus_text(registry.snapshot().as_dict())
+
+    def test_backslashes_escaped(self):
+        assert 'dimension="a\\\\b"' in self._labelled("a\\b")
+
+    def test_quotes_escaped(self):
+        assert 'dimension="say \\"hi\\""' in self._labelled('say "hi"')
+
+    def test_newlines_escaped(self):
+        text = self._labelled("two\nlines")
+        assert 'dimension="two\\nlines"' in text
+        # the exposition itself must stay one sample per line
+        sample_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(sample_lines) == 1
+
+    def test_plain_values_untouched(self):
+        assert 'dimension="mu"' in self._labelled("mu")
+
+
+class TestSketchExposition:
+    def test_sketch_renders_as_summary_family(self):
+        text = prometheus_text(_sketchy_snapshot())
+        assert "# TYPE repro_executor_chunk_seconds_sketch summary" in text
+        assert 'repro_executor_chunk_seconds_sketch{quantile="0.5"}' in text
+        assert "repro_executor_chunk_seconds_sketch_sum 15" in text
+        assert "repro_executor_chunk_seconds_sketch_count 4" in text
+
+    def test_watermark_renders_as_gauge(self):
+        text = prometheus_text(_sketchy_snapshot())
+        assert "# TYPE repro_worker_peak_rss_kb gauge" in text
+        assert "repro_worker_peak_rss_kb 51200" in text
+
+    def test_openmetrics_keeps_eof_last(self):
+        text = openmetrics_text(_sketchy_snapshot())
+        assert text.endswith("\n# EOF\n")
+
+    def test_jsonl_carries_sketch_quantiles_and_watermarks(self):
+        samples = list(jsonl_samples(_sketchy_snapshot()))
+        by_type = {}
+        for sample in samples:
+            by_type.setdefault(sample["type"], []).append(sample)
+        sketch = by_type["sketch"][0]
+        assert sketch["name"] == "executor.chunk_seconds_sketch"
+        assert sketch["count"] == 4
+        assert set(sketch["quantiles"]) == {"0.5", "0.9", "0.99"}
+        watermark = by_type["watermark"][0]
+        assert watermark["name"] == "worker.peak_rss_kb"
+        assert watermark["value"] == 51200

@@ -370,7 +370,12 @@ class TestStoredEventLogs:
         store = RunStore(tmp_path / "runs")
         run_id = store.add(_manifest(), events_path=source)
         target = store.events_path_for(_manifest().fingerprint, run_id)
-        target.write_text('{"schema": 1, "seq": 5, "kind": "nope", "t": 0.0}\n')
+        # A rotated log may start mid-sequence, so the corrupt marker is
+        # a mid-stream gap (0 -> 5), not a non-zero starting seq.
+        target.write_text(
+            '{"schema": 1, "seq": 0, "kind": "run.start", "t": 0.0}\n'
+            '{"schema": 1, "seq": 5, "kind": "nope", "t": 0.0}\n'
+        )
         failures = validate_run_store(store.root)
         flat = [error for errors in failures.values() for error in errors]
         assert any("unknown event kind" in error for error in flat)

@@ -42,6 +42,7 @@ class TestRunManifest:
             "event_summary",
             "stage_fingerprints",
             "health_summary",
+            "event_drops",
         }
         assert payload["schema"] == MANIFEST_SCHEMA
 

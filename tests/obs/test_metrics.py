@@ -209,3 +209,91 @@ class TestActivation:
         snapshot = NULL_REGISTRY.snapshot()
         assert snapshot.counters == {} and snapshot.gauges == {}
         assert snapshot.histograms == {}
+
+
+class TestSketchInstrument:
+    def test_observe_and_quantile(self):
+        registry = MetricsRegistry()
+        sketch = registry.sketch("executor.chunk_seconds_sketch")
+        for value in (1.0, 2.0, 4.0):
+            sketch.observe(value)
+        assert sketch.count == 3
+        assert sketch.quantile(0.5) == pytest.approx(2.0, rel=0.02)
+
+    def test_same_key_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.sketch("a.sketch") is registry.sketch("a.sketch")
+        assert registry.sketch("a.sketch") is not registry.sketch(
+            "a.sketch", shard=1
+        )
+
+    def test_shape_mismatch_on_one_key_rejected(self):
+        registry = MetricsRegistry()
+        registry.sketch("a.sketch", alpha=0.01)
+        with pytest.raises(ValidationError):
+            registry.sketch("a.sketch", alpha=0.05)
+
+    def test_snapshot_round_trip_preserves_sketches(self):
+        registry = MetricsRegistry()
+        registry.sketch("a.sketch").observe(3.0)
+        payload = registry.snapshot().as_dict()
+        assert payload["schema"] == 2
+        rebuilt = MetricsSnapshot.from_dict(payload)
+        assert rebuilt.sketches["a.sketch"]["count"] == 1
+
+    def test_schema_one_payloads_still_load(self):
+        snapshot = MetricsSnapshot.from_dict(
+            {"schema": 1, "counters": {"cache.hit": 2}}
+        )
+        assert snapshot.counters["cache.hit"] == 2
+        assert snapshot.sketches == {}
+        assert snapshot.watermarks == {}
+
+
+class TestWatermarkInstrument:
+    def test_update_keeps_the_maximum(self):
+        registry = MetricsRegistry()
+        mark = registry.watermark("worker.peak_rss_kb")
+        for value in (10, 50, 20):
+            mark.update(value)
+        assert mark.value == 50.0
+
+    def test_snapshot_and_accessor(self):
+        registry = MetricsRegistry()
+        registry.watermark("q.depth", worker=1).update(7)
+        snapshot = registry.snapshot()
+        assert snapshot.watermark("q.depth", worker=1) == 7.0
+        assert snapshot.watermark("q.depth", worker=2) == 0
+
+
+class TestMergeSnapshotSections:
+    def test_sketches_and_watermarks_fold_in(self):
+        worker_a, worker_b = MetricsRegistry(), MetricsRegistry()
+        worker_a.sketch("s").observe(1.0)
+        worker_b.sketch("s").observe(3.0)
+        worker_a.watermark("w").update(5)
+        worker_b.watermark("w").update(9)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker_a.snapshot())
+        parent.merge_snapshot(worker_b.snapshot())
+        merged = parent.snapshot()
+        assert merged.sketches["s"]["count"] == 2
+        assert merged.watermarks["w"] == 9.0
+
+    def test_watermark_merge_is_commutative(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.watermark("w").update(5)
+        b.watermark("w").update(9)
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        forward.merge_snapshot(a.snapshot())
+        forward.merge_snapshot(b.snapshot())
+        backward.merge_snapshot(b.snapshot())
+        backward.merge_snapshot(a.snapshot())
+        assert forward.snapshot().as_dict() == backward.snapshot().as_dict()
+
+
+class TestNullRegistryNewInstruments:
+    def test_sketch_and_watermark_are_free_no_ops(self):
+        NULL_REGISTRY.sketch("anything").observe(1.0)
+        NULL_REGISTRY.watermark("anything").update(5)
+        assert NULL_REGISTRY.recording is False

@@ -1,0 +1,135 @@
+"""Unit tests for the mergeable streaming-quantile sketch."""
+
+import pytest
+
+from repro.obs.sketch import (
+    DEFAULT_ALPHA,
+    MIN_TRACKABLE,
+    QuantileSketch,
+    sketch_quantile_from_payload,
+)
+
+
+def _filled(values, alpha=DEFAULT_ALPHA, max_bins=512):
+    sketch = QuantileSketch(alpha=alpha, max_bins=max_bins)
+    for value in values:
+        sketch.observe(float(value))
+    return sketch
+
+
+class TestConstruction:
+    def test_alpha_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=1.0)
+
+    def test_needs_at_least_two_bins(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(max_bins=1)
+
+    def test_rejects_negative_observations(self):
+        with pytest.raises(ValueError):
+            QuantileSketch().observe(-1.0)
+
+
+class TestQuantiles:
+    def test_empty_sketch_has_no_quantile(self):
+        assert QuantileSketch().quantile(0.5) is None
+
+    def test_relative_error_bound_holds(self):
+        sketch = _filled(range(1, 1001))
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            exact = float(sorted(range(1, 1001))[int(q * 999)])
+            estimate = sketch.quantile(q)
+            assert abs(estimate - exact) <= DEFAULT_ALPHA * exact
+
+    def test_quantile_is_monotone_in_q(self):
+        sketch = _filled([0.5, 1.0, 2.0, 40.0, 41.0, 300.0])
+        estimates = [sketch.quantile(q / 10) for q in range(11)]
+        assert estimates == sorted(estimates)
+
+    def test_sub_trackable_values_count_as_exact_zeros(self):
+        sketch = _filled([0.0, 0.0, 0.0, 10.0])
+        assert sketch.zeros == 3
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(1.0) == pytest.approx(10.0, rel=DEFAULT_ALPHA)
+
+    def test_min_trackable_is_the_zeros_threshold(self):
+        sketch = _filled([MIN_TRACKABLE / 2, MIN_TRACKABLE * 2])
+        assert sketch.zeros == 1
+
+
+class TestBoundedMemory:
+    def test_resident_bins_never_exceed_the_cap(self):
+        sketch = _filled([10.0**k for k in range(-4, 5)], max_bins=8)
+        assert len(sketch.bins) <= 8
+        assert sketch.count == 9
+
+    def test_fold_preserves_count_and_extremes(self):
+        values = [0.001, 0.01, 1.0, 100.0, 100000.0]
+        sketch = _filled(values, max_bins=4)
+        assert sketch.count == len(values)
+        assert sketch.min == 0.001
+        assert sketch.max == 100000.0
+
+    def test_fold_only_degrades_the_low_end(self):
+        sketch = _filled([0.001, 1000.0] * 50, max_bins=4)
+        assert sketch.quantile(0.99) == pytest.approx(1000.0, rel=DEFAULT_ALPHA)
+
+
+class TestMerge:
+    def test_merge_of_shards_equals_one_sketch(self):
+        values = [float(v) for v in range(1, 301)]
+        whole = _filled(values)
+        merged = QuantileSketch()
+        for offset in range(3):
+            merged.merge(_filled(values[offset::3]))
+        assert merged.as_dict() == whole.as_dict()
+
+    def test_merge_equals_whole_even_when_folding(self):
+        # Integer-valued so ``sum`` is order-exact; the interesting part
+        # is the bins agreeing across fold schedules.
+        values = [10.0**k for k in range(0, 7)] * 5
+        whole = _filled(values, max_bins=4)
+        merged = QuantileSketch(max_bins=4)
+        merged.merge(_filled(values[::2], max_bins=4))
+        merged.merge(_filled(values[1::2], max_bins=4))
+        assert merged.as_dict() == whole.as_dict()
+
+    def test_merge_accepts_live_sketch_or_payload(self):
+        a = _filled([1.0, 2.0])
+        b = _filled([3.0])
+        by_payload = _filled([1.0, 2.0])
+        by_payload.merge(b.as_dict())
+        a.merge(b)
+        assert a.as_dict() == by_payload.as_dict()
+
+    def test_merge_requires_identical_shape(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+        with pytest.raises(ValueError):
+            QuantileSketch(max_bins=8).merge(QuantileSketch(max_bins=16))
+
+
+class TestSerialization:
+    def test_payload_is_order_independent(self):
+        values = [7.0, 0.0, 3.5, 3.5, 900.0, 0.25]
+        assert _filled(values).as_dict() == _filled(reversed(values)).as_dict()
+
+    def test_round_trip_through_from_dict(self):
+        sketch = _filled([0.0, 0.5, 5.0, 50.0])
+        rebuilt = QuantileSketch.from_dict(sketch.as_dict())
+        assert rebuilt.as_dict() == sketch.as_dict()
+        assert rebuilt.quantile(0.5) == sketch.quantile(0.5)
+
+    def test_payload_quantile_matches_live_instrument(self):
+        sketch = _filled([1.0, 2.0, 4.0, 8.0])
+        for q in (0.0, 0.5, 1.0):
+            assert sketch_quantile_from_payload(sketch.as_dict(), q) == (
+                sketch.quantile(q)
+            )
+
+    def test_payload_quantile_none_on_empty(self):
+        assert sketch_quantile_from_payload(QuantileSketch().as_dict(), 0.5) is None

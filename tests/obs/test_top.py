@@ -1,0 +1,160 @@
+"""The ``repro obs top`` view: accumulator, render, follow mode."""
+
+import threading
+
+from repro.obs.events import EventBus, FileTransport, PipelineEvent
+from repro.obs.top import TOP_WINDOW, TopAccumulator, render_top, top_from_events
+
+
+def _event(seq, t, kind, **fields):
+    return PipelineEvent(seq=seq, t=t, kind=kind, fields=fields)
+
+
+def _sample_events():
+    return [
+        _event(0, 0.0, "run.start", seed=7, weeks=8, scale=0.1, executor="thread"),
+        _event(1, 0.1, "stage.start", stage="observe"),
+        _event(2, 0.4, "chunk.finish", chunk=0, items=5, seconds=0.3, rss_kb=40000),
+        _event(3, 0.8, "chunk.finish", chunk=1, items=5, seconds=0.4, rss_kb=41000),
+        _event(4, 0.9, "stage.finish", stage="observe", seconds=0.8),
+        _event(5, 1.0, "transport.drop", transport="ring", dropped=3,
+               kinds={"cache.hit": 3}),
+        _event(6, 1.1, "run.finish", seconds=1.1),
+    ]
+
+
+class TestTopAccumulator:
+    def test_folds_the_stream_into_machine_state(self):
+        accumulator = TopAccumulator()
+        for event in _sample_events():
+            accumulator.feed(event)
+        state = accumulator.snapshot()
+        assert state["meta"]["seed"] == 7
+        assert state["n_events"] == 7
+        assert state["items_done"] == 10
+        assert state["chunk_seconds"] == [0.3, 0.4]
+        assert state["peak_rss_kb"] == 41000.0
+        assert state["stages_done"] == 1
+        assert state["drops"] == {"ring": {"cache.hit": 3}}
+        assert state["finished"] is True
+        assert state["rate"] > 0
+
+    def test_feed_flags_redraw_only_on_work_events(self):
+        accumulator = TopAccumulator()
+        assert accumulator.feed(_event(0, 0.0, "run.start")) is False
+        assert accumulator.feed(_event(1, 0.1, "cache.hit")) is False
+        assert accumulator.feed(
+            _event(2, 0.2, "chunk.finish", seconds=0.1)
+        ) is True
+
+    def test_memory_is_bounded_by_the_window(self):
+        accumulator = TopAccumulator()
+        for index in range(TOP_WINDOW * 10):
+            accumulator.feed(
+                _event(index, index * 0.1, "chunk.finish",
+                       seconds=0.1, rss_kb=1000 + index)
+            )
+        assert len(accumulator.chunk_seconds) == TOP_WINDOW
+        assert len(accumulator.rss_kb) == TOP_WINDOW
+        assert len(accumulator.gaps) == TOP_WINDOW
+        assert accumulator.n_events == TOP_WINDOW * 10
+
+    def test_snapshot_is_deterministic(self):
+        a, b = TopAccumulator(), TopAccumulator()
+        for event in _sample_events():
+            a.feed(event)
+            b.feed(event)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestRenderTop:
+    def test_render_is_a_pure_function_of_state(self):
+        accumulator = TopAccumulator()
+        for event in _sample_events():
+            accumulator.feed(event)
+        state = accumulator.snapshot()
+        assert render_top(state) == render_top(state)
+
+    def test_render_names_the_load_bearing_numbers(self):
+        text = top_from_events(_sample_events())
+        assert "seed 7" in text
+        assert "finished" in text
+        assert "items=10" in text
+        assert "peak=41000" in text
+        assert "drops    ring=3 (cache.hit=3)" in text
+
+    def test_render_without_drops_says_none(self):
+        text = top_from_events(_sample_events()[:3])
+        assert "drops    none" in text
+
+    def test_empty_stream_renders(self):
+        assert "n=0" in top_from_events([])
+
+
+class TestFollowTop:
+    class _Sink:
+        def __init__(self):
+            self.text = ""
+
+        def write(self, chunk):
+            self.text += chunk
+
+        def flush(self):
+            pass
+
+    def test_follow_draws_frames_as_events_arrive(self, tmp_path):
+        from repro.obs.top import follow_top
+
+        path = tmp_path / "events.jsonl"
+        bus = EventBus([FileTransport(path)])
+        bus.emit("run.start", seed=7)
+        sink = self._Sink()
+        frames = []
+        done = threading.Event()
+
+        def consume():
+            frames.append(
+                follow_top(path, sink, poll_seconds=0.01,
+                           stop=lambda: "finished" in sink.text)
+            )
+            done.set()
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        try:
+            bus.emit("chunk.finish", chunk=0, items=4, seconds=0.1)
+            bus.emit("run.finish", seconds=0.5)
+            bus.close()
+            assert done.wait(timeout=10.0)
+        finally:
+            thread.join(timeout=10.0)
+        assert frames[0] >= 2  # one per redraw kind seen
+        assert "repro top" in sink.text
+
+
+class TestCliEntry:
+    def test_obs_top_writes_an_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "events.jsonl"
+        bus = EventBus([FileTransport(path)])
+        bus.emit("run.start", seed=9)
+        bus.emit("chunk.finish", chunk=0, items=2, seconds=0.2)
+        bus.emit("run.finish", seconds=0.4)
+        bus.close()
+        out = tmp_path / "top.txt"
+        assert main(["obs", "top", str(path), "--out", str(out)]) == 0
+        rendered = out.read_text()
+        assert "repro top" in rendered
+        assert "seed 9" in rendered
+        assert "wrote top view" in capsys.readouterr().out
+
+    def test_obs_top_prints_to_stdout(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "events.jsonl"
+        bus = EventBus([FileTransport(path)])
+        bus.emit("run.finish", seconds=0.4)
+        bus.close()
+        assert main(["obs", "top", str(path)]) == 0
+        assert "repro top" in capsys.readouterr().out

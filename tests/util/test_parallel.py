@@ -321,3 +321,38 @@ class TestWorkerCrashTelemetry:
         assert isinstance(error, ValueError)
         emitted = {event.fields["item"] for event in events if event.kind == "cache.miss"}
         assert 3 in emitted
+
+    def test_crash_does_not_corrupt_parent_resequencing(self):
+        """QueueTransport under worker failure: events forwarded from a
+        crashed worker must still land on the parent stream with
+        contiguous sequence numbers — a crash may truncate the stream,
+        never scramble it."""
+        _results, _snapshot, events, error = _run_with_telemetry(
+            "process", _emit_then_maybe_fail, self.ITEMS
+        )
+        assert isinstance(error, ValueError)
+        assert [event.seq for event in events] == list(range(len(events)))
+        assert all(event.t >= 0.0 for event in events)
+
+    def test_crash_drop_accounting_reconciles(self):
+        """A bounded ring on the parent bus during a crashing run still
+        satisfies resident + dropped == delivered, per kind — the
+        events.dropped reconciliation the manifest check relies on."""
+        from repro.obs.events import RingTransport
+
+        registry = MetricsRegistry()
+        sink = MemoryTransport()
+        ring = RingTransport(8)
+        bus = EventBus([sink, ring])
+        with obs_metrics.use(registry), obs_events.use_bus(bus):
+            with pytest.raises(ValueError, match="boom"):
+                ProcessExecutor(jobs=2).map(_emit_then_maybe_fail, self.ITEMS)
+        delivered: dict[str, int] = {}
+        for event in sink.events:
+            delivered[event.kind] = delivered.get(event.kind, 0) + 1
+        resident: dict[str, int] = {}
+        for event in ring.events:
+            resident[event.kind] = resident.get(event.kind, 0) + 1
+        drops = ring.drops()
+        for kind, count in delivered.items():
+            assert resident.get(kind, 0) + drops.get(kind, 0) == count
