@@ -256,6 +256,96 @@ def _build_parser() -> argparse.ArgumentParser:
     drift_p = sub.add_parser("drift", help="pattern drift: past model vs future traffic")
     add_common(drift_p)
 
+    model_p = sub.add_parser(
+        "model", help="persisted classification models (export from a run)"
+    )
+    model_sub = model_p.add_subparsers(dest="model_command", required=True)
+    model_export_p = model_sub.add_parser(
+        "export",
+        help="freeze a landscape into a content-addressed model artifact",
+    )
+    add_common(model_export_p)
+    model_export_p.add_argument(
+        "--out",
+        default="model.json",
+        metavar="FILE",
+        help="where to write the model artifact (default model.json)",
+    )
+    model_export_p.add_argument(
+        "--run",
+        default=None,
+        metavar="REF",
+        help="export from a stored run (run id, unique prefix, "
+        "fingerprint/id or manifest path) instead of the scenario "
+        "flags: the stored config is rebuilt and replayed (use "
+        "--cache to replay from the stage store instead of "
+        "recomputing)",
+    )
+    model_export_p.add_argument(
+        "--runs",
+        metavar="DIR",
+        default=None,
+        help="run store root (default results/runs or $REPRO_RUNS_DIR)",
+    )
+    model_export_p.add_argument(
+        "--store",
+        action="store_true",
+        help="with --run: also copy the artifact into the run store "
+        "next to its manifest (<fingerprint>/<run_id>.model.json), "
+        "which is where 'repro classify --model REF' looks",
+    )
+
+    classify_p = sub.add_parser(
+        "classify", help="classify events against an exported model"
+    )
+    classify_p.add_argument(
+        "--model",
+        required=True,
+        metavar="REF",
+        help="model artifact path, or a run-store run id/prefix whose "
+        "exported model sits next to its manifest",
+    )
+    classify_p.add_argument(
+        "--runs",
+        metavar="DIR",
+        default=None,
+        help="run store root for --model prefixes (default results/runs "
+        "or $REPRO_RUNS_DIR)",
+    )
+    classify_p.add_argument(
+        "--event",
+        default=None,
+        metavar="JSON",
+        help="single-shot: one event as JSON in the 'repro run --out' "
+        "line layout ('-' reads it from stdin)",
+    )
+    classify_p.add_argument(
+        "--batch",
+        default=None,
+        metavar="JSONL",
+        help="classify every event of a JSONL dump through the "
+        "columnar batch kernel",
+    )
+    classify_p.add_argument(
+        "--out",
+        default=None,
+        metavar="JSONL",
+        help="write one JSON line per event (default: human-readable "
+        "rendering on stdout)",
+    )
+    classify_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the classify session's metrics snapshot as JSON",
+    )
+    classify_p.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="stream classify.* events (JSON lines) to PATH",
+    )
+
     evasion_p = sub.add_parser("evasion", help="EPM vs a repacking engine")
     evasion_p.add_argument("--seed", type=int, default=2010)
     evasion_p.add_argument("--variants", type=int, default=10)
@@ -1140,6 +1230,177 @@ def _cmd_obs_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_model(args: argparse.Namespace) -> int:
+    """``repro model export``: freeze a landscape for serving."""
+    from repro.serve.model import ModelArtifact
+
+    run_id = None
+    manifest_path = None
+    if args.run:
+        import json
+        from dataclasses import replace as dc_replace
+
+        from repro.experiments.scenario import config_from_canonical
+        from repro.obs.history import RunStore
+
+        store = RunStore(args.runs)
+        manifest_path = store.resolve(args.run)
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        run_id = manifest_path.stem
+        # Execution-only sinks of the stored run must not replay (the
+        # export session owns its own telemetry); the semantic
+        # fingerprint ignores them, so the replay still matches.
+        config = dc_replace(
+            config_from_canonical(payload["config"]),
+            events=None,
+            progress=False,
+            ring=0,
+            profile=False,
+        )
+        seed = int(payload["seed"])
+        configure_logging(args.log_level, json_path=args.log_json)
+        if args.cache:
+            from repro.experiments.cache import StageStore, cached_run
+
+            stage_store = StageStore() if args.cache_stages else None
+            run = cached_run(seed, config, stage_store=stage_store)
+        else:
+            run = PaperScenario(seed=seed, config=config).run()
+        if run.manifest is not None and run.manifest.fingerprint != payload.get(
+            "fingerprint"
+        ):
+            print(
+                f"error: replayed fingerprint {run.manifest.fingerprint[:16]} "
+                f"does not match stored run {run_id}",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        run = _run_scenario(args)
+    artifact = ModelArtifact.from_run(run, run_id=run_id)
+    target = artifact.save(args.out)
+    print(f"model {artifact.model_id} (run fingerprint "
+          f"{artifact.fingerprint[:16]}) -> {target}")
+    if args.store:
+        if manifest_path is None:
+            print("error: --store needs --run (a stored run to sit next to)",
+                  file=sys.stderr)
+            return 1
+        stored = manifest_path.with_name(f"{run_id}.model.json")
+        artifact.save(stored)
+        print(f"stored model next to run {run_id}: {stored}")
+    return 0
+
+
+def _resolve_model_path(args: argparse.Namespace) -> Path:
+    """``--model`` as a filesystem path, else a run-store reference."""
+    path = Path(args.model)
+    if path.is_file():
+        return path
+    from repro.obs.history import RunStore
+
+    manifest_path = RunStore(args.runs).resolve(args.model)
+    candidate = manifest_path.with_name(f"{manifest_path.stem}.model.json")
+    if not candidate.is_file():
+        raise FileNotFoundError(
+            f"run {manifest_path.stem} has no exported model next to its "
+            f"manifest; run 'repro model export --run {manifest_path.stem} "
+            "--store' first"
+        )
+    return candidate
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    """``repro classify``: the serving path over an exported model."""
+    import json
+
+    from repro.egpm.events import event_from_dict
+    from repro.serve.classifier import ServingClassifier
+    from repro.serve.model import ModelArtifact
+
+    if bool(args.event) == bool(args.batch):
+        print("error: pass exactly one of --event or --batch", file=sys.stderr)
+        return 2
+    try:
+        model_path = _resolve_model_path(args)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    model = ModelArtifact.load(model_path)
+    classifier = ServingClassifier(model)
+
+    registry = MetricsRegistry()
+    bus: obs_events.EventBus | obs_events.NullEventBus = obs_events.NULL_BUS
+    if args.events:
+        bus = obs_events.EventBus([obs_events.FileTransport(args.events)])
+    try:
+        with obs_metrics.use(registry), obs_events.use_bus(bus):
+            if args.batch:
+                events = [
+                    event_from_dict(json.loads(line))
+                    for line in Path(args.batch).read_text(
+                        encoding="utf-8"
+                    ).splitlines()
+                    if line.strip()
+                ]
+                results = classifier.classify_events(events)
+            else:
+                raw = args.event
+                if raw == "-":
+                    raw = sys.stdin.read()
+                else:
+                    try:
+                        if Path(raw).is_file():
+                            raw = Path(raw).read_text(encoding="utf-8")
+                    except OSError:
+                        pass  # inline JSON longer than a legal filename
+                event = event_from_dict(json.loads(raw))
+                events = [event]
+                bus.emit(
+                    "classify.start", model=model.model_id, events=1, mode="single"
+                )
+                results = [classifier.classify_event(event)]
+                bus.emit("classify.finish", model=model.model_id, events=1)
+    finally:
+        bus.close()
+
+    lines = []
+    for event, result in zip(events, results):
+        lines.append(
+            {
+                "event_id": event.event_id,
+                "model": model.model_id,
+                "classifications": {
+                    dimension: classification.as_dict()
+                    for dimension, classification in sorted(result.items())
+                },
+            }
+        )
+    if args.out:
+        Path(args.out).write_text(
+            "".join(json.dumps(line, sort_keys=True) + "\n" for line in lines),
+            encoding="utf-8",
+        )
+        print(f"classified {len(lines)} event(s) -> {args.out}")
+    else:
+        for line in lines:
+            rendered = ", ".join(
+                f"{dimension}: {payload['rendered']}"
+                + (
+                    f" (cluster {payload['cluster']})"
+                    if payload["cluster"] is not None
+                    else " (novel pattern)"
+                )
+                for dimension, payload in line["classifications"].items()
+            )
+            print(f"event {line['event_id']}: {rendered or 'no dimension applies'}")
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            registry.snapshot().to_json() + "\n", encoding="utf-8"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -1151,6 +1412,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "model":
+        return _cmd_model(args)
+    if args.command == "classify":
+        return _cmd_classify(args)
 
     run = _run_scenario(args)
     if args.command == "run":

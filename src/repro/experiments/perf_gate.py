@@ -133,6 +133,45 @@ def check_scale_bench(scale_bench_path: str | Path, out) -> list[str]:
     return errors
 
 
+def check_classify_bench(classify_bench_path: str | Path, out) -> list[str]:
+    """Gate violations in the committed classifications/sec record.
+
+    Shape gates like the scaling curve, with one extra teeth: a
+    committed full-scale record whose indexed-over-linear speedup
+    dropped below the acceptance floor fails CI (that ratio *is* the
+    serving-path deliverable, not a timing to trend-watch).
+    """
+    from repro.experiments.classify_bench import validate_record
+
+    path = Path(classify_bench_path)
+    if not path.is_file():
+        return [f"classify bench record {path} is missing"]
+    record = json.loads(path.read_text(encoding="utf-8"))
+    errors = validate_record(record)
+    if not errors:
+        totals = record["totals"]
+        lines = [
+            "classifications/sec (report-only except the full-scale "
+            "speedup floor and digest identity):"
+        ]
+        for entry in record["dimensions"]:
+            paths = entry["paths"]
+            lines.append(
+                f"  {entry['dimension']:>8}: {entry['patterns']:>5} patterns  "
+                f"linear {paths['linear']['per_second']:>10.1f}/s  "
+                f"indexed {paths['indexed']['per_second']:>10.1f}/s "
+                f"({entry['speedup_indexed']}x)  "
+                f"batch {paths['batch']['per_second']:>10.1f}/s "
+                f"({entry['speedup_batch']}x)"
+            )
+        lines.append(
+            f"  totals: indexed {totals['speedup_indexed']}x, "
+            f"batch {totals['speedup_batch']}x over the linear scan"
+        )
+        print("\n".join(lines), file=out)
+    return errors
+
+
 def check_regression_detector(cold_payload: Mapping, out) -> list[str]:
     """Self-test of the longitudinal regression detector (gate-grade).
 
@@ -195,6 +234,8 @@ def run_gate(
     *,
     bench_path: str | Path | None = None,
     scale_bench_path: str | Path | None = None,
+    classify_bench_path: str | Path | None = None,
+    skip_matrix: bool = False,
     seed: int = 7,
     scale: float = 0.05,
     weeks: int = 8,
@@ -219,7 +260,20 @@ def run_gate(
 
     errors_pre: list[str] = []
     if scale_bench_path is not None:
-        errors_pre = check_scale_bench(scale_bench_path, out)
+        errors_pre += check_scale_bench(scale_bench_path, out)
+    if classify_bench_path is not None:
+        errors_pre += check_classify_bench(classify_bench_path, out)
+
+    # The classify-gate CI job validates committed records only — the
+    # 3-run cache matrix already gates in the perf-gate job, so it can
+    # be skipped to keep the lane fast.
+    if skip_matrix:
+        if errors_pre:
+            for error in errors_pre:
+                print(f"PERF GATE VIOLATION: {error}", file=out)
+            return 1
+        print("perf gate: committed bench records OK (matrix skipped)", file=out)
+        return 0
 
     config = ScenarioConfig(n_weeks=weeks, scale=scale)
     perturbed = replace(
@@ -322,6 +376,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(results/BENCH_scale.json): schema and >= 4-point shape gate, "
         "its timings stay report-only",
     )
+    parser.add_argument(
+        "--classify-bench",
+        default=None,
+        metavar="FILE",
+        help="also validate the committed classifications/sec record "
+        "(results/BENCH_classify.json): schema shape and the full-scale "
+        "indexed-over-linear speedup floor gate",
+    )
+    parser.add_argument(
+        "--skip-matrix",
+        action="store_true",
+        help="only validate the committed bench records, skip the 3-run "
+        "cache matrix (the classify-gate CI lane)",
+    )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--scale", type=float, default=0.05)
     parser.add_argument("--weeks", type=int, default=8)
@@ -341,6 +409,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     return run_gate(
         bench_path=args.bench,
         scale_bench_path=args.scale_bench,
+        classify_bench_path=args.classify_bench,
+        skip_matrix=args.skip_matrix,
         seed=args.seed,
         scale=args.scale,
         weeks=args.weeks,

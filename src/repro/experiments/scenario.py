@@ -428,6 +428,54 @@ class PaperScenario:
             )
 
 
+def config_from_canonical(payload) -> ScenarioConfig:
+    """Rebuild a :class:`ScenarioConfig` from its canonicalized form.
+
+    Stored run manifests keep the config as the ``__type__``-tagged
+    maps :func:`repro.util.canonical.canonicalize` produces; this is
+    the inverse for the known config dataclasses, so a stored run can
+    be replayed (``repro model export --run``) without re-specifying
+    its flags.  Unknown ``__type__`` names fail loudly rather than
+    silently dropping config.
+    """
+    import dataclasses as _dataclasses
+
+    from repro.honeypot.shellcode import ShellcodeConfig
+
+    known = {
+        cls.__name__: cls
+        for cls in (
+            ScenarioConfig,
+            DeploymentConfig,
+            ShellcodeConfig,
+            InvariantPolicy,
+            ClusteringConfig,
+            SandboxConfig,
+        )
+    }
+
+    def rebuild(value):
+        if isinstance(value, dict):
+            name = value.get("__type__")
+            require(name is not None, f"config payload has no __type__: {value!r}")
+            cls = known.get(name)
+            require(cls is not None, f"unknown config dataclass {name!r}")
+            names = {f.name for f in _dataclasses.fields(cls)}
+            return cls(
+                **{k: rebuild(v) for k, v in value.items() if k in names}
+            )
+        if isinstance(value, list):
+            return tuple(rebuild(v) for v in value)
+        return value
+
+    config = rebuild(payload)
+    require(
+        isinstance(config, ScenarioConfig),
+        f"canonical payload is a {type(config).__name__}, not a ScenarioConfig",
+    )
+    return config
+
+
 def small_scenario(seed: int = 2010, *, scale: float = 0.15, n_weeks: int = 30) -> ScenarioRun:
     """A reduced run for tests: same landscape shape, sub-second-ish cost."""
     config = ScenarioConfig(

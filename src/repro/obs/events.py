@@ -77,6 +77,8 @@ EVENT_KINDS = (
     "health.finding",
     "health.summary",
     "transport.drop",
+    "classify.start",
+    "classify.finish",
 )
 
 _KNOWN_KINDS = frozenset(EVENT_KINDS)

@@ -99,6 +99,14 @@ METRIC_CATALOGUE: dict[str, str] = {
     # bounded event transports (labelled by kind=<event>,transport=<name>)
     "events.dropped": "counter",
     "events.interarrival": "sketch",
+    # classification serving (labelled by dimension=epsilon|pi|mu where
+    # noted; emitted by repro.serve.classifier and the PatternSet
+    # scan-result memo, never by scenario runs)
+    "classify.requests": "counter",
+    "classify.batch_rows": "counter",
+    "classify.scan_cache_hit": "counter",
+    "classify.scan_cache_miss": "counter",
+    "classify.latency": "sketch",
 }
 
 #: Metrics every scenario run must emit, regardless of scale.
@@ -693,6 +701,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="also validate every stored run under this run-store root",
     )
     parser.add_argument(
+        "--model",
+        default=None,
+        metavar="JSON",
+        help="exported model artifact to validate: schema/kind markers, "
+        "the recomputed content address, per-dimension pattern arity, "
+        "root-pattern totality and mask-consistency",
+    )
+    parser.add_argument(
         "--rebuild-index",
         action="store_true",
         help="with --runs: regenerate a missing/corrupted index.json from "
@@ -712,10 +728,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="skip the required-scenario-metrics completeness check",
     )
     args = parser.parse_args(argv)
-    if not any((args.metrics, args.manifest, args.runs, args.events, args.windows)):
+    if not any(
+        (args.metrics, args.manifest, args.runs, args.events, args.windows, args.model)
+    ):
         parser.error(
             "nothing to validate: pass --metrics, --manifest, --events, "
-            "--windows and/or --runs"
+            "--windows, --model and/or --runs"
         )
     if (args.rebuild_index or args.query_index) and not args.runs:
         parser.error("--rebuild-index/--query-index need --runs")
@@ -737,6 +755,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.windows:
         windows_payload = json.loads(Path(args.windows).read_text(encoding="utf-8"))
         errors.extend(validate_windows(windows_payload, manifest=manifest_payload))
+    if args.model:
+        from repro.serve.model import validate_model
+
+        model_path = Path(args.model)
+        if not model_path.is_file():
+            errors.append(f"model: {model_path} does not exist")
+        else:
+            model_payload = json.loads(model_path.read_text(encoding="utf-8"))
+            errors.extend(validate_model(model_payload))
     if args.runs:
         if args.rebuild_index:
             from repro.obs.history import RunStore
@@ -758,7 +785,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not errors:
         checked = [
             p
-            for p in (args.metrics, args.manifest, args.events, args.windows, args.runs)
+            for p in (
+                args.metrics,
+                args.manifest,
+                args.events,
+                args.windows,
+                args.model,
+                args.runs,
+            )
             if p
         ]
         print(f"ok: {', '.join(checked)} conform to the documented schema")

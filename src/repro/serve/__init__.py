@@ -1,0 +1,10 @@
+"""Classification serving: persisted model artifacts + the hot path.
+
+The training side of the repo ends at a :class:`ScenarioRun`; this
+package is the serving side.  :mod:`repro.serve.model` freezes a run's
+E/P/M landscape into a content-addressed JSON artifact, and
+:mod:`repro.serve.classifier` loads one and classifies new events
+against it through the compiled
+:class:`~repro.core.pattern_index.PatternIndex` — without rebuilding
+the scenario.
+"""

@@ -1,0 +1,164 @@
+"""The serving hot path: classify new events against a loaded model.
+
+:class:`ServingClassifier` wraps a :class:`~repro.serve.model.ModelArtifact`
+with one compiled :class:`~repro.core.pattern_index.PatternIndex` per
+E/P/M dimension.  Single events go through the index's branch-and-bound
+lookup (with the own-mask O(1) shortcut in front, exactly like
+training-time classification); batches are transposed into per-dimension
+code matrices and pushed through the masked-grouping batch kernel.
+Both paths return the same pattern the linear scan would.
+
+Instrumentation rides the ambient observability seams — the
+``classify.requests`` / ``classify.batch_rows`` counters and the
+``classify.latency`` quantile sketch on the active metrics registry,
+``classify.start`` / ``classify.finish`` events on the active bus — so
+serving runs are validated by the same ``repro obs validate``
+catalogue as scenario runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.features import Dimension, default_feature_sets
+from repro.core.pattern_index import PatternIndex
+from repro.core.patterns import Pattern, format_pattern, mask_instance
+from repro.egpm.columnar import Vocabulary
+from repro.egpm.events import AttackEvent
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.serve.model import ModelArtifact, encode_pattern
+
+
+@dataclass(frozen=True)
+class Classification:
+    """One event's assignment in one dimension."""
+
+    dimension: Dimension
+    pattern: Pattern
+    cluster: int | None
+    rendered: str
+
+    def as_dict(self) -> dict:
+        """JSONL-friendly form (tagged pattern encoding)."""
+        return {
+            "dimension": self.dimension.value,
+            "pattern": encode_pattern(self.pattern),
+            "cluster": self.cluster,
+            "rendered": self.rendered,
+        }
+
+
+class ServingClassifier:
+    """A model compiled and ready to classify events."""
+
+    def __init__(self, model: ModelArtifact) -> None:
+        self.model = model
+        self.feature_sets = default_feature_sets()
+        self._indexes: dict[Dimension, PatternIndex] = {}
+        for dimension in Dimension:
+            self._indexes[dimension] = PatternIndex.compile(
+                model.pattern_set(dimension), model.invariants(dimension)
+            )
+
+    def index(self, dimension: Dimension) -> PatternIndex:
+        """The compiled index of one dimension."""
+        return self._indexes[dimension]
+
+    def _classification(self, dimension: Dimension, pattern: Pattern) -> Classification:
+        return Classification(
+            dimension=dimension,
+            pattern=pattern,
+            cluster=self.model.cluster_of_pattern(dimension, pattern),
+            rendered=format_pattern(pattern, self.model.feature_names(dimension)),
+        )
+
+    def classify_values(
+        self, dimension: Dimension, values: Sequence[Hashable]
+    ) -> Classification:
+        """Classify one raw feature tuple in one dimension."""
+        registry = obs_metrics.active()
+        started = time.perf_counter()
+        invariants = self.model.invariants(dimension)
+        pattern_set = self.model.pattern_set(dimension)
+        masked = mask_instance(values, invariants)
+        if masked in pattern_set:
+            pattern = masked
+        else:
+            pattern = self._indexes[dimension].classify(values)
+        registry.counter("classify.requests", dimension=dimension.value).inc()
+        registry.sketch("classify.latency").observe(time.perf_counter() - started)
+        return self._classification(dimension, pattern)
+
+    def classify_event(self, event: AttackEvent) -> dict[str, Classification]:
+        """Classify one event in every dimension that applies to it."""
+        results: dict[str, Classification] = {}
+        for dimension, feature_set in self.feature_sets.items():
+            if not feature_set.applies_to(event):
+                continue
+            values = feature_set.extract(event)
+            results[dimension.value] = self.classify_values(dimension, values)
+        return results
+
+    def classify_events(
+        self, events: Sequence[AttackEvent]
+    ) -> list[dict[str, Classification]]:
+        """Batch path: per-dimension columnar transpose + batch kernel.
+
+        Returns one ``{dimension: Classification}`` map per input
+        event, in input order — element-for-element identical to
+        calling :meth:`classify_event` on each event.
+        """
+        registry = obs_metrics.active()
+        bus = obs_events.active_bus()
+        started = time.perf_counter()
+        bus.emit(
+            "classify.start",
+            model=self.model.model_id,
+            events=len(events),
+            mode="batch",
+        )
+        results: list[dict[str, Classification]] = [{} for _ in events]
+        for dimension, feature_set in self.feature_sets.items():
+            rows: list[int] = []
+            vocabularies = [Vocabulary() for _ in feature_set.names]
+            codes_rows: list[list[int]] = []
+            for position, event in enumerate(events):
+                if not feature_set.applies_to(event):
+                    continue
+                values = feature_set.extract(event)
+                rows.append(position)
+                codes_rows.append(
+                    [
+                        vocab.intern(value)
+                        for vocab, value in zip(vocabularies, values)
+                    ]
+                )
+            if not rows:
+                continue
+            codes = np.array(codes_rows, dtype=np.int64)
+            index = self._indexes[dimension]
+            ranks = index.batch_classify(codes, vocabularies)
+            registry.counter(
+                "classify.batch_rows", dimension=dimension.value
+            ).inc(len(rows))
+            registry.counter(
+                "classify.requests", dimension=dimension.value
+            ).inc(len(rows))
+            for position, rank in zip(rows, ranks.tolist()):
+                results[position][dimension.value] = self._classification(
+                    dimension, index.pattern_of(rank)
+                )
+        seconds = time.perf_counter() - started
+        registry.sketch("classify.latency").observe(seconds)
+        bus.emit(
+            "classify.finish",
+            model=self.model.model_id,
+            events=len(events),
+            seconds=round(seconds, 6),
+        )
+        return results

@@ -1,0 +1,356 @@
+"""The persisted model artifact: a landscape frozen for serving.
+
+A *model* is everything phase-4 classification needs, detached from
+the scenario that trained it: per-dimension pattern sets (with their
+discovery-time support — the tie-break key), invariant value sets,
+training vocabularies, the behavioural-clustering LSH shape, and the
+provenance pointers (scenario fingerprint + run-store run id) that say
+exactly which run it came from.
+
+The artifact is **schema-versioned** and **content-addressed**: the
+``model_id`` is the first 16 hex digits of the canonical digest of the
+payload with the volatile fields (``model_id`` itself, ``created_at``)
+removed, the same convention the run store uses for run ids.  Two
+exports of the same landscape therefore agree on ``model_id``
+byte-for-byte, and ``repro obs validate --model`` recomputes the
+digest to catch tampered or hand-edited artifacts.
+
+Feature values are JSON-encoded through a small tagged scheme —
+``{"*": true}`` for the wildcard, ``{"t": [...]}`` for tuples (PE
+section names, imported DLLs), plain JSON for everything else — so a
+load/save round trip reproduces the exact Python values pattern
+matching compares against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable, Mapping
+
+from repro.core.features import Dimension
+from repro.core.invariants import InvariantStats
+from repro.core.patterns import WILDCARD, Pattern, PatternSet, specificity
+from repro.util.canonical import canonical_digest
+from repro.util.clock import timestamp
+from repro.util.validation import require
+
+#: Model artifact schema version (bump on layout changes).
+MODEL_SCHEMA = 1
+
+#: Marker distinguishing model JSON from manifests and bench records.
+MODEL_KIND = "repro-model"
+
+#: Hex digits of the content digest kept as the model id (matches the
+#: run store's run-id convention).
+MODEL_ID_LENGTH = 16
+
+#: Fields excluded from the content address (everything else gates it).
+VOLATILE_FIELDS = ("model_id", "created_at")
+
+
+def encode_value(value: Hashable) -> object:
+    """One feature value (or :data:`WILDCARD`) as tagged JSON."""
+    if value is WILDCARD:
+        return {"*": True}
+    if isinstance(value, tuple):
+        return {"t": [encode_value(item) for item in value]}
+    require(
+        value is None or isinstance(value, (str, int, float, bool)),
+        f"cannot encode feature value of type {type(value).__name__}",
+    )
+    return value
+
+
+def decode_value(payload: object) -> Hashable:
+    """Invert :func:`encode_value` exactly."""
+    if isinstance(payload, Mapping):
+        if payload.get("*") is True:
+            return WILDCARD
+        if "t" in payload:
+            return tuple(decode_value(item) for item in payload["t"])
+        raise ValueError(f"unknown tagged value {payload!r}")
+    require(
+        payload is None or isinstance(payload, (str, int, float, bool)),
+        f"cannot decode feature value {payload!r}",
+    )
+    return payload
+
+
+def encode_pattern(pattern: Pattern) -> list:
+    """A pattern as a list of tagged values."""
+    return [encode_value(value) for value in pattern]
+
+
+def decode_pattern(payload: list) -> Pattern:
+    """Invert :func:`encode_pattern`."""
+    return tuple(decode_value(value) for value in payload)
+
+
+def _dimension_payload(clustering, columns) -> dict:
+    """One dimension's model section from its ``DimensionClustering``."""
+    pattern_set: PatternSet = clustering.pattern_set
+    invariants: InvariantStats = clustering.invariants
+    patterns = []
+    for pattern in pattern_set.patterns:
+        patterns.append(
+            {
+                "pattern": encode_pattern(pattern),
+                "support": pattern_set.support_of(pattern),
+                "cluster": clustering.cluster_of_pattern(pattern),
+            }
+        )
+    return {
+        "feature_names": list(clustering.feature_names),
+        "invariants": [
+            sorted((encode_value(v) for v in values), key=repr)
+            for values in invariants.invariants
+        ],
+        "invariant_support": [
+            sorted(
+                ([encode_value(v), count] for v, count in support.items()),
+                key=repr,
+            )
+            for support in invariants.support
+        ],
+        "patterns": patterns,
+        # Training-time per-feature vocabularies in code order: the
+        # provenance record of every value the landscape actually saw
+        # (the serving batch kernel interns its *own* vocabularies from
+        # incoming events, so these are for audit, not lookup).
+        "vocabularies": [
+            [encode_value(v) for v in vocab.values()]
+            for vocab in columns.vocabularies
+        ],
+    }
+
+
+def model_content_id(payload: Mapping) -> str:
+    """Content address of a model payload (volatile fields excluded).
+
+    ``provenance.run_id`` is a *pointer* into one run store, not model
+    content — the same landscape exported directly and via ``--run``
+    must agree on ``model_id`` — so it is normalized out too.
+    """
+    stable = {k: v for k, v in payload.items() if k not in VOLATILE_FIELDS}
+    provenance = stable.get("provenance")
+    if isinstance(provenance, Mapping):
+        stable["provenance"] = {
+            k: v for k, v in provenance.items() if k != "run_id"
+        }
+    return canonical_digest(stable)[:MODEL_ID_LENGTH]
+
+
+def build_model_payload(run, *, run_id: str | None = None) -> dict:
+    """Freeze a finished :class:`ScenarioRun` into the model payload.
+
+    ``run_id`` is the run-store id when the landscape came from a
+    stored run (``repro model export --run``); ``None`` marks a direct
+    export.  The scenario must have been run with a manifest (the CLI
+    always does) so the provenance fingerprint is available.
+    """
+    require(run.manifest is not None, "model export needs a run manifest")
+    config = run.config
+    clustering = config.clustering
+    columnar = run.dataset.to_columnar()
+    payload = {
+        "schema": MODEL_SCHEMA,
+        "kind": MODEL_KIND,
+        "created_at": timestamp(),
+        "provenance": {
+            "fingerprint": run.manifest.fingerprint,
+            "run_id": run_id,
+            "seed": run.seed,
+            "weeks": config.n_weeks,
+            "scale": config.scale,
+        },
+        "policy": {
+            "min_instances": config.invariant_policy.min_instances,
+            "min_sources": config.invariant_policy.min_sources,
+            "min_sensors": config.invariant_policy.min_sensors,
+        },
+        "clustering": {
+            "threshold": clustering.threshold,
+            "bands": clustering.bands,
+            "rows": clustering.rows,
+            "minhash_seed": clustering.minhash_seed,
+        },
+        "dimensions": {
+            dimension.value: _dimension_payload(
+                run.epm.dimensions[dimension], columnar.dimensions[dimension]
+            )
+            for dimension in Dimension
+        },
+    }
+    payload["model_id"] = model_content_id(payload)
+    return payload
+
+
+def validate_model(payload: Mapping) -> list[str]:
+    """Structural + content-address errors; empty list means valid.
+
+    Checks: schema/kind markers, the recomputed ``model_id``, per
+    dimension the pattern arity against ``feature_names``, integer
+    support, the all-wildcard root pattern (classification totality),
+    and mask-consistency — every non-wildcard pattern value must be in
+    its feature's invariant set, the precondition of the batch kernel.
+    """
+    errors: list[str] = []
+    if payload.get("schema") != MODEL_SCHEMA:
+        errors.append(
+            f"model: schema is {payload.get('schema')!r}, expected {MODEL_SCHEMA}"
+        )
+    if payload.get("kind") != MODEL_KIND:
+        errors.append(f"model: kind is {payload.get('kind')!r}, not {MODEL_KIND!r}")
+    recomputed = model_content_id(payload)
+    if payload.get("model_id") != recomputed:
+        errors.append(
+            f"model: model_id {payload.get('model_id')!r} does not match "
+            f"the content digest {recomputed!r}"
+        )
+    provenance = payload.get("provenance")
+    if not isinstance(provenance, Mapping) or not provenance.get("fingerprint"):
+        errors.append("model: provenance.fingerprint missing")
+    dimensions = payload.get("dimensions")
+    if not isinstance(dimensions, Mapping):
+        return errors + ["model: dimensions section missing"]
+    for dimension in Dimension:
+        section = dimensions.get(dimension.value)
+        if not isinstance(section, Mapping):
+            errors.append(f"model: dimension {dimension.value!r} missing")
+            continue
+        label = f"model: dimension {dimension.value!r}"
+        names = section.get("feature_names")
+        if not isinstance(names, list) or not names:
+            errors.append(f"{label}: feature_names missing")
+            continue
+        invariant_lists = section.get("invariants")
+        if not isinstance(invariant_lists, list) or len(invariant_lists) != len(names):
+            errors.append(f"{label}: needs one invariant list per feature")
+            continue
+        try:
+            invariant_sets = [
+                {decode_value(v) for v in values} for values in invariant_lists
+            ]
+        except Exception as exc:  # noqa: BLE001 - collect, do not raise
+            errors.append(f"{label}: undecodable invariant value ({exc})")
+            continue
+        patterns = section.get("patterns")
+        if not isinstance(patterns, list) or not patterns:
+            errors.append(f"{label}: patterns missing")
+            continue
+        saw_root = False
+        for index, entry in enumerate(patterns):
+            if not isinstance(entry, Mapping):
+                errors.append(f"{label}: pattern {index} is not a mapping")
+                continue
+            try:
+                pattern = decode_pattern(entry.get("pattern", []))
+            except Exception as exc:  # noqa: BLE001 - collect, do not raise
+                errors.append(f"{label}: pattern {index} undecodable ({exc})")
+                continue
+            if len(pattern) != len(names):
+                errors.append(
+                    f"{label}: pattern {index} arity {len(pattern)} != "
+                    f"{len(names)} features"
+                )
+                continue
+            if specificity(pattern) == 0:
+                saw_root = True
+            support = entry.get("support")
+            if not isinstance(support, int) or isinstance(support, bool):
+                errors.append(f"{label}: pattern {index} support not an integer")
+            for feature, value in enumerate(pattern):
+                if value is not WILDCARD and value not in invariant_sets[feature]:
+                    errors.append(
+                        f"{label}: pattern {index} value at feature "
+                        f"{names[feature]!r} is not invariant "
+                        "(mask-consistency violated)"
+                    )
+        if not saw_root:
+            errors.append(
+                f"{label}: no all-wildcard root pattern — classification "
+                "would not be total"
+            )
+    return errors
+
+
+class ModelArtifact:
+    """A loaded model: payload plus decoded per-dimension structures."""
+
+    def __init__(self, payload: Mapping) -> None:
+        errors = validate_model(payload)
+        require(not errors, "invalid model artifact: " + "; ".join(errors[:3]))
+        self.payload = dict(payload)
+        self._pattern_sets: dict[Dimension, PatternSet] = {}
+        self._invariants: dict[Dimension, InvariantStats] = {}
+        self._clusters: dict[Dimension, dict[Pattern, int]] = {}
+        for dimension in Dimension:
+            section = payload["dimensions"][dimension.value]
+            supports: dict[Pattern, int] = {}
+            clusters: dict[Pattern, int] = {}
+            for entry in section["patterns"]:
+                pattern = decode_pattern(entry["pattern"])
+                supports[pattern] = entry["support"]
+                if entry.get("cluster") is not None:
+                    clusters[pattern] = int(entry["cluster"])
+            self._pattern_sets[dimension] = PatternSet(supports)
+            self._invariants[dimension] = InvariantStats(
+                feature_names=list(section["feature_names"]),
+                invariants=[
+                    {decode_value(v) for v in values}
+                    for values in section["invariants"]
+                ],
+                support=[
+                    {decode_value(v): count for v, count in pairs}
+                    for pairs in section.get("invariant_support", [])
+                ]
+                or [dict() for _ in section["feature_names"]],
+            )
+            self._clusters[dimension] = clusters
+
+    @classmethod
+    def from_run(cls, run, *, run_id: str | None = None) -> "ModelArtifact":
+        """Export a finished scenario run as a model artifact."""
+        return cls(build_model_payload(run, run_id=run_id))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ModelArtifact":
+        """Load and validate a model JSON file."""
+        return cls(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact as deterministic, key-sorted JSON."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @property
+    def model_id(self) -> str:
+        """The content address (16 hex digits)."""
+        return self.payload["model_id"]
+
+    @property
+    def fingerprint(self) -> str:
+        """The training scenario's semantic config fingerprint."""
+        return self.payload["provenance"]["fingerprint"]
+
+    def pattern_set(self, dimension: Dimension) -> PatternSet:
+        """The dimension's pattern set, ready for classification."""
+        return self._pattern_sets[dimension]
+
+    def invariants(self, dimension: Dimension) -> InvariantStats:
+        """The dimension's invariant stats."""
+        return self._invariants[dimension]
+
+    def feature_names(self, dimension: Dimension) -> list[str]:
+        """The dimension's feature names, in extraction order."""
+        return self._invariants[dimension].feature_names
+
+    def cluster_of_pattern(self, dimension: Dimension, pattern: Pattern) -> int | None:
+        """Training-time cluster id of ``pattern``, if it had instances."""
+        return self._clusters[dimension].get(pattern)

@@ -1,0 +1,166 @@
+"""Tests for the compiled pattern index (trie + batch kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pattern_index import PatternIndex
+from repro.core.patterns import WILDCARD, PatternSet
+from repro.egpm.columnar import Vocabulary
+from repro.util.validation import ValidationError
+
+from .test_patterns import build_invariants
+
+
+def discover(instances, n_features, **kwargs):
+    invariants = build_invariants(instances, n_features)
+    return PatternSet.discover(instances, invariants, **kwargs), invariants
+
+
+def intern_workload(workload, n_features):
+    """Columnar code matrix + vocabularies for a batch of raw tuples."""
+    vocabularies = [Vocabulary() for _ in range(n_features)]
+    codes = np.array(
+        [
+            [vocab.intern(value) for vocab, value in zip(vocabularies, values)]
+            for values in workload
+        ],
+        dtype=np.int64,
+    )
+    return codes, vocabularies
+
+
+class TestCompile:
+    def test_compiles_every_pattern(self):
+        patterns, invariants = discover([("a", "x")] * 3 + [("b", "y")] * 3, 2)
+        index = PatternIndex.compile(patterns, invariants)
+        assert len(index) == len(patterns)
+        assert index.patterns == patterns.patterns
+
+    def test_mask_consistent_for_discovered_sets(self):
+        patterns, invariants = discover([("a", "x")] * 5, 2)
+        assert PatternIndex.compile(patterns, invariants).mask_consistent
+
+    def test_hand_built_set_can_be_inconsistent(self):
+        # "q" is no invariant value, so masked lookups must not be
+        # trusted and the index says so.
+        _, invariants = discover([("a", "x")] * 5, 2)
+        hand = PatternSet({("q", WILDCARD): 1, (WILDCARD, WILDCARD): 1})
+        assert not PatternIndex.compile(hand, invariants).mask_consistent
+
+    def test_arity_mismatch_rejected(self):
+        patterns, _ = discover([("a", "x")] * 3, 2)
+        _, invariants3 = discover([("a", "x", "y")] * 3, 3)
+        with pytest.raises(ValidationError):
+            PatternIndex.compile(patterns, invariants3)
+
+    def test_pattern_of_is_rank_order(self):
+        patterns, invariants = discover(
+            [("a", "x")] * 3 + [(f"r{i}", "x") for i in range(3)], 2
+        )
+        index = PatternIndex.compile(patterns, invariants)
+        for rank, pattern in enumerate(patterns.patterns):
+            assert index.pattern_of(rank) == pattern
+
+
+class TestClassify:
+    def test_matches_linear_scan_on_paper_example(self):
+        instances = [(f"u{i}", 2, 3) for i in range(4)] + [
+            (f"w{i}", f"x{i}", 3) for i in range(4)
+        ]
+        patterns, invariants = discover(instances, 3)
+        index = PatternIndex.compile(patterns, invariants)
+        for probe in instances + [("u9", 2, 3), ("novel", "novel", 3)]:
+            assert index.classify(probe) == patterns.scan_classify(probe)
+
+    def test_most_specific_wins_over_shared_prefix(self):
+        # (a, x) and (a, *) share the concrete 'a' edge; the trie must
+        # come back with the deeper (more specific) leaf.
+        instances = [("a", "x")] * 3 + [("a", f"r{i}") for i in range(3)]
+        patterns, invariants = discover(instances, 2)
+        index = PatternIndex.compile(patterns, invariants)
+        assert ("a", "x") in patterns
+        assert index.classify(("a", "x")) == ("a", "x")
+        assert index.classify(("a", "zz")) == ("a", WILDCARD)
+
+    def test_falls_back_to_root(self):
+        patterns, invariants = discover([("a", "x")] * 5, 2)
+        index = PatternIndex.compile(patterns, invariants)
+        assert index.classify(("q1", "q2")) == (WILDCARD, WILDCARD)
+
+    def test_all_wildcard_only_set(self):
+        patterns, invariants = discover([("a", "x")] * 5, 2)
+        root_only = PatternSet({(WILDCARD, WILDCARD): 5})
+        index = PatternIndex.compile(root_only, invariants)
+        assert index.classify(("anything", "at all")) == (WILDCARD, WILDCARD)
+
+    def test_no_match_raises_without_root(self):
+        _, invariants = discover([("a", "x")] * 5, 2)
+        rootless = PatternSet({("a", "x"): 5})
+        index = PatternIndex.compile(rootless, invariants)
+        with pytest.raises(ValidationError):
+            index.classify(("b", "y"))
+
+    def test_arity_checked(self):
+        patterns, invariants = discover([("a", "x")] * 3, 2)
+        index = PatternIndex.compile(patterns, invariants)
+        with pytest.raises(ValidationError):
+            index.classify(("a", "x", "extra"))
+
+    def test_equal_specificity_tie_breaks_like_scan(self):
+        # (a, *) and (*, x) both match (a, x) at specificity 1; the
+        # ranked order (support desc, then repr) decides, and the trie
+        # must land on the same winner as the scan.
+        _, invariants = discover([("a", "x")] * 5, 2)
+        for supports in [(3, 2), (2, 3), (2, 2)]:
+            tie = PatternSet(
+                {
+                    ("a", WILDCARD): supports[0],
+                    (WILDCARD, "x"): supports[1],
+                    (WILDCARD, WILDCARD): 1,
+                }
+            )
+            index = PatternIndex.compile(tie, invariants)
+            assert index.classify(("a", "x")) == tie.scan_classify(("a", "x"))
+
+
+class TestBatchClassify:
+    def test_matches_scalar_paths(self):
+        instances = [("a", "x")] * 4 + [("b", "x")] * 3 + [(f"r{i}", "y") for i in range(4)]
+        patterns, invariants = discover(instances, 2)
+        index = PatternIndex.compile(patterns, invariants)
+        workload = instances + [("novel", "x"), ("novel", "novel")]
+        codes, vocabularies = intern_workload(workload, 2)
+        ranks = index.batch_classify(codes, vocabularies)
+        assert ranks.shape == (len(workload),)
+        for values, rank in zip(workload, ranks.tolist()):
+            assert index.pattern_of(rank) == patterns.scan_classify(values)
+
+    def test_empty_batch(self):
+        patterns, invariants = discover([("a", "x")] * 3, 2)
+        index = PatternIndex.compile(patterns, invariants)
+        codes, vocabularies = intern_workload([], 2)
+        ranks = index.batch_classify(codes.reshape(0, 2), vocabularies)
+        assert ranks.shape == (0,)
+
+    def test_non_mask_consistent_set_uses_raw_rows(self):
+        # The hand-built pattern pins a non-invariant value, so the
+        # masked grouping cannot be trusted; the kernel must still
+        # agree with the linear scan via its raw-row fallback.
+        _, invariants = discover([("a", "x")] * 5, 2)
+        hand = PatternSet(
+            {("q", WILDCARD): 2, ("a", "x"): 3, (WILDCARD, WILDCARD): 1}
+        )
+        index = PatternIndex.compile(hand, invariants)
+        assert not index.mask_consistent
+        workload = [("q", "x"), ("a", "x"), ("zz", "zz"), ("q", "anything")]
+        codes, vocabularies = intern_workload(workload, 2)
+        ranks = index.batch_classify(codes, vocabularies)
+        for values, rank in zip(workload, ranks.tolist()):
+            assert index.pattern_of(rank) == hand.scan_classify(values)
+
+    def test_wrong_column_count_rejected(self):
+        patterns, invariants = discover([("a", "x")] * 3, 2)
+        index = PatternIndex.compile(patterns, invariants)
+        codes, vocabularies = intern_workload([("a", "x", "y")], 3)
+        with pytest.raises(ValidationError):
+            index.batch_classify(codes, vocabularies)

@@ -153,3 +153,130 @@ class TestClassification:
         patterns = PatternSet.discover(instances, invariants)
         ranks = [specificity(p) for p in patterns.patterns]
         assert ranks == sorted(ranks, reverse=True)
+
+
+class TestScanCache:
+    """The bounded LRU memo over linear-scan results (serving hot path)."""
+
+    def _novel_probe_set(self):
+        # Invariants that keep every probe value, paired with a
+        # hand-built set missing the probes' masks — so classify()
+        # must scan (and may memoize) rather than take the own-mask
+        # shortcut (a fully-novel probe would mask to the root, which
+        # is always present).
+        instances = [("a", "x")] * 4 + [
+            ("a", value) for value in ("zz", "zz", "zz2", "zz2")
+        ]
+        invariants = build_invariants(instances, 2)
+        patterns = PatternSet(
+            {("a", "x"): 4, ("a", WILDCARD): 4, (WILDCARD, WILDCARD): 0}
+        )
+        return patterns, invariants
+
+    def test_cached_result_bit_identical(self):
+        patterns, invariants = self._novel_probe_set()
+        probe = ("a", "zz")
+        first = patterns.classify(probe, invariants)
+        second = patterns.classify(probe, invariants)
+        assert first == second == patterns.scan_classify(probe)
+
+    def test_hit_and_miss_counters(self):
+        from repro.obs import metrics as obs_metrics
+
+        patterns, invariants = self._novel_probe_set()
+        registry = obs_metrics.MetricsRegistry()
+        with obs_metrics.use(registry):
+            patterns.classify(("a", "zz"), invariants)
+            patterns.classify(("a", "zz"), invariants)
+            patterns.classify(("a", "zz2"), invariants)
+        snapshot = registry.snapshot().as_dict()
+        assert snapshot["counters"]["classify.scan_cache_miss"] == 2
+        assert snapshot["counters"]["classify.scan_cache_hit"] == 1
+
+    def test_own_mask_fast_path_skips_cache(self):
+        from repro.obs import metrics as obs_metrics
+
+        patterns, invariants = self._novel_probe_set()
+        registry = obs_metrics.MetricsRegistry()
+        with obs_metrics.use(registry):
+            assert patterns.classify(("a", "x"), invariants) == ("a", "x")
+        assert registry.snapshot().as_dict()["counters"] == {}
+
+    def test_eviction_keeps_answers_correct(self):
+        # Every zN value is invariant (seen twice) so each probe masks
+        # to a distinct absent tuple and lands in the memo.
+        instances = [("a", "x")] * 6 + [
+            ("a", f"z{i}") for i in range(5) for _ in range(2)
+        ]
+        invariants = build_invariants(instances, 2)
+        patterns = PatternSet(
+            {("a", "x"): 6, ("a", WILDCARD): 3, (WILDCARD, WILDCARD): 0},
+            scan_cache_size=2,
+        )
+        probes = [("a", f"z{i}") for i in range(5)]
+        for _ in range(2):
+            for probe in probes:
+                assert patterns.classify(probe, invariants) == ("a", WILDCARD)
+        assert len(patterns._scan_cache) == 2
+
+    def test_zero_size_disables_memo(self):
+        from repro.obs import metrics as obs_metrics
+
+        patterns = PatternSet(
+            {("a", WILDCARD): 3, (WILDCARD, WILDCARD): 0}, scan_cache_size=0
+        )
+        instances = [("a", "x")] * 6 + [("q", "q")] * 2
+        invariants = build_invariants(instances, 2)
+        registry = obs_metrics.MetricsRegistry()
+        with obs_metrics.use(registry):
+            patterns.classify(("q", "q"), invariants)
+            patterns.classify(("q", "q"), invariants)
+        snapshot = registry.snapshot().as_dict()
+        assert snapshot["counters"]["classify.scan_cache_miss"] == 2
+        assert "classify.scan_cache_hit" not in snapshot["counters"]
+        assert len(patterns._scan_cache) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            PatternSet({(WILDCARD,): 1}, scan_cache_size=-1)
+
+
+class TestTieBreaking:
+    def test_equal_specificity_support_wins(self):
+        # (a, *) and (*, x) both match (a, x); higher support ranks first.
+        instances = [("a", "x")] * 4
+        invariants = build_invariants(instances, 2)
+        tie = PatternSet(
+            {("a", WILDCARD): 5, (WILDCARD, "x"): 2, (WILDCARD, WILDCARD): 0}
+        )
+        assert tie.scan_classify(("a", "x")) == ("a", WILDCARD)
+        flipped = PatternSet(
+            {("a", WILDCARD): 2, (WILDCARD, "x"): 5, (WILDCARD, WILDCARD): 0}
+        )
+        assert flipped.scan_classify(("a", "x")) == (WILDCARD, "x")
+        assert tie.classify(("a", "x"), invariants) == ("a", WILDCARD)
+
+    def test_equal_specificity_equal_support_repr_decides(self):
+        instances = [("a", "x")] * 4
+        invariants = build_invariants(instances, 2)
+        tie = PatternSet(
+            {("a", WILDCARD): 3, (WILDCARD, "x"): 3, (WILDCARD, WILDCARD): 0}
+        )
+        # Deterministic either way: repr ascending breaks the dead heat.
+        expected = min(("a", WILDCARD), (WILDCARD, "x"), key=repr)
+        assert tie.scan_classify(("a", "x")) == expected
+        assert tie.classify(("a", "x"), invariants) == expected
+
+    def test_all_wildcard_only_set_total(self):
+        instances = [("a", "x")] * 4
+        invariants = build_invariants(instances, 2)
+        root_only = PatternSet({(WILDCARD, WILDCARD): 4})
+        assert root_only.classify(("q1", "q2"), invariants) == (
+            WILDCARD,
+            WILDCARD,
+        )
+
+    def test_scan_arity_mismatch_never_matches(self):
+        rootless = PatternSet({("a", "x"): 2})
+        with pytest.raises(ValueError):
+            rootless.scan_classify(("a", "x", "extra"))

@@ -624,3 +624,151 @@ class TestLongitudinalCli:
         query_index.write_text(json.dumps(payload), encoding="utf-8")
         assert main(["obs", "validate", "--query-index"]) == 1
         assert "does not match" in capsys.readouterr().err
+
+
+class TestServingCli:
+    """repro model export + repro classify: the serving round trip."""
+
+    @pytest.fixture()
+    def store_dir(self, tmp_path, monkeypatch):
+        runs = tmp_path / "runs"
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(runs))
+        monkeypatch.setenv("REPRO_FIXED_TIME", "2026-08-06T00:00:00Z")
+        return runs
+
+    def _export(self, tmp_path, *extra):
+        target = tmp_path / "model.json"
+        assert main(["model", "export", *COMMON, "--out", str(target), *extra]) == 0
+        return target
+
+    def test_export_writes_a_valid_artifact(self, capsys, tmp_path):
+        from repro.serve.model import ModelArtifact, validate_model
+        import json
+
+        target = self._export(tmp_path)
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert validate_model(payload) == []
+        assert ModelArtifact.load(target).model_id == payload["model_id"]
+        assert payload["model_id"] in capsys.readouterr().out
+
+    def test_export_from_stored_run_agrees_on_model_id(
+        self, capsys, tmp_path, store_dir
+    ):
+        import json
+
+        direct = self._export(tmp_path)
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        from repro.obs.history import RunStore
+
+        (entry,) = RunStore(store_dir).entries()
+        capsys.readouterr()
+        stored_target = tmp_path / "stored_model.json"
+        assert (
+            main(
+                [
+                    "model",
+                    "export",
+                    "--run",
+                    entry["run_id"],
+                    "--out",
+                    str(stored_target),
+                ]
+            )
+            == 0
+        )
+        direct_payload = json.loads(direct.read_text(encoding="utf-8"))
+        stored_payload = json.loads(stored_target.read_text(encoding="utf-8"))
+        assert direct_payload["model_id"] == stored_payload["model_id"]
+        assert stored_payload["provenance"]["run_id"] == entry["run_id"]
+
+    def test_export_store_then_classify_by_run_prefix(
+        self, capsys, tmp_path, store_dir
+    ):
+        import json
+
+        assert main(["headline", *COMMON, "--store-run"]) == 0
+        from repro.obs.history import RunStore
+
+        (entry,) = RunStore(store_dir).entries()
+        run_id = entry["run_id"]
+        assert (
+            main(["model", "export", "--run", run_id, "--store", "--out",
+                  str(tmp_path / "m.json")])
+            == 0
+        )
+        siblings = list(store_dir.glob(f"*/{run_id}.model.json"))
+        assert len(siblings) == 1
+        events = tmp_path / "batch.jsonl"
+        assert main(["run", *COMMON, "--out", str(events)]) == 0
+        capsys.readouterr()
+        out_file = tmp_path / "classified.jsonl"
+        assert (
+            main(
+                [
+                    "classify",
+                    "--model",
+                    run_id[:6],
+                    "--batch",
+                    str(events),
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        lines = out_file.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == len(events.read_text(encoding="utf-8").splitlines())
+        first = json.loads(lines[0])
+        assert set(first["classifications"]) <= {"epsilon", "pi", "mu"}
+
+    def test_classify_single_event_inline(self, capsys, tmp_path):
+        import json
+
+        target = self._export(tmp_path)
+        events = tmp_path / "events.jsonl"
+        assert main(["run", *COMMON, "--out", str(events)]) == 0
+        event_json = events.read_text(encoding="utf-8").splitlines()[0]
+        metrics_file = tmp_path / "metrics.json"
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "classify",
+                    "--model",
+                    str(target),
+                    "--event",
+                    event_json,
+                    "--metrics-out",
+                    str(metrics_file),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "epsilon" in out or "pi" in out or "mu" in out
+        from repro.obs.validate import validate_metrics
+
+        snapshot = json.loads(metrics_file.read_text(encoding="utf-8"))
+        assert validate_metrics(snapshot) == []
+        counters = snapshot["counters"]
+        assert any(key.startswith("classify.requests") for key in counters)
+
+    def test_classify_needs_exactly_one_input(self, tmp_path, capsys):
+        target = self._export(tmp_path)
+        capsys.readouterr()
+        assert main(["classify", "--model", str(target)]) == 2
+        assert (
+            main(
+                ["classify", "--model", str(target), "--event", "{}",
+                 "--batch", "x.jsonl"]
+            )
+            == 2
+        )
+
+    def test_classify_missing_model_fails_cleanly(self, tmp_path, store_dir, capsys):
+        assert (
+            main(["classify", "--model", str(tmp_path / "nope.json"),
+                  "--event", "{}"])
+            == 1
+        )
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,111 @@
+"""Tests for the serving classifier (single, batch, instrumentation)."""
+
+import pytest
+
+from repro.core.features import Dimension, default_feature_sets
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs.events import EventBus
+from repro.serve.classifier import ServingClassifier
+from repro.serve.model import ModelArtifact
+
+
+@pytest.fixture(scope="module")
+def artifact(small_run):
+    return ModelArtifact.from_run(small_run)
+
+
+@pytest.fixture(scope="module")
+def classifier(artifact):
+    return ServingClassifier(artifact)
+
+
+@pytest.fixture(scope="module")
+def sample_events(small_run):
+    return small_run.dataset.events[:120]
+
+
+class TestSingle:
+    def test_matches_training_assignment(self, classifier, small_run):
+        # Serving an event the model trained on must land it in the
+        # exact cluster training assigned.
+        feature_sets = default_feature_sets()
+        for event in small_run.dataset.events[:80]:
+            results = classifier.classify_event(event)
+            for dimension in Dimension:
+                if not feature_sets[dimension].applies_to(event):
+                    assert dimension.value not in results
+                    continue
+                clustering = small_run.epm.dimensions[dimension]
+                classification = results[dimension.value]
+                assert classification.cluster == clustering.cluster_of(
+                    event.event_id
+                )
+
+    def test_matches_linear_scan_on_novel_values(self, classifier, artifact):
+        dimension = Dimension.EPSILON
+        names = artifact.feature_names(dimension)
+        probe = tuple(f"__unseen_{name}__" for name in names)
+        classification = classifier.classify_values(dimension, probe)
+        assert classification.pattern == artifact.pattern_set(
+            dimension
+        ).scan_classify(probe)
+
+    def test_rendered_uses_feature_names(self, classifier, artifact, small_run):
+        event = small_run.dataset.events[0]
+        results = classifier.classify_event(event)
+        for dimension in Dimension:
+            if dimension.value not in results:
+                continue
+            rendered = results[dimension.value].rendered
+            assert rendered.startswith("{") and rendered.endswith("}")
+            assert artifact.feature_names(dimension)[0] in rendered
+
+    def test_as_dict_shape(self, classifier, small_run):
+        results = classifier.classify_event(small_run.dataset.events[0])
+        for classification in results.values():
+            payload = classification.as_dict()
+            assert set(payload) == {"dimension", "pattern", "cluster", "rendered"}
+
+
+class TestBatch:
+    def test_batch_equals_single(self, classifier, sample_events):
+        batch = classifier.classify_events(sample_events)
+        assert len(batch) == len(sample_events)
+        for event, result in zip(sample_events, batch):
+            single = classifier.classify_event(event)
+            assert set(result) == set(single)
+            for key in result:
+                assert result[key] == single[key]
+
+    def test_empty_batch(self, classifier):
+        assert classifier.classify_events([]) == []
+
+    def test_metrics_emitted(self, classifier, sample_events):
+        registry = obs_metrics.MetricsRegistry()
+        with obs_metrics.use(registry):
+            classifier.classify_events(sample_events)
+        snapshot = registry.snapshot().as_dict()
+        requests = {
+            key: value
+            for key, value in snapshot["counters"].items()
+            if key.startswith("classify.requests")
+        }
+        assert sum(requests.values()) > 0
+        assert any(
+            key.startswith("classify.batch_rows") for key in snapshot["counters"]
+        )
+        assert snapshot["sketches"]["classify.latency"]["count"] == 1
+
+    def test_events_emitted(self, classifier, sample_events, tmp_path):
+        from repro.obs.events import FileTransport
+
+        stream = tmp_path / "events.jsonl"
+        bus = EventBus([FileTransport(stream)])
+        with obs_events.use_bus(bus):
+            classifier.classify_events(sample_events[:10])
+        bus.close()
+        lines = stream.read_text(encoding="utf-8").splitlines()
+        kinds = [__import__("json").loads(line)["kind"] for line in lines]
+        assert kinds[0] == "classify.start"
+        assert kinds[-1] == "classify.finish"

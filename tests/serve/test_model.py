@@ -1,0 +1,192 @@
+"""Tests for the persisted model artifact (schema, digest, round trip)."""
+
+import json
+
+import pytest
+
+from repro.core.features import Dimension
+from repro.core.patterns import WILDCARD
+from repro.serve.model import (
+    MODEL_ID_LENGTH,
+    MODEL_KIND,
+    MODEL_SCHEMA,
+    ModelArtifact,
+    build_model_payload,
+    decode_pattern,
+    decode_value,
+    encode_pattern,
+    encode_value,
+    model_content_id,
+    validate_model,
+)
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def payload(small_run):
+    return build_model_payload(small_run)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [None, "a", 0, 1.5, True, WILDCARD, ("x", "y"), (WILDCARD,), ()],
+    )
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_wildcard_identity_preserved(self):
+        assert decode_value(encode_value(WILDCARD)) is WILDCARD
+
+    def test_pattern_round_trip(self):
+        pattern = ("tcp", WILDCARD, 445, ("a", "b"))
+        assert decode_pattern(encode_pattern(pattern)) == pattern
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(ValidationError):
+            encode_value({"not": "hashable-scalar"})
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            decode_value({"weird": 1})
+
+
+class TestPayload:
+    def test_markers_and_id_shape(self, payload):
+        assert payload["schema"] == MODEL_SCHEMA
+        assert payload["kind"] == MODEL_KIND
+        assert len(payload["model_id"]) == MODEL_ID_LENGTH
+        assert payload["model_id"] == model_content_id(payload)
+
+    def test_one_section_per_dimension(self, payload):
+        assert set(payload["dimensions"]) == {d.value for d in Dimension}
+
+    def test_validates_clean(self, payload):
+        assert validate_model(payload) == []
+
+    def test_model_id_independent_of_run_id(self, small_run):
+        direct = build_model_payload(small_run)
+        stored = build_model_payload(small_run, run_id="feedfacefeedface")
+        assert direct["model_id"] == stored["model_id"]
+        assert stored["provenance"]["run_id"] == "feedfacefeedface"
+
+    def test_model_id_independent_of_created_at(self, payload):
+        tweaked = dict(payload, created_at="1999-01-01T00:00:00Z")
+        assert model_content_id(tweaked) == payload["model_id"]
+
+    def test_content_tampering_changes_id(self, payload):
+        tweaked = json.loads(json.dumps(payload))
+        tweaked["clustering"]["threshold"] += 0.01
+        assert model_content_id(tweaked) != payload["model_id"]
+
+
+class TestValidateModel:
+    def _tweaked(self, payload, mutate):
+        copy = json.loads(json.dumps(payload))
+        mutate(copy)
+        # Re-address so only the injected defect (not the digest) trips.
+        copy["model_id"] = model_content_id(copy)
+        return copy
+
+    def test_stale_model_id_detected(self, payload):
+        copy = json.loads(json.dumps(payload))
+        copy["clustering"]["threshold"] += 0.01
+        errors = validate_model(copy)
+        assert any("model_id" in e for e in errors)
+
+    def test_wrong_schema(self, payload):
+        errors = validate_model(self._tweaked(payload, lambda p: p.update(schema=99)))
+        assert any("schema" in e for e in errors)
+
+    def test_missing_dimension(self, payload):
+        errors = validate_model(
+            self._tweaked(payload, lambda p: p["dimensions"].pop("mu"))
+        )
+        assert any("'mu' missing" in e for e in errors)
+
+    def test_arity_mismatch(self, payload):
+        def mutate(p):
+            p["dimensions"]["pi"]["patterns"][0]["pattern"].append("extra")
+
+        errors = validate_model(self._tweaked(payload, mutate))
+        assert any("arity" in e for e in errors)
+
+    def test_missing_root_pattern(self, payload):
+        def mutate(p):
+            section = p["dimensions"]["pi"]
+            section["patterns"] = [
+                entry
+                for entry in section["patterns"]
+                if any(
+                    not (isinstance(v, dict) and v.get("*"))
+                    for v in entry["pattern"]
+                )
+            ]
+
+        errors = validate_model(self._tweaked(payload, mutate))
+        assert any("root pattern" in e for e in errors)
+
+    def test_mask_consistency_violation(self, payload):
+        def mutate(p):
+            section = p["dimensions"]["pi"]
+            entry = next(
+                e
+                for e in section["patterns"]
+                if any(
+                    not (isinstance(v, dict) and v.get("*"))
+                    for v in e["pattern"]
+                )
+            )
+            for i, value in enumerate(entry["pattern"]):
+                if not (isinstance(value, dict) and value.get("*")):
+                    entry["pattern"][i] = "__never_seen__"
+                    break
+
+        errors = validate_model(self._tweaked(payload, mutate))
+        assert any("mask-consistency" in e for e in errors)
+
+    def test_non_integer_support(self, payload):
+        def mutate(p):
+            p["dimensions"]["mu"]["patterns"][0]["support"] = "lots"
+
+        errors = validate_model(self._tweaked(payload, mutate))
+        assert any("support" in e for e in errors)
+
+
+class TestArtifact:
+    def test_save_load_round_trip(self, small_run, tmp_path):
+        artifact = ModelArtifact.from_run(small_run)
+        path = artifact.save(tmp_path / "model.json")
+        loaded = ModelArtifact.load(path)
+        assert loaded.model_id == artifact.model_id
+        assert loaded.fingerprint == small_run.manifest.fingerprint
+        for dimension in Dimension:
+            assert (
+                loaded.pattern_set(dimension).patterns
+                == artifact.pattern_set(dimension).patterns
+            )
+            assert loaded.feature_names(dimension) == artifact.feature_names(
+                dimension
+            )
+
+    def test_save_is_deterministic(self, small_run, tmp_path):
+        artifact = ModelArtifact.from_run(small_run)
+        a = artifact.save(tmp_path / "a.json").read_text(encoding="utf-8")
+        b = artifact.save(tmp_path / "b.json").read_text(encoding="utf-8")
+        assert a == b
+
+    def test_invalid_payload_refused(self, payload):
+        broken = json.loads(json.dumps(payload))
+        broken["dimensions"].pop("epsilon")
+        broken["model_id"] = model_content_id(broken)
+        with pytest.raises(ValidationError):
+            ModelArtifact(broken)
+
+    def test_training_clusters_exposed(self, small_run):
+        artifact = ModelArtifact.from_run(small_run)
+        for dimension in Dimension:
+            clustering = small_run.epm.dimensions[dimension]
+            for pattern in clustering.pattern_set.patterns:
+                assert artifact.cluster_of_pattern(
+                    dimension, pattern
+                ) == clustering.cluster_of_pattern(pattern)
